@@ -1,0 +1,77 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation on the synthetic suite and prints them as text.
+//
+// Usage:
+//
+//	benchtables                 # everything
+//	benchtables -exp table2     # one experiment
+//
+// Experiments: intro, table1, fig1, fig2, fig3, fig4, fig5, table2,
+// fig6, fig7, optopt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"codelayout/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtables: ")
+	exp := flag.String("exp", "all", "experiment to run (intro, table1, fig1..fig7, table2, optopt, compare, all)")
+	flag.Parse()
+
+	w := experiments.NewWorkspace()
+	run := func(name string, f func() (fmt.Stringer, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		res, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(res.String())
+		fmt.Println()
+	}
+
+	// Table II's matrix feeds Figure 6 and §III-F; compute it once.
+	var t2 experiments.Table2Result
+	t2Ready := false
+	needT2 := func() experiments.Table2Result {
+		if !t2Ready {
+			var err error
+			t2, err = experiments.Table2(w)
+			if err != nil {
+				log.Fatalf("table2: %v", err)
+			}
+			t2Ready = true
+		}
+		return t2
+	}
+
+	run("fig1", func() (fmt.Stringer, error) { return experiments.Figure1(), nil })
+	run("fig2", func() (fmt.Stringer, error) { return experiments.Figure2(), nil })
+	run("fig3", func() (fmt.Stringer, error) { return experiments.Figure3() })
+	run("intro", func() (fmt.Stringer, error) { return experiments.IntroTable(w) })
+	run("table1", func() (fmt.Stringer, error) { return experiments.Table1(w) })
+	run("fig4", func() (fmt.Stringer, error) { return experiments.Figure4(w) })
+	run("fig5", func() (fmt.Stringer, error) { return experiments.Figure5(w) })
+	run("table2", func() (fmt.Stringer, error) { return needT2(), nil })
+	run("fig6", func() (fmt.Stringer, error) { return experiments.Figure6FromTable2(needT2()), nil })
+	run("fig7", func() (fmt.Stringer, error) { return experiments.Figure7(w) })
+	run("optopt", func() (fmt.Stringer, error) { return experiments.OptOpt(w, needT2()) })
+	run("compare", func() (fmt.Stringer, error) { return experiments.Comparison(w, nil) })
+
+	if *exp != "all" {
+		switch *exp {
+		case "fig1", "fig2", "fig3", "intro", "table1", "fig4", "fig5", "table2", "fig6", "fig7", "optopt", "compare":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command calib prints the calibration of the synthetic benchmark
+// suite: every screening program's static size, dynamic size, and solo
+// miss ratio on both measurement paths, plus its co-run miss ratios
+// against the two probe programs. This is the tool used to keep the
+// suite's bands aligned with the paper's Table I and Figure 4; see
+// DESIGN.md §2 for what "calibrated" means here.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"codelayout/internal/experiments"
+	"codelayout/internal/progen"
+	"codelayout/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("calib: ")
+	threshold := flag.Float64("threshold", experiments.NonTrivialMiss,
+		"solo miss ratio above which a program counts as non-trivial")
+	flag.Parse()
+
+	w := experiments.NewWorkspace()
+	gcc, err := w.Bench(progen.ProbeGCC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gamess, err := w.Bench(progen.ProbeGamess)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := &stats.Table{Header: []string{
+		"program", "static(B)", "steps", "solo(hw)", "solo(sim)", "corun gcc", "corun gamess",
+	}}
+	nonTrivial := 0
+	for _, spec := range progen.ScreeningSuite() {
+		b, err := w.Bench(spec.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		solo, err := b.HWSolo(experiments.Baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err := b.SimSolo(experiments.Baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c1, err := experiments.HWCorunTimed(b, experiments.Baseline, gcc, experiments.Baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c2, err := experiments.HWCorunTimed(b, experiments.Baseline, gamess, experiments.Baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hw := solo.Counters.ICacheMissRatio()
+		if hw >= *threshold {
+			nonTrivial++
+		}
+		t.Add(spec.Name,
+			fmt.Sprintf("%d", b.Prog.StaticBytes()),
+			fmt.Sprintf("%d", b.Eval.Steps),
+			stats.Pct(hw),
+			stats.Pct(sim),
+			stats.Pct(c1.Counters.ICacheMissRatio()),
+			stats.Pct(c2.Counters.ICacheMissRatio()))
+	}
+	fmt.Print(t.String())
+	fmt.Printf("\nnon-trivial programs (solo hw >= %s): %d of %d\n",
+		stats.Pct(*threshold), nonTrivial, len(progen.ScreeningSuite()))
+}

@@ -1,0 +1,69 @@
+// Command corun measures a shared-cache co-run pair the way the paper's
+// co-run experiments do: the primary program runs to completion on one
+// hyper-thread while the peer wraps on the other, sharing the L1
+// instruction cache. It reports the primary's miss ratio and cycles for
+// the baseline pairing, for an optimized primary (defensiveness), and
+// the peer's miss ratios (politeness).
+//
+// Usage:
+//
+//	corun -primary 458.sjeng -peer 403.gcc -opt bb-affinity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"codelayout/internal/experiments"
+	"codelayout/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("corun: ")
+	primaryName := flag.String("primary", "458.sjeng", "program being measured")
+	peerName := flag.String("peer", "403.gcc", "co-running peer (wraps)")
+	optName := flag.String("opt", "bb-affinity", "optimizer applied to the primary")
+	flag.Parse()
+
+	w := experiments.NewWorkspace()
+	primary, err := w.Bench(*primaryName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peer, err := w.Bench(*peerName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	solo, err := primary.HWSolo(experiments.Baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := experiments.HWCorunTimed(primary, experiments.Baseline, peer, experiments.Baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := experiments.HWCorunTimed(primary, *optName, peer, experiments.Baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s co-running with %s (peer wraps)\n\n", *primaryName, *peerName)
+	t := &stats.Table{Header: []string{"configuration", "primary miss", "primary cycles", "peer miss"}}
+	t.Add("solo (no peer)", stats.Pct(solo.Counters.ICacheMissRatio()),
+		fmt.Sprintf("%d", solo.Thread.Cycles), "—")
+	t.Add("baseline + baseline", stats.Pct(base.Counters.ICacheMissRatio()),
+		fmt.Sprintf("%d", base.Primary.Cycles), stats.Pct(base.Peer.L1I.MissRatio()))
+	t.Add(*optName+" + baseline", stats.Pct(opt.Counters.ICacheMissRatio()),
+		fmt.Sprintf("%d", opt.Primary.Cycles), stats.Pct(opt.Peer.L1I.MissRatio()))
+	fmt.Print(t.String())
+
+	fmt.Printf("\nco-run slowdown over solo:    %s\n",
+		stats.SignedPct(float64(base.Primary.Cycles)/float64(solo.Thread.Cycles)-1))
+	fmt.Printf("defensiveness (self speedup): %s\n",
+		stats.SignedPct(float64(base.Primary.Cycles)/float64(opt.Primary.Cycles)-1))
+	fmt.Printf("politeness (peer miss red.):  %s\n",
+		stats.Pct(stats.Reduction(base.Peer.L1I.MissRatio(), opt.Peer.L1I.MissRatio())))
+}

@@ -1,0 +1,79 @@
+// Command layoutopt runs one of the paper's four code-layout optimizers
+// on a suite program and reports the solo-run effect: the transformation
+// report, the instruction-cache miss ratios before and after on both
+// measurement paths, and the timed speedup.
+//
+// Usage:
+//
+//	layoutopt -prog 445.gobmk -opt bb-affinity
+//	layoutopt -prog 458.sjeng -opt all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"codelayout/internal/core"
+	"codelayout/internal/experiments"
+	"codelayout/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("layoutopt: ")
+	prog := flag.String("prog", "445.gobmk", "suite program name (e.g. 445.gobmk)")
+	optName := flag.String("opt", "all", "optimizer: func-affinity, bb-affinity, func-trg, bb-trg, func-callgraph, func-cmg, bb-affinity-intra, or all")
+	flag.Parse()
+
+	w := experiments.NewWorkspace()
+	b, err := w.Bench(*prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseHW, err := b.HWSolo(experiments.Baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseSim, err := b.SimSolo(experiments.Baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d funcs, %d blocks, %d static bytes\n",
+		b.Name(), b.Prog.NumFuncs(), b.Prog.NumBlocks(), b.Prog.StaticBytes())
+	fmt.Printf("baseline solo: miss %s (hw) / %s (sim), %d cycles\n\n",
+		stats.Pct(baseHW.Counters.ICacheMissRatio()), stats.Pct(baseSim), baseHW.Thread.Cycles)
+
+	t := &stats.Table{Header: []string{
+		"optimizer", "seq", "overhead(B)", "miss(hw)", "miss(sim)", "miss red.(hw)", "speedup",
+	}}
+	for _, o := range core.AllWithBaselines() {
+		if *optName != "all" && o.Name() != *optName {
+			continue
+		}
+		l, rep, err := o.Optimize(b.Train)
+		if err != nil {
+			log.Fatalf("%s: %v", o.Name(), err)
+		}
+		if err := l.Validate(); err != nil {
+			log.Fatalf("%s: invalid layout: %v", o.Name(), err)
+		}
+		hw, err := b.HWSolo(o.Name())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err := b.SimSolo(o.Name())
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.Add(o.Name(),
+			fmt.Sprintf("%d", rep.SeqLen),
+			fmt.Sprintf("%d", rep.JumpOverheadBytes),
+			stats.Pct(hw.Counters.ICacheMissRatio()),
+			stats.Pct(sim),
+			stats.Pct(stats.Reduction(baseHW.Counters.ICacheMissRatio(), hw.Counters.ICacheMissRatio())),
+			fmt.Sprintf("%.3fx", float64(baseHW.Thread.Cycles)/float64(hw.Thread.Cycles)))
+	}
+	fmt.Print(t.String())
+}

@@ -1,0 +1,168 @@
+// Command tracedump records and inspects instrumentation traces, the
+// artifact the paper's modeling step produces (§II-F). It can profile a
+// suite program to trace + mapping files, and print a recorded trace's
+// statistics: length, distinct symbols, the hottest code, the reuse
+// distance distribution, and the footprint curve.
+//
+// Usage:
+//
+//	tracedump -prog 458.sjeng -record /tmp/sjeng      # writes .trace/.map
+//	tracedump -dump /tmp/sjeng                        # prints statistics
+//	tracedump -prog 458.sjeng -record /tmp/s -gran func
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"codelayout/internal/core"
+	"codelayout/internal/footprint"
+	"codelayout/internal/stackdist"
+	"codelayout/internal/stats"
+	"codelayout/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracedump: ")
+	prog := flag.String("prog", "", "suite program to profile")
+	record := flag.String("record", "", "path prefix to write <prefix>.trace and <prefix>.map")
+	dump := flag.String("dump", "", "path prefix to read and summarize")
+	gran := flag.String("gran", "bb", "granularity: bb or func")
+	seed := flag.Int64("seed", core.TrainSeed, "input seed for profiling")
+	top := flag.Int("top", 10, "number of hottest symbols to print")
+	flag.Parse()
+
+	switch {
+	case *record != "" && *prog != "":
+		if err := doRecord(*prog, *record, *gran, *seed); err != nil {
+			log.Fatal(err)
+		}
+	case *dump != "":
+		if err := doDump(*dump, *top); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doRecord(progName, prefix, gran string, seed int64) error {
+	p, err := core.LoadProgram(progName)
+	if err != nil {
+		return err
+	}
+	prof, err := core.ProfileProgram(p, seed)
+	if err != nil {
+		return err
+	}
+	var tr *trace.Trace
+	var m *trace.Mapping
+	switch gran {
+	case "bb":
+		tr = prof.Blocks.Trimmed()
+		m = trace.BlockMapping(p)
+	case "func":
+		tr = trace.FuncTrace(p, prof.Blocks)
+		m = trace.FuncMapping(p)
+	default:
+		return fmt.Errorf("unknown granularity %q", gran)
+	}
+	tf, err := os.Create(prefix + ".trace")
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if _, err := tr.WriteTo(tf); err != nil {
+		return err
+	}
+	mf, err := os.Create(prefix + ".map")
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	if _, err := m.WriteTo(mf); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s: %d occurrences of %d symbols -> %s.trace, %s.map\n",
+		progName, tr.Len(), tr.NumDistinct(), prefix, prefix)
+	return nil
+}
+
+func doDump(prefix string, top int) error {
+	tf, err := os.Open(prefix + ".trace")
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	tr, err := trace.ReadFrom(tf)
+	if err != nil {
+		return err
+	}
+	var m *trace.Mapping
+	if mf, err := os.Open(prefix + ".map"); err == nil {
+		defer mf.Close()
+		if m, err = trace.ReadMappingFrom(mf); err != nil {
+			return err
+		}
+	} else {
+		m = &trace.Mapping{}
+	}
+
+	fmt.Printf("trace: %d occurrences, %d distinct symbols\n", tr.Len(), tr.NumDistinct())
+
+	// Hottest symbols.
+	counts := tr.Counts()
+	keep := tr.TopN(top)
+	fmt.Printf("\nhottest %d symbols:\n", top)
+	tbl := &stats.Table{Header: []string{"symbol", "name", "size(B)", "count", "share"}}
+	type hot struct {
+		sym int32
+		cnt int64
+	}
+	var hots []hot
+	for sym := range keep {
+		hots = append(hots, hot{sym, counts[sym]})
+	}
+	for i := 0; i < len(hots); i++ {
+		for j := i + 1; j < len(hots); j++ {
+			if hots[j].cnt > hots[i].cnt ||
+				(hots[j].cnt == hots[i].cnt && hots[j].sym < hots[i].sym) {
+				hots[i], hots[j] = hots[j], hots[i]
+			}
+		}
+	}
+	for _, h := range hots {
+		size := int32(0)
+		if int(h.sym) < len(m.Sizes) {
+			size = m.Sizes[h.sym]
+		}
+		tbl.Add(fmt.Sprintf("%d", h.sym), m.Name(h.sym),
+			fmt.Sprintf("%d", size),
+			fmt.Sprintf("%d", h.cnt),
+			stats.Pct(float64(h.cnt)/float64(tr.Len())))
+	}
+	fmt.Print(tbl.String())
+
+	// Reuse distance distribution.
+	dists := stackdist.Distances(tr.Syms)
+	hist, cold := stackdist.Histogram(dists)
+	fmt.Printf("\nreuse distances: %d cold accesses; miss-ratio-at-capacity:\n", cold)
+	mr := stackdist.MissRatioCurve(hist, cold, int64(tr.Len()))
+	for _, c := range []int{8, 32, 128, 512} {
+		v := 0.0
+		if c < len(mr) {
+			v = mr[c]
+		}
+		fmt.Printf("  capacity %4d symbols: %s\n", c, stats.Pct(v))
+	}
+
+	// Footprint curve highlights.
+	curve := footprint.NewCurve(tr.Syms, nil)
+	fmt.Printf("\nfootprint: total %.0f symbols; FP(1k)=%.0f FP(10k)=%.0f FP(100k)=%.0f\n",
+		curve.Total, curve.At(1000), curve.At(10000), curve.At(100000))
+	return nil
+}

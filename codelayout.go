@@ -1,0 +1,206 @@
+// Package codelayout is a reproduction of "Code Layout Optimization for
+// Defensiveness and Politeness in Shared Cache" (Li, Luo, Ding, Hu, Ye —
+// ICPP 2014) as a self-contained Go library.
+//
+// The library implements the paper's whole system: a whole-program IR
+// and interpreter standing in for LLVM bytecode, the w-window reference
+// affinity hierarchy and the temporal relationship graph (TRG) locality
+// models, global function reordering and inter-procedural basic-block
+// reordering, footprint theory (the defensiveness/politeness equations),
+// a set-associative instruction-cache simulator, an SMT core timing
+// model with PAPI-style counters, a synthetic SPEC-like benchmark
+// generator, and an experiment harness that regenerates every table and
+// figure of the paper's evaluation.
+//
+// This root package is the public facade: it re-exports the pipeline
+// types and entry points so that a user can go from a program to an
+// optimized layout and a measured result without touching internal
+// packages:
+//
+//	prog, _ := codelayout.LoadBenchmark("445.gobmk")
+//	prof, _ := codelayout.ProfileProgram(prog, codelayout.TrainSeed)
+//	layout, report, _ := codelayout.BBAffinity().Optimize(prof)
+//	fmt.Println(report.Optimizer, layout.TotalBytes)
+//
+// For measurement, the experiment workspace caches programs, profiles
+// and layouts:
+//
+//	w := codelayout.NewWorkspace()
+//	t2, _ := codelayout.Table2(w)
+//	fmt.Println(t2)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison of every table and figure.
+package codelayout
+
+import (
+	"codelayout/internal/core"
+	"codelayout/internal/experiments"
+	"codelayout/internal/footprint"
+	"codelayout/internal/ir"
+	"codelayout/internal/layout"
+	"codelayout/internal/progen"
+	"codelayout/internal/trace"
+)
+
+// Program is the whole-program intermediate representation.
+type Program = ir.Program
+
+// Builder constructs programs; see NewProgramBuilder.
+type Builder = ir.Builder
+
+// NewProgramBuilder starts a new program with the given number of
+// global registers.
+func NewProgramBuilder(name string, numGlobals int) *Builder {
+	return ir.NewBuilder(name, numGlobals)
+}
+
+// Cond is a branch condition for the program builder.
+type Cond = ir.Cond
+
+// CondAlways is a condition that always holds.
+func CondAlways() Cond { return ir.Always{} }
+
+// CondProb holds with the given probability, drawn from the program's
+// input seed.
+func CondProb(p float64) Cond { return ir.Prob{P: p} }
+
+// CondGlobalEq holds when global register reg equals val.
+func CondGlobalEq(reg, val int32) Cond { return ir.GlobalEq{Reg: reg, Val: val} }
+
+// CondGlobalLT holds when global register reg is less than val.
+func CondGlobalLT(reg, val int32) Cond { return ir.GlobalLT{Reg: reg, Val: val} }
+
+// Trace is a code-symbol occurrence sequence (basic blocks or
+// functions).
+type Trace = trace.Trace
+
+// Layout maps every basic block to an address; it is the output of the
+// optimizers.
+type Layout = layout.Layout
+
+// Optimizer is one of the paper's four code-layout optimizers.
+type Optimizer = core.Optimizer
+
+// Profile is a training run of a program.
+type Profile = core.Profile
+
+// Report summarizes one optimization.
+type Report = core.Report
+
+// Input seeds: profiling uses TrainSeed (the paper's test input),
+// measurement uses EvalSeed (the reference input).
+const (
+	TrainSeed = core.TrainSeed
+	EvalSeed  = core.EvalSeed
+)
+
+// The four optimizers evaluated in the paper.
+func FuncAffinity() Optimizer { return core.FuncAffinity() }
+func BBAffinity() Optimizer   { return core.BBAffinity() }
+func FuncTRG() Optimizer      { return core.FuncTRG() }
+func BBTRG() Optimizer        { return core.BBTRG() }
+
+// AllOptimizers returns the four optimizers in the paper's order.
+func AllOptimizers() []Optimizer { return core.AllOptimizers() }
+
+// Comparison baselines from the related-work tradition: Pettis-Hansen
+// call-graph placement, the Conflict Miss Graph, and intra-procedural
+// basic-block reordering.
+func FuncCallGraph() Optimizer   { return core.FuncCallGraph() }
+func FuncCMG() Optimizer         { return core.FuncCMG() }
+func BBAffinityIntra() Optimizer { return core.BBAffinityIntra() }
+
+// FuncSearch is the Petrank-Rawitz-wall reference point (§III-D):
+// local search over function orders against the TRG-weighted conflict
+// cost, seeded from the affinity order.
+func FuncSearch() Optimizer { return core.FuncSearch() }
+
+// AllWithBaselines returns the paper optimizers plus the baselines.
+func AllWithBaselines() []Optimizer { return core.AllWithBaselines() }
+
+// Comparison runs the extension experiment: paper optimizers vs the
+// related-work baselines; names nil means the full main suite.
+func Comparison(w *Workspace, names []string) (experiments.ComparisonResult, error) {
+	return experiments.Comparison(w, names)
+}
+
+// ProfileProgram instruments and runs a program on the given input
+// seed.
+func ProfileProgram(p *Program, seed int64) (*Profile, error) {
+	return core.ProfileProgram(p, seed)
+}
+
+// OriginalLayout returns the unoptimized baseline layout.
+func OriginalLayout(p *Program) *Layout { return layout.Original(p) }
+
+// BenchmarkSpec parameterizes a synthetic benchmark program.
+type BenchmarkSpec = progen.Spec
+
+// LoadBenchmark generates a named program of the synthetic SPEC-like
+// suite (e.g. "445.gobmk"); see MainSuiteNames and ScreeningSuite.
+func LoadBenchmark(name string) (*Program, error) { return core.LoadProgram(name) }
+
+// GenerateBenchmark builds a program from a custom spec.
+func GenerateBenchmark(s BenchmarkSpec) (*Program, error) { return progen.Generate(s) }
+
+// MainSuiteNames lists the 8 Table I benchmarks.
+var MainSuiteNames = progen.MainSuiteNames
+
+// ScreeningSuiteSpecs returns the 29 Figure 4 benchmark specs.
+func ScreeningSuiteSpecs() []BenchmarkSpec { return progen.ScreeningSuite() }
+
+// Workspace caches generated programs, profiles and layouts for the
+// experiment drivers.
+type Workspace = experiments.Workspace
+
+// Bench is one program inside a workspace.
+type Bench = experiments.Bench
+
+// NewWorkspace creates an empty experiment workspace.
+func NewWorkspace() *Workspace { return experiments.NewWorkspace() }
+
+// Experiment drivers — one per table/figure of the paper (§III). Each
+// result has a String() rendering; see also cmd/benchtables.
+func IntroTable(w *Workspace) (experiments.IntroResult, error) { return experiments.IntroTable(w) }
+func Table1(w *Workspace) (experiments.Table1Result, error)    { return experiments.Table1(w) }
+func Figure1() experiments.Figure1Result                       { return experiments.Figure1() }
+func Figure2() experiments.Figure2Result                       { return experiments.Figure2() }
+func Figure3() (experiments.Figure3Result, error)              { return experiments.Figure3() }
+func Figure4(w *Workspace) (experiments.Figure4Result, error)  { return experiments.Figure4(w) }
+func Figure5(w *Workspace) (experiments.Figure5Result, error)  { return experiments.Figure5(w) }
+func Table2(w *Workspace) (experiments.Table2Result, error)    { return experiments.Table2(w) }
+func Figure6(w *Workspace) (experiments.Figure6Result, error)  { return experiments.Figure6(w) }
+func Figure7(w *Workspace) (experiments.Figure7Result, error)  { return experiments.Figure7(w) }
+
+// OptOpt runs the §III-F defensiveness+politeness study on a Table II
+// result.
+func OptOpt(w *Workspace, t2 experiments.Table2Result) (experiments.OptOptResult, error) {
+	return experiments.OptOpt(w, t2)
+}
+
+// FootprintCurve is the all-window average footprint FP(w) of a code
+// trace — the quantity behind the paper's Eq 1/2 (§II-A).
+type FootprintCurve = footprint.Curve
+
+// SharingReport quantifies locality, defensiveness and politeness for
+// an optimization, per the benefit classes of §II-A.
+type SharingReport = footprint.SharingReport
+
+// NewFootprintCurve computes the footprint curve of a symbol trace;
+// weights (e.g. code-block byte sizes) may be nil for unit footprints.
+func NewFootprintCurve(syms []int32, weights []int32) *FootprintCurve {
+	return footprint.NewCurve(syms, weights)
+}
+
+// PredictCorunMiss evaluates Eq 1/2: the predicted miss ratio of self
+// sharing a cache of the given capacity with peer.
+func PredictCorunMiss(self, peer *FootprintCurve, capacity float64) float64 {
+	return footprint.CorunMissRatio(self, peer, capacity)
+}
+
+// AnalyzeSharing computes the SharingReport of an optimization that
+// changes a program's footprint curve from base to opt against a peer.
+func AnalyzeSharing(base, opt, peer *FootprintCurve, capacity float64) SharingReport {
+	return footprint.Analyze(base, opt, peer, capacity)
+}

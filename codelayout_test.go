@@ -1,0 +1,147 @@
+package codelayout_test
+
+// Facade tests: exercise the library exactly as a downstream user
+// would, through the root package only.
+
+import (
+	"strings"
+	"testing"
+
+	"codelayout"
+)
+
+func TestFacadePipeline(t *testing.T) {
+	prog, err := codelayout.LoadBenchmark("458.sjeng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := codelayout.ProfileProgram(prog, codelayout.TrainSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range codelayout.AllOptimizers() {
+		l, rep, err := opt.Optimize(prof)
+		if err != nil {
+			t.Errorf("%s: %v", opt.Name(), err)
+			continue
+		}
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", opt.Name(), err)
+		}
+		if rep.SeqLen == 0 {
+			t.Errorf("%s: empty sequence", opt.Name())
+		}
+	}
+}
+
+func TestFacadeBuilder(t *testing.T) {
+	b := codelayout.NewProgramBuilder("demo", 1)
+	f := b.Func("main")
+	e := f.Block("entry", 16)
+	taken := f.Block("taken", 16)
+	fall := f.Block("fall", 16)
+	e.Set(0, 1)
+	e.Branch(codelayout.CondGlobalEq(0, 1), taken, fall)
+	taken.Exit()
+	fall.Exit()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := codelayout.ProfileProgram(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The branch always takes: only entry and taken execute.
+	if prof.Steps != 2 {
+		t.Errorf("Steps = %d, want 2", prof.Steps)
+	}
+	if codelayout.CondAlways() == nil || codelayout.CondProb(0.5) == nil || codelayout.CondGlobalLT(0, 3) == nil {
+		t.Error("condition constructors returned nil")
+	}
+}
+
+func TestFacadeModelExamples(t *testing.T) {
+	f1 := codelayout.Figure1()
+	if !strings.Contains(f1.String(), "B1 B4 B2 B3 B5") {
+		t.Error("Figure 1 sequence wrong through facade")
+	}
+	f2 := codelayout.Figure2()
+	if len(f2.Sequence) != 5 {
+		t.Error("Figure 2 wrong through facade")
+	}
+	f3, err := codelayout.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3.SpanOptimized >= f3.SpanOriginal {
+		t.Error("Figure 3 packing missing through facade")
+	}
+}
+
+func TestFacadeFootprintTheory(t *testing.T) {
+	cyc := func(k, reps int) []int32 {
+		var s []int32
+		for r := 0; r < reps; r++ {
+			for i := 0; i < k; i++ {
+				s = append(s, int32(i))
+			}
+		}
+		return s
+	}
+	self := codelayout.NewFootprintCurve(cyc(20, 40), nil)
+	peer := codelayout.NewFootprintCurve(cyc(20, 40), nil)
+	if got := codelayout.PredictCorunMiss(self, peer, 100); got != 0 {
+		t.Errorf("big cache corun miss = %v, want 0", got)
+	}
+	if got := codelayout.PredictCorunMiss(self, peer, 30); got <= 0 {
+		t.Errorf("small cache corun miss = %v, want > 0", got)
+	}
+	opt := codelayout.NewFootprintCurve(cyc(10, 80), nil)
+	rep := codelayout.AnalyzeSharing(self, opt, peer, 35)
+	if rep.DefensivenessGain() <= 0 {
+		t.Errorf("DefensivenessGain = %v, want > 0", rep.DefensivenessGain())
+	}
+}
+
+func TestFacadeSuites(t *testing.T) {
+	if len(codelayout.MainSuiteNames) != 8 {
+		t.Errorf("MainSuiteNames = %d entries", len(codelayout.MainSuiteNames))
+	}
+	specs := codelayout.ScreeningSuiteSpecs()
+	if len(specs) != 29 {
+		t.Errorf("screening suite = %d entries", len(specs))
+	}
+	p, err := codelayout.GenerateBenchmark(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, err := codelayout.LoadBenchmark("no.such"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestFacadeWorkspaceMeasurement(t *testing.T) {
+	w := codelayout.NewWorkspace()
+	b, err := w.Bench("429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := b.HWSolo("original")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.Thread.Cycles == 0 || hw.Thread.Instrs == 0 {
+		t.Error("empty measurement")
+	}
+	sim, err := b.SimSolo("original")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim < 0 || sim > 1 {
+		t.Errorf("sim miss ratio = %v", sim)
+	}
+}

@@ -1,0 +1,87 @@
+// Corun demonstrates the paper's two goals for shared-cache
+// optimization — defensiveness and politeness — on a hyper-threaded
+// co-run pair, and cross-checks the measurement against the footprint
+// theory of §II-A (Eq 2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"codelayout"
+	"codelayout/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	w := codelayout.NewWorkspace()
+	primary, err := w.Bench("471.omnetpp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	peer, err := w.Bench("403.gcc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Measured: solo, then co-run with the baseline and the optimized
+	// primary (the peer always runs the baseline).
+	solo, err := primary.HWSolo(experiments.Baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := experiments.HWCorunTimed(primary, experiments.Baseline, peer, experiments.Baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := experiments.HWCorunTimed(primary, "bb-affinity", peer, experiments.Baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s sharing the 32 KB L1 instruction cache with %s\n\n", primary.Name(), peer.Name())
+	fmt.Printf("primary miss ratio: solo %.2f%%  co-run %.2f%%  co-run optimized %.2f%%\n",
+		100*solo.Counters.ICacheMissRatio(),
+		100*base.Counters.ICacheMissRatio(),
+		100*opt.Counters.ICacheMissRatio())
+	fmt.Printf("defensiveness: the optimized primary runs %.2f%% faster in the same co-run\n",
+		100*(float64(base.Primary.Cycles)/float64(opt.Primary.Cycles)-1))
+	fmt.Printf("politeness:    the peer's miss ratio drops %.2f%% -> %.2f%%\n\n",
+		100*base.Peer.L1I.MissRatio(), 100*opt.Peer.L1I.MissRatio())
+
+	// Theory: build byte-weighted footprint curves of the instruction
+	// streams and evaluate Eq 2. The model operates on the baseline
+	// layouts' line traces.
+	selfCurve := lineFootprint(primary)
+	peerCurve := lineFootprint(peer)
+	const cacheLines = 512 // 32 KB / 64 B
+	fmt.Printf("footprint theory (Eq 2, in cache lines):\n")
+	fmt.Printf("  P(self.miss | solo)  ~ %.2f%%\n", 100*selfCurve.MissRatioAt(cacheLines))
+	fmt.Printf("  P(self.miss | co-run) = P(self.FP + peer.FP >= C) ~ %.2f%%\n",
+		100*codelayout.PredictCorunMiss(selfCurve, peerCurve, cacheLines))
+	fmt.Println("\nthe theory predicts the same qualitative jump the counters measure:")
+	fmt.Println("cache sharing turns a near-zero solo miss ratio into real contention.")
+}
+
+// lineFootprint builds the footprint curve of a program's instruction
+// line trace under its original layout.
+func lineFootprint(b *codelayout.Bench) *codelayout.FootprintCurve {
+	r, err := b.Replayer(experiments.Baseline, 64, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var lines []int32
+	for {
+		if _, ok := r.Next(func(ln int64) {
+			lines = append(lines, int32(ln))
+		}); !ok {
+			break
+		}
+	}
+	// Cap the curve computation; the trace tail repeats the same phases.
+	if len(lines) > 200000 {
+		lines = lines[:200000]
+	}
+	return codelayout.NewFootprintCurve(lines, nil)
+}

@@ -1,0 +1,3 @@
+module codelayout
+
+go 1.22

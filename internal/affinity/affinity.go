@@ -1,0 +1,367 @@
+// Package affinity implements the paper's extension of reference affinity
+// to whole-program code layout (§II-B).
+//
+// Two code blocks have w-window affinity (Definition 3) iff every
+// occurrence of each has a corresponding occurrence of the other such
+// that the footprint of the window formed by the two occurrences is at
+// most w. For a given w this induces an affinity partition (Definition
+// 4); as w grows from 1 upward the partitions form the affinity
+// hierarchy (Definition 5), built here so that lower-level groups take
+// precedence (groups at level w merge whole groups of level w-1, which
+// both disambiguates the non-unique w-window partition and guarantees a
+// hierarchy). The optimized code sequence is a bottom-up traversal of
+// the hierarchy.
+//
+// Two analyses are provided: BuildHierarchyNaive follows Algorithm 1 and
+// the definitions directly (quadratic, used for validation), while
+// BuildHierarchy is the paper's efficient solution — an LRU stack
+// simulation per window size that records co-occurrence coverage in
+// O(W·N·w) time.
+package affinity
+
+import (
+	"sort"
+
+	"codelayout/internal/stackdist"
+	"codelayout/internal/trace"
+)
+
+// Options configures the hierarchy construction.
+type Options struct {
+	// WMax is the largest window size analyzed. The paper chooses w
+	// between 2 and 20 ("to improve efficiency, we choose w between 2
+	// and 20"); 0 means the default of 20.
+	WMax int
+}
+
+// DefaultWMax matches the paper's upper end of the analyzed window range.
+const DefaultWMax = 20
+
+// Partition is the w-window affinity partition of the trace's symbols.
+type Partition struct {
+	W int
+	// Groups lists the affinity groups; within a group and across
+	// groups, symbols are ordered by first occurrence in the trace, so
+	// the partition (and the sequence derived from it) is deterministic.
+	Groups [][]int32
+}
+
+// Hierarchy is the affinity hierarchy: one partition per window size
+// from 1 to WMax. Levels[i] is the partition for w = i+1.
+type Hierarchy struct {
+	Levels []Partition
+	// firstOcc maps each symbol to its first-occurrence position, the
+	// tie-breaking order used everywhere.
+	firstOcc map[int32]int
+	// occCount maps each symbol to its occurrence count in the trimmed
+	// trace, used to order sibling groups hot-first in Sequence.
+	occCount map[int32]int64
+}
+
+// Partition returns the partition at window size w (1 <= w <= WMax).
+func (h *Hierarchy) Partition(w int) Partition { return h.Levels[w-1] }
+
+// WMax returns the largest analyzed window size.
+func (h *Hierarchy) WMax() int { return len(h.Levels) }
+
+// Sequence produces the optimized code sequence: a bottom-up traversal
+// of the hierarchy, reading the groups off the top level (each group
+// internally preserves the lower levels' order, so strongly affine
+// blocks stay adjacent — Figure 1's output B1 B4 B2 B3 B5).
+//
+// The paper leaves the order of sibling groups unspecified ("simply a
+// bottom-up traversal"). Here siblings are ordered by hotness band
+// (log2 of the per-block occurrence count, descending) and by first
+// occurrence within a band. Banding matters for instruction-cache
+// packing: rarely executed groups (cold error paths) sink below all hot
+// groups instead of interleaving with them by first-occurrence
+// accident, while same-hotness groups keep their temporal (phase)
+// order.
+func (h *Hierarchy) Sequence() []int32 {
+	if len(h.Levels) == 0 {
+		return nil
+	}
+	top := h.Levels[len(h.Levels)-1]
+	type ranked struct {
+		group []int32
+		band  int
+		first int
+	}
+	groups := make([]ranked, len(top.Groups))
+	for i, g := range top.Groups {
+		var total int64
+		for _, s := range g {
+			total += h.occCount[s]
+		}
+		avg := total / int64(len(g))
+		band := 0
+		for v := avg; v > 0; v >>= 1 {
+			band++
+		}
+		groups[i] = ranked{group: g, band: band, first: h.firstOcc[g[0]]}
+	}
+	sort.SliceStable(groups, func(a, b int) bool {
+		if groups[a].band != groups[b].band {
+			return groups[a].band > groups[b].band
+		}
+		return groups[a].first < groups[b].first
+	})
+	var seq []int32
+	for _, g := range groups {
+		seq = append(seq, g.group...)
+	}
+	return seq
+}
+
+// pairKey packs an unordered symbol pair, smaller symbol first.
+func pairKey(a, b int32) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	return int64(a)<<32 | int64(int32(b))&0xffffffff
+}
+
+// BuildHierarchy runs the efficient stack-simulation analysis. For each
+// occurrence of a block x, the analysis needs the minimal footprint of a
+// window joining the occurrence to some occurrence of each partner y
+// (Definition 3 quantifies over every occurrence). Two LRU stack passes
+// provide it:
+//
+//   - forward pass: when x is accessed, a partner y at stack depth d has
+//     its last occurrence exactly d distinct blocks back, so the
+//     occurrence is covered backward with footprint d;
+//   - backward pass over the reversed trace: symmetric, covering the
+//     occurrence forward to the next y.
+//
+// Folding the per-occurrence minima into a per-pair histogram yields,
+// for every pair, the smallest w at which all occurrences of both blocks
+// are covered — i.e. the level where the pair becomes affine. Total cost
+// is O(N·wmax) time, matching the paper's "efficient solution" in §II-B.
+func BuildHierarchy(t *trace.Trace, opt Options) *Hierarchy {
+	wmax := opt.WMax
+	if wmax <= 0 {
+		wmax = DefaultWMax
+	}
+	tt := t.Trimmed()
+	h := newHierarchyShell(tt, wmax)
+	if len(tt.Syms) == 0 {
+		return h
+	}
+	minW := pairMinWindowsStack(tt, wmax)
+	buildLevels(h, wmax, minW)
+	return h
+}
+
+// buildLevels fills hierarchy levels 2..wmax from the per-pair minimal
+// affinity windows.
+func buildLevels(h *Hierarchy, wmax int, minW map[int64]int) {
+	prev := h.Levels[0]
+	for w := 2; w <= wmax; w++ {
+		affine := make(map[int64]bool, len(minW))
+		for k, mw := range minW {
+			if mw <= w {
+				affine[k] = true
+			}
+		}
+		prev = mergeLevel(prev, w, affine, h.firstOcc)
+		h.Levels[w-1] = prev
+	}
+}
+
+// pairMinWindowsStack computes, for every symbol pair that becomes affine
+// at some w <= wmax, that minimal w, using the two stack passes described
+// on BuildHierarchy.
+func pairMinWindowsStack(tt *trace.Trace, wmax int) map[int64]int {
+	n := len(tt.Syms)
+	maxSym := tt.MaxSym()
+
+	// Pass 1 (forward): record for each position the partners within the
+	// top wmax of the LRU stack and their depths (backward coverage).
+	partnerSym := make([]int32, 0, n*2)
+	partnerDepth := make([]uint8, 0, n*2)
+	offsets := make([]int32, n+1)
+	{
+		stack := stackdist.NewLRUStack(maxSym)
+		for i, cur := range tt.Syms {
+			stack.Access(cur)
+			offsets[i] = int32(len(partnerSym))
+			depth := 0
+			stack.TopK(wmax, func(x int32) bool {
+				depth++
+				if depth == 1 {
+					return true
+				}
+				partnerSym = append(partnerSym, x)
+				partnerDepth = append(partnerDepth, uint8(depth))
+				return true
+			})
+		}
+		offsets[n] = int32(len(partnerSym))
+	}
+
+	// Pass 2 (backward): merge forward coverage with pass 1's backward
+	// coverage per occurrence, and fold minima into per-pair histograms.
+	type hist struct {
+		// counts[dir*(wmax+1)+d] = occurrences of the dir-side symbol
+		// whose minimal coverage footprint is d.
+		counts []uint32
+	}
+	pairs := make(map[int64]*hist)
+	occCount := tt.Counts()
+
+	// scratch holds the merged (partner, minDepth) set of one occurrence.
+	scratchSym := make([]int32, 0, 2*wmax)
+	scratchDepth := make([]uint8, 0, 2*wmax)
+	addScratch := func(sym int32, d uint8) {
+		for k, s := range scratchSym {
+			if s == sym {
+				if d < scratchDepth[k] {
+					scratchDepth[k] = d
+				}
+				return
+			}
+		}
+		scratchSym = append(scratchSym, sym)
+		scratchDepth = append(scratchDepth, d)
+	}
+
+	stack := stackdist.NewLRUStack(maxSym)
+	for i := n - 1; i >= 0; i-- {
+		cur := tt.Syms[i]
+		stack.Access(cur)
+		scratchSym = scratchSym[:0]
+		scratchDepth = scratchDepth[:0]
+		for k := offsets[i]; k < offsets[i+1]; k++ {
+			addScratch(partnerSym[k], partnerDepth[k])
+		}
+		depth := 0
+		stack.TopK(wmax, func(x int32) bool {
+			depth++
+			if depth == 1 {
+				return true
+			}
+			addScratch(x, uint8(depth))
+			return true
+		})
+		for k, y := range scratchSym {
+			key := pairKey(cur, y)
+			ph := pairs[key]
+			if ph == nil {
+				ph = &hist{counts: make([]uint32, 2*(wmax+1))}
+				pairs[key] = ph
+			}
+			dir := 0
+			if cur > y {
+				dir = 1
+			}
+			ph.counts[dir*(wmax+1)+int(scratchDepth[k])]++
+		}
+	}
+
+	minW := make(map[int64]int, len(pairs))
+	for key, ph := range pairs {
+		x := int32(key >> 32)
+		y := int32(key & 0xffffffff)
+		wx := fullCoverageW(ph.counts[:wmax+1], occCount[x])
+		wy := fullCoverageW(ph.counts[wmax+1:], occCount[y])
+		if wx < 0 || wy < 0 {
+			continue // some occurrence is never covered within wmax
+		}
+		minW[key] = max(wx, wy)
+	}
+	return minW
+}
+
+// fullCoverageW returns the smallest w such that the cumulative count of
+// occurrences with minimal footprint <= w reaches total, or -1 if the
+// histogram never reaches total.
+func fullCoverageW(counts []uint32, total int64) int {
+	var cum int64
+	for d := 0; d < len(counts); d++ {
+		cum += int64(counts[d])
+		if cum == total {
+			return d
+		}
+	}
+	return -1
+}
+
+// newHierarchyShell prepares the hierarchy with the w=1 partition
+// (every block its own group, per Definition 5) and first-occurrence
+// ordering.
+func newHierarchyShell(tt *trace.Trace, wmax int) *Hierarchy {
+	firstOcc := make(map[int32]int)
+	occCount := make(map[int32]int64)
+	for i, s := range tt.Syms {
+		if _, ok := firstOcc[s]; !ok {
+			firstOcc[s] = i
+		}
+		occCount[s]++
+	}
+	syms := make([]int32, 0, len(firstOcc))
+	for s := range firstOcc {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return firstOcc[syms[i]] < firstOcc[syms[j]] })
+
+	h := &Hierarchy{Levels: make([]Partition, wmax), firstOcc: firstOcc, occCount: occCount}
+	base := Partition{W: 1, Groups: make([][]int32, len(syms))}
+	for i, s := range syms {
+		base.Groups[i] = []int32{s}
+	}
+	h.Levels[0] = base
+	for w := 2; w <= wmax; w++ {
+		h.Levels[w-1] = base // overwritten by the builder; harmless default
+	}
+	return h
+}
+
+// mergeLevel forms the partition at window w by greedily merging the
+// previous level's groups (Algorithm 1 with lower-level precedence):
+// units are considered in first-occurrence order; a unit joins the first
+// existing group with which *every* cross pair of blocks is affine at
+// w, otherwise it starts a new group.
+func mergeLevel(prev Partition, w int, affine map[int64]bool, firstOcc map[int32]int) Partition {
+	type group struct {
+		members []int32
+	}
+	var groups []*group
+	for _, unit := range prev.Groups {
+		placed := false
+		for _, g := range groups {
+			if unitCompatible(unit, g.members, affine) {
+				g.members = append(g.members, unit...)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, &group{members: append([]int32(nil), unit...)})
+		}
+	}
+	// Units joined a group in first-occurrence order and stay contiguous
+	// inside it, so lower-level groups remain adjacent in the sequence
+	// (the bottom-up traversal property). Groups were also created in
+	// first-occurrence order of their first unit, so no re-sorting is
+	// needed — and none is allowed, since sorting members would tear
+	// units apart.
+	out := Partition{W: w, Groups: make([][]int32, len(groups))}
+	for i, g := range groups {
+		out.Groups[i] = g.members
+	}
+	sort.SliceStable(out.Groups, func(a, b int) bool {
+		return firstOcc[out.Groups[a][0]] < firstOcc[out.Groups[b][0]]
+	})
+	return out
+}
+
+func unitCompatible(unit, members []int32, affine map[int64]bool) bool {
+	for _, a := range unit {
+		for _, b := range members {
+			if !affine[pairKey(a, b)] {
+				return false
+			}
+		}
+	}
+	return true
+}

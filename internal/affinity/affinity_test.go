@@ -1,0 +1,218 @@
+package affinity
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"codelayout/internal/trace"
+)
+
+// fig1Trace is the paper's Figure 1(a) example: B1 B4 B2 B4 B2 B3 B5 B1 B4.
+func fig1Trace() *trace.Trace {
+	return trace.New([]int32{1, 4, 2, 4, 2, 3, 5, 1, 4})
+}
+
+// TestFigure1Hierarchy reproduces the paper's Figure 1(b) exactly:
+//
+//	w=2: (B1) (B4) (B2) (B3,B5)
+//	w=3: (B1,B4) (B2) (B3,B5)
+//	w=4: (B1,B4) (B2,B3,B5)
+//	w=5: (B1,B4,B2,B3,B5)
+//
+// and the output sequence B1 B4 B2 B3 B5.
+func TestFigure1Hierarchy(t *testing.T) {
+	for name, build := range map[string]func(*trace.Trace, Options) *Hierarchy{
+		"efficient": BuildHierarchy,
+		"naive":     BuildHierarchyNaive,
+	} {
+		t.Run(name, func(t *testing.T) {
+			h := build(fig1Trace(), Options{WMax: 5})
+
+			wantByW := map[int][][]int32{
+				1: {{1}, {4}, {2}, {3}, {5}},
+				2: {{1}, {4}, {2}, {3, 5}},
+				3: {{1, 4}, {2}, {3, 5}},
+				4: {{1, 4}, {2, 3, 5}},
+				5: {{1, 4, 2, 3, 5}},
+			}
+			for w, want := range wantByW {
+				got := h.Partition(w).Groups
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("w=%d partition = %v, want %v", w, got, want)
+				}
+			}
+			if got, want := h.Sequence(), []int32{1, 4, 2, 3, 5}; !reflect.DeepEqual(got, want) {
+				t.Errorf("Sequence = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestHierarchyIsHierarchical(t *testing.T) {
+	// Every level's groups must be unions of whole groups of the level
+	// below (lower-level groups take precedence).
+	rng := rand.New(rand.NewSource(21))
+	syms := make([]int32, 600)
+	for i := range syms {
+		syms[i] = int32(rng.Intn(24))
+	}
+	h := BuildHierarchy(trace.New(syms), Options{WMax: 12})
+	for w := 2; w <= h.WMax(); w++ {
+		lower := h.Partition(w - 1)
+		upper := h.Partition(w)
+		groupOf := make(map[int32]int)
+		for gi, g := range upper.Groups {
+			for _, s := range g {
+				groupOf[s] = gi
+			}
+		}
+		for _, lg := range lower.Groups {
+			first := groupOf[lg[0]]
+			for _, s := range lg {
+				if groupOf[s] != first {
+					t.Fatalf("w=%d splits lower-level group %v", w, lg)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionIsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	syms := make([]int32, 400)
+	for i := range syms {
+		syms[i] = int32(rng.Intn(16))
+	}
+	tr := trace.New(syms)
+	h := BuildHierarchy(tr, Options{WMax: 8})
+	distinct := tr.Trimmed().NumDistinct()
+	for w := 1; w <= h.WMax(); w++ {
+		seen := make(map[int32]bool)
+		n := 0
+		for _, g := range h.Partition(w).Groups {
+			if len(g) == 0 {
+				t.Fatalf("w=%d has empty group", w)
+			}
+			for _, s := range g {
+				if seen[s] {
+					t.Fatalf("w=%d: symbol %d in two groups", w, s)
+				}
+				seen[s] = true
+				n++
+			}
+		}
+		if n != distinct {
+			t.Fatalf("w=%d covers %d symbols, want %d", w, n, distinct)
+		}
+	}
+}
+
+func TestSequenceIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	syms := make([]int32, 500)
+	for i := range syms {
+		syms[i] = int32(rng.Intn(32))
+	}
+	tr := trace.New(syms)
+	seq := BuildHierarchy(tr, Options{}).Sequence()
+	seen := make(map[int32]bool)
+	for _, s := range seq {
+		if seen[s] {
+			t.Fatalf("sequence repeats symbol %d", s)
+		}
+		seen[s] = true
+	}
+	if len(seq) != tr.NumDistinct() {
+		t.Fatalf("sequence has %d symbols, want %d", len(seq), tr.NumDistinct())
+	}
+}
+
+func TestEfficientMatchesNaiveOnRandomTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 30; trial++ {
+		n := 20 + rng.Intn(120)
+		alpha := 3 + rng.Intn(10)
+		syms := make([]int32, n)
+		for i := range syms {
+			syms[i] = int32(rng.Intn(alpha))
+		}
+		tr := trace.New(syms)
+		opt := Options{WMax: 2 + rng.Intn(8)}
+		eff := BuildHierarchy(tr, opt)
+		naive := BuildHierarchyNaive(tr, opt)
+		for w := 1; w <= opt.WMax; w++ {
+			if !reflect.DeepEqual(eff.Partition(w).Groups, naive.Partition(w).Groups) {
+				t.Fatalf("trial %d w=%d: efficient %v != naive %v (trace %v)",
+					trial, w, eff.Partition(w).Groups, naive.Partition(w).Groups, syms)
+			}
+		}
+	}
+}
+
+func TestStronglyAffineBlocksGroupEarly(t *testing.T) {
+	// A and B always appear back to back; C appears far away.
+	syms := []int32{0, 1, 2, 2, 2, 0, 1, 2, 2, 0, 1}
+	// Trimmed: 0 1 2 0 1 2 0 1. fp<0,1> = 2 always.
+	h := BuildHierarchy(trace.New(syms), Options{WMax: 4})
+	p2 := h.Partition(2).Groups
+	found := false
+	for _, g := range p2 {
+		if len(g) == 2 && g[0] == 0 && g[1] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("w=2 partition %v does not pair the always-adjacent blocks 0,1", p2)
+	}
+}
+
+func TestSingleSymbolAndEmptyTraces(t *testing.T) {
+	h := BuildHierarchy(trace.New([]int32{7, 7, 7}), Options{WMax: 3})
+	if got := h.Sequence(); !reflect.DeepEqual(got, []int32{7}) {
+		t.Errorf("single-symbol sequence = %v, want [7]", got)
+	}
+	h = BuildHierarchy(trace.New(nil), Options{WMax: 3})
+	if got := h.Sequence(); len(got) != 0 {
+		t.Errorf("empty trace sequence = %v, want empty", got)
+	}
+}
+
+func TestUntrimmedInputIsTrimmedInternally(t *testing.T) {
+	// Duplicated consecutive accesses must not change the analysis
+	// (Definition 1 analyses trimmed traces).
+	base := fig1Trace()
+	dup := make([]int32, 0, base.Len()*3)
+	for _, s := range base.Syms {
+		dup = append(dup, s, s, s)
+	}
+	a := BuildHierarchy(base, Options{WMax: 5})
+	b := BuildHierarchy(trace.New(dup), Options{WMax: 5})
+	for w := 1; w <= 5; w++ {
+		if !reflect.DeepEqual(a.Partition(w).Groups, b.Partition(w).Groups) {
+			t.Fatalf("w=%d: trimmed vs untrimmed partitions differ", w)
+		}
+	}
+}
+
+func TestDefaultWMax(t *testing.T) {
+	h := BuildHierarchy(fig1Trace(), Options{})
+	if h.WMax() != DefaultWMax {
+		t.Errorf("WMax = %d, want %d", h.WMax(), DefaultWMax)
+	}
+}
+
+func BenchmarkBuildHierarchy(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	syms := make([]int32, 100000)
+	for i := range syms {
+		// Phased trace: locality structure similar to real programs.
+		phase := (i / 5000) % 8
+		syms[i] = int32(phase*12 + rng.Intn(12))
+	}
+	tr := trace.New(syms)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildHierarchy(tr, Options{})
+	}
+}

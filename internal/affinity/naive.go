@@ -1,0 +1,85 @@
+package affinity
+
+import (
+	"codelayout/internal/trace"
+)
+
+// BuildHierarchyNaive constructs the hierarchy straight from the
+// definitions, as Algorithm 1 does: for each w, pairwise w-window
+// affinity is decided by enumerating the occurrences of each pair and
+// measuring window footprints directly. Quadratic in the trace length;
+// used to validate BuildHierarchy and to reproduce the paper's Figure 1
+// example exactly.
+func BuildHierarchyNaive(t *trace.Trace, opt Options) *Hierarchy {
+	wmax := opt.WMax
+	if wmax <= 0 {
+		wmax = DefaultWMax
+	}
+	tt := t.Trimmed()
+	h := newHierarchyShell(tt, wmax)
+	if len(tt.Syms) == 0 {
+		return h
+	}
+	buildLevels(h, wmax, pairMinWindows(tt.Syms))
+	return h
+}
+
+// pairMinWindows returns, for every symbol pair, the smallest w at which
+// the pair has w-window affinity: the maximum over all occurrences (of
+// either symbol) of the minimum footprint of a window joining that
+// occurrence to some occurrence of the other symbol.
+func pairMinWindows(syms []int32) map[int64]int {
+	n := len(syms)
+	// For each occurrence position i and symbol y, bestTo(i, y) is the
+	// minimal footprint over windows from position i to any occurrence
+	// of y. Scanning outward from i while tracking distinct symbols
+	// yields it in O(n) per occurrence.
+	minW := make(map[int64]int)
+	for i := 0; i < n; i++ {
+		x := syms[i]
+		// best[y] = minimal window footprint from occurrence i to y.
+		best := make(map[int32]int)
+		// Scan right.
+		seen := map[int32]struct{}{x: {}}
+		fp := 1
+		for j := i + 1; j < n; j++ {
+			s := syms[j]
+			if _, ok := seen[s]; !ok {
+				seen[s] = struct{}{}
+				fp++
+			}
+			if b, ok := best[s]; !ok || fp < b {
+				best[s] = fp
+			}
+		}
+		// Scan left.
+		seen = map[int32]struct{}{x: {}}
+		fp = 1
+		for j := i - 1; j >= 0; j-- {
+			s := syms[j]
+			if _, ok := seen[s]; !ok {
+				seen[s] = struct{}{}
+				fp++
+			}
+			if b, ok := best[s]; !ok || fp < b {
+				best[s] = fp
+			}
+		}
+		// Fold this occurrence's requirement into each pair: the pair's
+		// window must cover the worst occurrence.
+		for y, b := range best {
+			if y == x {
+				continue
+			}
+			k := pairKey(x, y)
+			if cur, ok := minW[k]; !ok || b > cur {
+				minW[k] = b
+			}
+		}
+	}
+	// Every occurrence can reach every other symbol through some window
+	// (at worst the whole trace), so minW holds an entry for every pair
+	// of co-occurring symbols and the max-fold above already encodes the
+	// "every occurrence" quantifier of Definition 3.
+	return minW
+}

@@ -1,0 +1,81 @@
+package cachesim
+
+import (
+	"codelayout/internal/layout"
+)
+
+// This file implements the paper's Pin-style instruction cache
+// simulation: address streams replayed through a plain LRU cache, with
+// co-run modeled by interleaving the two hyper-threads' fetch streams.
+// No timing, no prefetching — exactly the idealized "simulated" numbers
+// of Table II.
+
+// SoloResult summarizes one solo simulation.
+type SoloResult struct {
+	Stats Stats
+	// Blocks is the number of block occurrences replayed.
+	Blocks int64
+}
+
+// SimulateSolo replays one program's fetch stream through a private
+// instruction cache.
+func SimulateSolo(cfg Config, r *layout.Replayer) SoloResult {
+	c := New(cfg)
+	var res SoloResult
+	for {
+		_, ok := r.Next(func(line int64) {
+			c.Access(line, &res.Stats)
+		})
+		if !ok {
+			return res
+		}
+		res.Blocks++
+	}
+}
+
+// PeerLineOffset separates the two co-run processes' address spaces: the
+// peer's lines are shifted by the equivalent of 4 GB so that identical
+// binaries do not share cache lines (two processes never share code
+// pages in the physically indexed cache). The offset is a multiple of
+// every power-of-two set count, so set mapping within each program is
+// unchanged.
+const PeerLineOffset int64 = 1 << 26
+
+// CorunResult summarizes a shared-cache co-run simulation of two
+// threads.
+type CorunResult struct {
+	// PerThread holds each thread's demand statistics against the
+	// shared cache.
+	PerThread [2]Stats
+	// Blocks counts block occurrences replayed per thread.
+	Blocks [2]int64
+	// PeerLaps is how many times the wrapping peer (thread 1) restarted
+	// its trace before the primary (thread 0) finished.
+	PeerLaps int
+}
+
+// SimulateCorun interleaves the two replayers' fetch streams through one
+// shared instruction cache, one block occurrence per thread per turn
+// (SMT round-robin fetch at block granularity). The simulation ends when
+// the primary replayer (index 0) exhausts its trace; the peer is
+// expected to be wrapping so it keeps producing interference throughout.
+func SimulateCorun(cfg Config, primary, peer *layout.Replayer) CorunResult {
+	c := New(cfg)
+	var res CorunResult
+	for {
+		_, ok := primary.Next(func(line int64) {
+			c.Access(line, &res.PerThread[0])
+		})
+		if !ok {
+			break
+		}
+		res.Blocks[0]++
+		if _, ok := peer.Next(func(line int64) {
+			c.Access(line+PeerLineOffset, &res.PerThread[1])
+		}); ok {
+			res.Blocks[1]++
+		}
+	}
+	res.PeerLaps = peer.Laps()
+	return res
+}

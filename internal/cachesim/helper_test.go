@@ -1,0 +1,17 @@
+package cachesim
+
+import (
+	"codelayout/internal/interp"
+	"codelayout/internal/ir"
+	"codelayout/internal/trace"
+)
+
+// interpRun executes p with the fixed test seed and returns its block
+// trace.
+func interpRun(p *ir.Program) (*trace.Trace, error) {
+	res, err := interp.Run(p, interp.Options{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	return res.Blocks, nil
+}

@@ -1,0 +1,226 @@
+// Package callgraph implements the classic call-graph-based function
+// ordering of Pettis & Hansen ("Profile guided code positioning", PLDI
+// 1990) as a comparison baseline for the paper's trace-based models.
+//
+// The paper's related work situates reference affinity and TRG against
+// the procedure-placement tradition; Pettis-Hansen is that tradition's
+// canonical representative: build a dynamic weighted call graph, then
+// repeatedly merge the two nodes joined by the heaviest edge, keeping
+// merged chains in caller-callee order. Unlike the affinity and TRG
+// models, it only sees call pairs — no windowed co-occurrence — which is
+// exactly the contrast the evaluation's comparison experiment
+// (experiments.Comparison) quantifies.
+package callgraph
+
+import (
+	"container/heap"
+	"sort"
+
+	"codelayout/internal/ir"
+	"codelayout/internal/trace"
+)
+
+// Graph is a weighted dynamic call graph: edge (caller, callee) counts
+// observed calls.
+type Graph struct {
+	weights map[int64]int64
+	nodes   []int32
+	seen    map[int32]bool
+}
+
+// NewGraph returns an empty call graph.
+func NewGraph() *Graph {
+	return &Graph{weights: make(map[int64]int64), seen: make(map[int32]bool)}
+}
+
+func pairKey(a, b int32) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	return int64(a)<<32 | int64(int32(b))&0xffffffff
+}
+
+// AddNode registers a function even if it never calls or is called.
+func (g *Graph) AddNode(f int32) {
+	if !g.seen[f] {
+		g.seen[f] = true
+		g.nodes = append(g.nodes, f)
+	}
+}
+
+// AddCall records one dynamic call from caller to callee. Pettis-Hansen
+// treats the graph as undirected for placement purposes.
+func (g *Graph) AddCall(caller, callee int32) {
+	if caller == callee {
+		return
+	}
+	g.AddNode(caller)
+	g.AddNode(callee)
+	g.weights[pairKey(caller, callee)]++
+}
+
+// Weight returns the call count between two functions.
+func (g *Graph) Weight(a, b int32) int64 { return g.weights[pairKey(a, b)] }
+
+// Nodes returns the registered functions in first-seen order.
+func (g *Graph) Nodes() []int32 { return g.nodes }
+
+// Build constructs the dynamic call graph of a program run from its
+// basic-block trace: a call is observed whenever a block ending in an
+// ir.Call is followed by the callee's entry block.
+func Build(p *ir.Program, blocks *trace.Trace) *Graph {
+	g := NewGraph()
+	for _, f := range p.Funcs {
+		g.AddNode(int32(f.ID))
+	}
+	syms := blocks.Syms
+	for i := 0; i+1 < len(syms); i++ {
+		blk := p.Blocks[syms[i]]
+		call, ok := blk.Term.(ir.Call)
+		if !ok {
+			continue
+		}
+		next := p.Blocks[syms[i+1]]
+		if next.Fn == call.Callee && p.Entry(call.Callee) == next.ID {
+			g.AddCall(int32(blk.Fn), int32(call.Callee))
+		}
+	}
+	return g
+}
+
+// chain is a merged sequence of functions kept in placement order.
+type chain struct {
+	funcs []int32
+}
+
+// Order runs Pettis-Hansen bottom-up merging and returns the function
+// placement order. Functions never observed in the graph keep their
+// registration order at the end.
+func (g *Graph) Order() []int32 {
+	// chainOf maps a function to its current chain; merging is
+	// union-find-like but keeps explicit member order.
+	chains := make(map[int32]*chain)
+	for _, n := range g.nodes {
+		chains[n] = &chain{funcs: []int32{n}}
+	}
+
+	pq := &edgeHeap{}
+	for k, w := range g.weights {
+		if w > 0 {
+			heap.Push(pq, edge{w: w, a: int32(k >> 32), b: int32(k & 0xffffffff)})
+		}
+	}
+
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(edge)
+		ca, cb := chains[e.a], chains[e.b]
+		if ca == cb {
+			continue
+		}
+		// Pettis-Hansen joins the chains at their closest ends; this
+		// implementation appends the lighter chain after the heavier
+		// one, reversing it when the edge endpoints would otherwise be
+		// separated.
+		merged := joinChains(ca, cb, e.a, e.b)
+		for _, f := range merged.funcs {
+			chains[f] = merged
+		}
+	}
+
+	// Emit chains by the first occurrence of any member in node order.
+	emitted := make(map[*chain]bool)
+	out := make([]int32, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		c := chains[n]
+		if emitted[c] {
+			continue
+		}
+		emitted[c] = true
+		out = append(out, c.funcs...)
+	}
+	return out
+}
+
+// joinChains concatenates the chains of a and b so that a and b end up
+// as close as possible: the end of one chain meets the start of the
+// other, reversing sides as needed.
+func joinChains(ca, cb *chain, a, b int32) *chain {
+	// Ensure ca is the longer chain (stable placement of hot spines).
+	if len(cb.funcs) > len(ca.funcs) {
+		ca, cb = cb, ca
+		a, b = b, a
+	}
+	aAtEnd := ca.funcs[len(ca.funcs)-1] == a
+	bAtStart := cb.funcs[0] == b
+	var left, right []int32
+	switch {
+	case aAtEnd && bAtStart:
+		left, right = ca.funcs, cb.funcs
+	case aAtEnd && !bAtStart:
+		left, right = ca.funcs, reversed(cb.funcs)
+	case !aAtEnd && bAtStart:
+		// a is at (or near) the start of ca: prepend b's chain reversed.
+		left, right = reversed(cb.funcs), ca.funcs
+	default:
+		left, right = cb.funcs, ca.funcs
+	}
+	out := make([]int32, 0, len(left)+len(right))
+	out = append(out, left...)
+	out = append(out, right...)
+	return &chain{funcs: out}
+}
+
+func reversed(xs []int32) []int32 {
+	out := make([]int32, len(xs))
+	for i, x := range xs {
+		out[len(xs)-1-i] = x
+	}
+	return out
+}
+
+// edge is a weighted call-graph edge.
+type edge struct {
+	w    int64
+	a, b int32
+}
+
+// edgeHeap orders edges by descending weight, tie-breaking by node IDs
+// for determinism.
+type edgeHeap []edge
+
+func (h edgeHeap) Len() int { return len(h) }
+func (h edgeHeap) Less(i, j int) bool {
+	if h[i].w != h[j].w {
+		return h[i].w > h[j].w
+	}
+	ki, kj := pairKey(h[i].a, h[i].b), pairKey(h[j].a, h[j].b)
+	return ki < kj
+}
+func (h edgeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *edgeHeap) Push(x interface{}) { *h = append(*h, x.(edge)) }
+func (h *edgeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Edges returns the edges sorted by descending weight (for diagnostics
+// and tests).
+func (g *Graph) Edges() [][3]int64 {
+	out := make([][3]int64, 0, len(g.weights))
+	for k, w := range g.weights {
+		out = append(out, [3]int64{int64(int32(k >> 32)), int64(int32(k & 0xffffffff)), w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][2] != out[j][2] {
+			return out[i][2] > out[j][2]
+		}
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

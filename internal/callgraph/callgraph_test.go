@@ -1,0 +1,153 @@
+package callgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"codelayout/internal/interp"
+	"codelayout/internal/ir"
+)
+
+func TestAddCallAndWeights(t *testing.T) {
+	g := NewGraph()
+	g.AddCall(0, 1)
+	g.AddCall(0, 1)
+	g.AddCall(1, 0) // undirected: same edge
+	g.AddCall(2, 2) // self calls ignored
+	if w := g.Weight(0, 1); w != 3 {
+		t.Errorf("Weight(0,1) = %d, want 3", w)
+	}
+	if len(g.Nodes()) != 2 {
+		t.Errorf("Nodes = %v", g.Nodes())
+	}
+}
+
+func TestOrderPairsHeaviestCallers(t *testing.T) {
+	g := NewGraph()
+	for _, n := range []int32{0, 1, 2, 3} {
+		g.AddNode(n)
+	}
+	for i := 0; i < 10; i++ {
+		g.AddCall(0, 2)
+	}
+	g.AddCall(1, 3)
+	order := g.Order()
+	pos := make(map[int32]int)
+	for i, f := range order {
+		pos[f] = i
+	}
+	if d := pos[2] - pos[0]; d != 1 && d != -1 {
+		t.Errorf("heaviest pair (0,2) not adjacent in %v", order)
+	}
+	if d := pos[3] - pos[1]; d != 1 && d != -1 {
+		t.Errorf("pair (1,3) not adjacent in %v", order)
+	}
+}
+
+func TestOrderIsPermutation(t *testing.T) {
+	g := NewGraph()
+	rng := rand.New(rand.NewSource(4))
+	for n := int32(0); n < 30; n++ {
+		g.AddNode(n)
+	}
+	for i := 0; i < 500; i++ {
+		g.AddCall(int32(rng.Intn(30)), int32(rng.Intn(30)))
+	}
+	order := g.Order()
+	if len(order) != 30 {
+		t.Fatalf("order has %d entries", len(order))
+	}
+	seen := make(map[int32]bool)
+	for _, f := range order {
+		if seen[f] {
+			t.Fatalf("duplicate %d in %v", f, order)
+		}
+		seen[f] = true
+	}
+}
+
+func TestOrderDeterministic(t *testing.T) {
+	build := func() *Graph {
+		g := NewGraph()
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 300; i++ {
+			g.AddCall(int32(rng.Intn(20)), int32(rng.Intn(20)))
+		}
+		return g
+	}
+	if !reflect.DeepEqual(build().Order(), build().Order()) {
+		t.Error("Order not deterministic")
+	}
+}
+
+func TestIsolatedNodesKeepRegistrationOrder(t *testing.T) {
+	g := NewGraph()
+	g.AddNode(5)
+	g.AddNode(3)
+	g.AddCall(1, 2)
+	order := g.Order()
+	// 5 and 3 have no edges: they stay in registration order.
+	pos := map[int32]int{}
+	for i, f := range order {
+		pos[f] = i
+	}
+	if pos[5] > pos[3] {
+		t.Errorf("isolated nodes reordered: %v", order)
+	}
+}
+
+func TestBuildFromTrace(t *testing.T) {
+	b := ir.NewBuilder("cg", 0)
+	main := b.Func("main")
+	f := b.Func("F")
+	g := b.Func("G")
+	m0 := main.Block("m0", 8)
+	m1 := main.Block("m1", 8)
+	m2 := main.Block("m2", 8)
+	m3 := main.Block("m3", 8)
+	m0.Call(f, m1)
+	m1.Call(g, m2)
+	m2.Call(f, m3)
+	m3.Exit()
+	f.Block("f0", 8).Return()
+	g.Block("g0", 8).Return()
+	p := b.MustBuild()
+
+	res, err := interp.Run(p, interp.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := Build(p, res.Blocks)
+	if w := cg.Weight(0, 1); w != 2 {
+		t.Errorf("main->F weight = %d, want 2", w)
+	}
+	if w := cg.Weight(0, 2); w != 1 {
+		t.Errorf("main->G weight = %d, want 1", w)
+	}
+	edges := cg.Edges()
+	if len(edges) != 2 || edges[0][2] != 2 {
+		t.Errorf("Edges = %v", edges)
+	}
+}
+
+func TestChainJoinKeepsEndpointsClose(t *testing.T) {
+	// Chain (0 1 2) exists; now merge edge (2,3): 3 must attach at the
+	// end where 2 is, not at 0's end.
+	g := NewGraph()
+	g.AddCall(0, 1)
+	g.AddCall(0, 1)
+	g.AddCall(0, 1)
+	g.AddCall(1, 2)
+	g.AddCall(1, 2)
+	g.AddCall(2, 3)
+	order := g.Order()
+	pos := map[int32]int{}
+	for i, f := range order {
+		pos[f] = i
+	}
+	d23 := pos[3] - pos[2]
+	if d23 != 1 && d23 != -1 {
+		t.Errorf("(2,3) not adjacent in %v", order)
+	}
+}

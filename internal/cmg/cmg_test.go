@@ -1,0 +1,86 @@
+package cmg
+
+import (
+	"math/rand"
+	"testing"
+
+	"codelayout/internal/trace"
+	"codelayout/internal/trg"
+)
+
+func TestOneShotInterleavingCarriesNoConflict(t *testing.T) {
+	// A X A with X executed once: the TRG counts the interleaving, but
+	// the worst-case conflict-miss bound is zero misses beyond X's cold
+	// miss — the CMG ignores it.
+	syms := []int32{0, 7, 0}
+	tg := trg.Build(trace.New(syms), 0)
+	cg := Build(trace.New(syms), 0)
+	if tg.Weight(0, 7) != 1 {
+		t.Errorf("TRG weight = %d, want 1", tg.Weight(0, 7))
+	}
+	if cg.Weight(0, 7) != 0 {
+		t.Errorf("CMG weight = %d, want 0 (one-shot interleaving)", cg.Weight(0, 7))
+	}
+}
+
+func TestDirectionChangeCounting(t *testing.T) {
+	// A X A X: one completed alternation — 2 worst-case misses.
+	g := Build(trace.New([]int32{0, 7, 0, 7}), 0)
+	if w := g.Weight(0, 7); w != 2 {
+		t.Errorf("Weight = %d, want 2", w)
+	}
+	// A X A X A: two completed alternations.
+	g = Build(trace.New([]int32{0, 7, 0, 7, 0}), 0)
+	if w := g.Weight(0, 7); w != 4 {
+		t.Errorf("Weight = %d, want 4", w)
+	}
+	// 0 7 0 2 0 2 0: the (0,7) pair never alternates back; the (0,2)
+	// pair completes two alternations.
+	g = Build(trace.New([]int32{0, 7, 0, 2, 0, 2, 0}), 0)
+	if w := g.Weight(0, 7); w != 0 {
+		t.Errorf("one-sided weight = %d, want 0", w)
+	}
+	if w := g.Weight(0, 2); w != 4 {
+		t.Errorf("alternating weight = %d, want 4", w)
+	}
+}
+
+func TestWindowBound(t *testing.T) {
+	// 0 and 3 alternate twice; the blocks in between ensure the window
+	// bound matters.
+	syms := []int32{0, 1, 3, 2, 0, 4, 3, 5, 0}
+	unbounded := Build(trace.New(syms), 0)
+	if unbounded.Weight(0, 3) == 0 {
+		t.Error("unbounded CMG missed the alternation")
+	}
+	bounded := Build(trace.New(syms), 3)
+	if bounded.Weight(0, 3) != 0 {
+		t.Errorf("bounded CMG counted outside the window: %d", bounded.Weight(0, 3))
+	}
+}
+
+func TestSequenceIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	syms := make([]int32, 4000)
+	for i := range syms {
+		syms[i] = int32(rng.Intn(40))
+	}
+	seq := Sequence(trace.New(syms), trg.DefaultParams(512))
+	seen := make(map[int32]bool)
+	for _, s := range seq {
+		if seen[s] {
+			t.Fatalf("duplicate %d", s)
+		}
+		seen[s] = true
+	}
+	if len(seq) != 40 {
+		t.Errorf("sequence covers %d blocks, want 40", len(seq))
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	g := Build(trace.New(nil), 0)
+	if g.NumEdges() != 0 || len(g.Nodes()) != 0 {
+		t.Error("empty trace produced a non-empty graph")
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"codelayout/internal/cachesim"
+	"codelayout/internal/layout"
+	"codelayout/internal/progen"
+)
+
+func profileNamed(t testing.TB, name string) *Profile {
+	t.Helper()
+	p, err := LoadProgram(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ProfileProgram(p, TrainSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func TestOptimizerNames(t *testing.T) {
+	want := map[string]bool{
+		"func-affinity": true, "bb-affinity": true,
+		"func-trg": true, "bb-trg": true,
+	}
+	for _, o := range AllOptimizers() {
+		if !want[o.Name()] {
+			t.Errorf("unexpected optimizer name %q", o.Name())
+		}
+		delete(want, o.Name())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing optimizers: %v", want)
+	}
+}
+
+func TestAllOptimizersProduceValidLayouts(t *testing.T) {
+	prof := profileNamed(t, "458.sjeng")
+	for _, o := range AllOptimizers() {
+		l, rep, err := o.Optimize(prof)
+		if err != nil {
+			t.Errorf("%s: %v", o.Name(), err)
+			continue
+		}
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: invalid layout: %v", o.Name(), err)
+		}
+		if rep.SeqLen == 0 {
+			t.Errorf("%s: empty model sequence", o.Name())
+		}
+		if rep.TraceLen == 0 || rep.Retention <= 0 || rep.Retention > 1 {
+			t.Errorf("%s: bad report %+v", o.Name(), rep)
+		}
+		wantStubs := o.Gran == GranBasicBlock
+		if l.HasStubs() != wantStubs {
+			t.Errorf("%s: HasStubs = %v, want %v", o.Name(), l.HasStubs(), wantStubs)
+		}
+	}
+}
+
+// evalMiss replays the evaluation-input trace through a layout and
+// returns the simulated solo I-cache miss ratio.
+func evalMiss(t testing.TB, prof *Profile, l *layout.Layout) float64 {
+	t.Helper()
+	evalProf, err := ProfileProgram(prof.Prog, EvalSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cachesim.SimulateSolo(cachesim.L1IDefault,
+		layout.NewReplayer(l, evalProf.Blocks, cachesim.L1IDefault.LineBytes, false))
+	return res.Stats.MissRatio()
+}
+
+func TestBBAffinityReducesMisses(t *testing.T) {
+	prof := profileNamed(t, "445.gobmk")
+	base := evalMiss(t, prof, layout.Original(prof.Prog))
+	l, _, err := BBAffinity().Optimize(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := evalMiss(t, prof, l)
+	t.Logf("gobmk solo miss: base=%.3f%% bb-affinity=%.3f%%", 100*base, 100*opt)
+	if opt >= base*0.8 {
+		t.Errorf("bb-affinity reduced misses only from %v to %v (<20%%)", base, opt)
+	}
+}
+
+func TestFuncAffinityReducesMisses(t *testing.T) {
+	prof := profileNamed(t, "445.gobmk")
+	base := evalMiss(t, prof, layout.Original(prof.Prog))
+	l, _, err := FuncAffinity().Optimize(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := evalMiss(t, prof, l)
+	t.Logf("gobmk solo miss: base=%.3f%% func-affinity=%.3f%%", 100*base, 100*opt)
+	if opt >= base {
+		t.Errorf("func-affinity did not reduce misses: %v -> %v", base, opt)
+	}
+}
+
+func TestOptimizeRejectsNilProfile(t *testing.T) {
+	if _, _, err := BBAffinity().Optimize(nil); err == nil {
+		t.Error("nil profile accepted")
+	}
+}
+
+func TestProfileUsesSeed(t *testing.T) {
+	p, err := LoadProgram("429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ProfileProgram(p, TrainSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ProfileProgram(p, EvalSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Blocks.Len() == 0 || b.Blocks.Len() == 0 {
+		t.Fatal("empty profiles")
+	}
+	same := a.Blocks.Len() == b.Blocks.Len()
+	if same {
+		for i := range a.Blocks.Syms {
+			if a.Blocks.Syms[i] != b.Blocks.Syms[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("train and eval inputs produced identical traces")
+	}
+}
+
+func TestLoadProgramUnknown(t *testing.T) {
+	if _, err := LoadProgram("no.such"); err == nil {
+		t.Error("unknown program accepted")
+	}
+}
+
+func TestPruningBoundsAlphabet(t *testing.T) {
+	prof := profileNamed(t, "458.sjeng")
+	o := BBAffinity()
+	o.PruneTopN = 50
+	l, rep, err := o.Optimize(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SeqLen > 50 {
+		t.Errorf("SeqLen = %d with PruneTopN=50", rep.SeqLen)
+	}
+	if rep.Retention >= 1 {
+		t.Errorf("Retention = %v, want < 1 with tight pruning", rep.Retention)
+	}
+	// Layout still covers the whole program (unprofiled blocks appended).
+	if err := l.Validate(); err != nil {
+		t.Errorf("pruned layout invalid: %v", err)
+	}
+}
+
+var _ = progen.MainSuiteNames // keep the import for documentation parity

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"codelayout/internal/cachesim"
+	"codelayout/internal/layout"
+	"codelayout/internal/progen"
+)
+
+// randomSpec draws a small but structurally varied program spec.
+func randomSpec(rng *rand.Rand, i int) progen.Spec {
+	funcs := 6 + rng.Intn(20)
+	fpp := 2 + rng.Intn(funcs/2+1)
+	phases := 1 + rng.Intn(3)
+	return progen.Spec{
+		Name:           "prop",
+		Seed:           rng.Int63(),
+		Funcs:          funcs,
+		HotChain:       [2]int{1 + rng.Intn(4), 5 + rng.Intn(10)},
+		HotBytes:       [2]int{8 + rng.Intn(32), 48 + rng.Intn(64)},
+		ColdBytes:      [2]int{8 + rng.Intn(32), 48 + rng.Intn(64)},
+		ColdProb:       rng.Float64() * 0.2,
+		InnerTrips:     [2]int{1 + rng.Intn(4), 5 + rng.Intn(10)},
+		Phases:         phases,
+		FuncsPerPhase:  fpp,
+		PhaseLoops:     1 + rng.Intn(8),
+		CallsPerLoop:   1 + rng.Intn(2*fpp),
+		CorrelatedFrac: rng.Float64(),
+		Helpers:        rng.Intn(4),
+		HelperProb:     rng.Float64() * 0.1,
+		DataCPI:        rng.Float64() * 0.5,
+	}
+}
+
+// TestRandomProgramsFullPipeline is the repository's end-to-end property
+// test: for randomized program structures, every optimizer must produce
+// a valid layout, and replaying the evaluation trace through any layout
+// must fetch at least the blocks' own bytes and exactly the same block
+// sequence semantics (the trace is layout-independent by construction,
+// so only addresses may differ).
+func TestRandomProgramsFullPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(20140814)) // ICPP 2014's year, why not
+	for i := 0; i < 12; i++ {
+		spec := randomSpec(rng, i)
+		p, err := progen.Generate(spec)
+		if err != nil {
+			t.Fatalf("case %d: generate: %v (spec %+v)", i, err, spec)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("case %d: invalid program: %v", i, err)
+		}
+		prof, err := ProfileProgram(p, TrainSeed)
+		if err != nil {
+			t.Fatalf("case %d: profile: %v", i, err)
+		}
+		var execBytes int64
+		for _, s := range prof.Blocks.Syms {
+			execBytes += int64(p.Blocks[s].Size)
+		}
+		for _, o := range AllWithBaselines() {
+			l, rep, err := o.Optimize(prof)
+			if err != nil {
+				t.Fatalf("case %d %s: %v", i, o.Name(), err)
+			}
+			if err := l.Validate(); err != nil {
+				t.Fatalf("case %d %s: invalid layout: %v", i, o.Name(), err)
+			}
+			if rep.SeqLen <= 0 {
+				t.Fatalf("case %d %s: empty sequence", i, o.Name())
+			}
+			r := layout.NewReplayer(l, prof.Blocks, 64, false)
+			var fetched int64
+			var blocks int64
+			for {
+				n, ok := r.Next(func(int64) {})
+				if !ok {
+					break
+				}
+				fetched += int64(n)
+				blocks++
+			}
+			if blocks != int64(prof.Blocks.Len()) {
+				t.Fatalf("case %d %s: replayed %d blocks, want %d", i, o.Name(), blocks, prof.Blocks.Len())
+			}
+			if fetched < execBytes {
+				t.Fatalf("case %d %s: fetched %d bytes < executed %d", i, o.Name(), fetched, execBytes)
+			}
+			// Layout overhead is bounded: stubs + one jump per block.
+			maxOverhead := execBytes + int64(prof.Blocks.Len()+p.NumFuncs())*layout.JumpBytes
+			if fetched > maxOverhead {
+				t.Fatalf("case %d %s: fetched %d bytes > bound %d", i, o.Name(), fetched, maxOverhead)
+			}
+		}
+	}
+}
+
+// TestRandomProgramsSimulatorAgreement checks a cross-model invariant
+// on random programs: the simulated miss count of any layout is bounded
+// below by the number of distinct lines (cold misses) and above by the
+// number of accesses.
+func TestRandomProgramsSimulatorAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 6; i++ {
+		spec := randomSpec(rng, i)
+		p, err := progen.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := ProfileProgram(p, EvalSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, build := range []func() *layout.Layout{
+			func() *layout.Layout { return layout.Original(p) },
+			func() *layout.Layout {
+				l, _, err := BBAffinity().Optimize(prof)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return l
+			},
+		} {
+			l := build()
+			res := cachesim.SimulateSolo(cachesim.L1IDefault,
+				layout.NewReplayer(l, prof.Blocks, 64, false))
+			distinct := countDistinctLines(l, prof)
+			if res.Stats.Misses < int64(distinct) {
+				t.Fatalf("case %d: misses %d < cold lines %d", i, res.Stats.Misses, distinct)
+			}
+			if res.Stats.Misses > res.Stats.Accesses {
+				t.Fatalf("case %d: misses exceed accesses", i)
+			}
+		}
+	}
+}
+
+func countDistinctLines(l *layout.Layout, prof *Profile) int {
+	lines := make(map[int64]struct{})
+	r := layout.NewReplayer(l, prof.Blocks, 64, false)
+	for {
+		if _, ok := r.Next(func(ln int64) { lines[ln] = struct{}{} }); !ok {
+			break
+		}
+	}
+	return len(lines)
+}

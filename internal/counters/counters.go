@@ -1,0 +1,78 @@
+// Package counters is the PAPI-style hardware-counter facade of the
+// evaluation: the paper "use[s] PAPI libraries to measure the
+// instruction cache miss ratios using hardware performance counters".
+// Here the counters read out of the cpu package's core model, exposing
+// the familiar event names so the experiment harness reads like the
+// paper's methodology.
+package counters
+
+import (
+	"fmt"
+
+	"codelayout/internal/cpu"
+)
+
+// PAPI-style event names.
+const (
+	TotIns = "PAPI_TOT_INS" // instructions completed
+	TotCyc = "PAPI_TOT_CYC" // total cycles
+	L1ICA  = "PAPI_L1_ICA"  // L1 instruction cache accesses
+	L1ICM  = "PAPI_L1_ICM"  // L1 instruction cache misses
+	L2ICA  = "PAPI_L2_ICA"  // L2 accesses from instruction fetch
+	L2ICM  = "PAPI_L2_ICM"  // L2 misses from instruction fetch
+	StlIcy = "PAPI_STL_ICY" // cycles with no instruction issue (stalls)
+)
+
+// Set is one thread's counter readout.
+type Set struct {
+	values map[string]int64
+}
+
+// FromThread captures the counters of one simulated hardware thread.
+func FromThread(r cpu.ThreadResult) *Set {
+	return &Set{values: map[string]int64{
+		TotIns: r.Instrs,
+		TotCyc: r.Cycles,
+		L1ICA:  r.L1I.Accesses,
+		L1ICM:  r.L1I.Misses,
+		L2ICA:  r.L2.Accesses,
+		L2ICM:  r.L2.Misses,
+		StlIcy: r.FetchStallCycles + r.DataStallCycles,
+	}}
+}
+
+// Read returns the value of a counter.
+func (s *Set) Read(event string) (int64, error) {
+	v, ok := s.values[event]
+	if !ok {
+		return 0, fmt.Errorf("counters: unknown event %q", event)
+	}
+	return v, nil
+}
+
+// MustRead is Read that panics on unknown events; for the harness.
+func (s *Set) MustRead(event string) int64 {
+	v, err := s.Read(event)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// ICacheMissRatio returns L1ICM / L1ICA, the paper's headline metric.
+func (s *Set) ICacheMissRatio() float64 {
+	a := s.values[L1ICA]
+	if a == 0 {
+		return 0
+	}
+	return float64(s.values[L1ICM]) / float64(a)
+}
+
+// CPI returns cycles per instruction.
+func (s *Set) CPI() float64 {
+	i := s.values[TotIns]
+	if i == 0 {
+		return 0
+	}
+	return float64(s.values[TotCyc]) / float64(i)
+}

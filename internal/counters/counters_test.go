@@ -1,0 +1,72 @@
+package counters
+
+import (
+	"testing"
+
+	"codelayout/internal/cachesim"
+	"codelayout/internal/cpu"
+)
+
+func sampleThread() cpu.ThreadResult {
+	return cpu.ThreadResult{
+		Cycles:           2000,
+		Instrs:           1000,
+		FetchStallCycles: 300,
+		DataStallCycles:  200,
+		L1I:              cachesim.Stats{Accesses: 400, Misses: 20},
+		L2:               cachesim.Stats{Accesses: 20, Misses: 5},
+	}
+}
+
+func TestFromThreadEvents(t *testing.T) {
+	s := FromThread(sampleThread())
+	cases := map[string]int64{
+		TotIns: 1000,
+		TotCyc: 2000,
+		L1ICA:  400,
+		L1ICM:  20,
+		L2ICA:  20,
+		L2ICM:  5,
+		StlIcy: 500,
+	}
+	for ev, want := range cases {
+		got, err := s.Read(ev)
+		if err != nil {
+			t.Errorf("Read(%s): %v", ev, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("Read(%s) = %d, want %d", ev, got, want)
+		}
+		if s.MustRead(ev) != want {
+			t.Errorf("MustRead(%s) mismatch", ev)
+		}
+	}
+}
+
+func TestUnknownEvent(t *testing.T) {
+	s := FromThread(sampleThread())
+	if _, err := s.Read("PAPI_NO_SUCH"); err == nil {
+		t.Error("unknown event accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRead did not panic on unknown event")
+		}
+	}()
+	s.MustRead("PAPI_NO_SUCH")
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	s := FromThread(sampleThread())
+	if got, want := s.ICacheMissRatio(), 0.05; got != want {
+		t.Errorf("ICacheMissRatio = %v, want %v", got, want)
+	}
+	if got, want := s.CPI(), 2.0; got != want {
+		t.Errorf("CPI = %v, want %v", got, want)
+	}
+	idle := FromThread(cpu.ThreadResult{})
+	if idle.ICacheMissRatio() != 0 || idle.CPI() != 0 {
+		t.Error("idle thread metrics should be 0")
+	}
+}

@@ -1,0 +1,320 @@
+// Package cpu models the paper's measurement platform: one SMT core with
+// two hardware threads sharing the instruction fetch path, the L1
+// instruction cache and the unified L2 (the Xeon E5520 configuration of
+// §III-A). It executes layout.Replayer fetch streams cycle-accountably:
+//
+//   - issue bandwidth is shared: a lone ready thread issues at 1 IPC,
+//     two ready threads split Params.IssueWidth between them (SMT
+//     round-robin over a slightly superscalar backend);
+//   - cache-miss and data stalls do not consume issue slots, so the
+//     co-running thread runs faster while its peer stalls — which is
+//     precisely why hyper-threading improves throughput (Figure 7a) and
+//     why reducing instruction misses magnifies that benefit
+//     (Figure 7b);
+//   - a next-line prefetcher (enabled on the "hardware" path only)
+//     reproduces the paper's observation that hardware-counted miss
+//     reductions are smaller than Pin-simulated ones.
+//
+// The data side of each program is summarized by ir.Program.DataCPI
+// (stall cycles per instruction), since SPEC CPU programs are data
+// intensive but this reproduction only models the instruction side in
+// detail; see DESIGN.md §2.
+package cpu
+
+import (
+	"codelayout/internal/cachesim"
+	"codelayout/internal/layout"
+)
+
+// Params configures the core model.
+type Params struct {
+	L1I cachesim.Config
+	L2  cachesim.Config
+	// L2HitLatency is the stall for an L1I miss that hits in L2.
+	L2HitLatency int64
+	// MemLatency is the stall for a miss in both levels.
+	MemLatency int64
+	// BytesPerInstr converts fetched bytes to instruction counts.
+	BytesPerInstr int
+	// PrefetchDegree is the number of sequential lines prefetched into
+	// L1I after a demand miss; 0 disables prefetching.
+	PrefetchDegree int
+	// IssueWidth is the core's total issue bandwidth in instructions
+	// per cycle. A single thread issues at most 1 IPC (the front end
+	// feeds one stream at a time), so values between 1 and 2 control
+	// how much two ready threads compete: at 1.0 they strictly split
+	// the pipeline, at 2.0 they never compete. Real SMT cores sit in
+	// between; 0 means the default of 1.1.
+	IssueWidth float64
+	// PeerStartSkew delays the second thread's start by the given
+	// number of cycles. Two deterministic copies of the same binary
+	// would otherwise run in perfect lockstep and stall simultaneously,
+	// an artifact no real machine exhibits; a small odd skew breaks the
+	// symmetry. 0 means the default of 997.
+	PeerStartSkew int64
+}
+
+// DefaultParams returns the evaluation configuration: 32 KB/4-way L1I,
+// 256 KB/8-way L2, 20-cycle L2 hit, 200-cycle memory, 4-byte
+// instructions, next-line prefetching on.
+func DefaultParams() Params {
+	return Params{
+		L1I:            cachesim.L1IDefault,
+		L2:             cachesim.L2Default,
+		L2HitLatency:   20,
+		MemLatency:     200,
+		BytesPerInstr:  4,
+		PrefetchDegree: 1,
+		IssueWidth:     1.1,
+		PeerStartSkew:  997,
+	}
+}
+
+// sharedRate returns the per-thread issue rate when both threads are
+// ready.
+func (p Params) sharedRate() float64 {
+	w := p.IssueWidth
+	if w <= 0 {
+		w = 1.1
+	}
+	r := w / 2
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// ThreadSpec is one hardware thread's workload.
+type ThreadSpec struct {
+	Replayer *layout.Replayer
+	// DataCPI is the thread's data-side stall contribution in cycles
+	// per instruction (hidden by the peer thread under SMT).
+	DataCPI float64
+}
+
+// ThreadResult reports one thread's execution.
+type ThreadResult struct {
+	// Cycles is the thread's completion time (its own trace finished).
+	Cycles int64
+	// Instrs is the number of instructions issued.
+	Instrs int64
+	// Blocks is the number of block occurrences executed.
+	Blocks int64
+	// FetchStallCycles are cycles lost to instruction-cache misses.
+	FetchStallCycles int64
+	// DataStallCycles are cycles lost to the modeled data side.
+	DataStallCycles int64
+	// L1I and L2 are the thread's demand statistics at each level.
+	L1I cachesim.Stats
+	L2  cachesim.Stats
+}
+
+// IPC returns instructions per cycle.
+func (r ThreadResult) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instrs) / float64(r.Cycles)
+}
+
+// Result reports a whole run.
+type Result struct {
+	Threads []ThreadResult
+	// MakespanCycles is the completion time of the last thread (equals
+	// Threads[0].Cycles in wrap-peer mode, where only the primary runs
+	// to completion).
+	MakespanCycles int64
+}
+
+type threadState struct {
+	spec   ThreadSpec
+	done   bool
+	res    ThreadResult
+	offset int64
+	// stallUntil is the absolute time until which the thread is stalled
+	// (fetch misses + data stalls of the current block).
+	stallUntil float64
+	// remain is the number of instructions of the current block still
+	// to issue.
+	remain float64
+}
+
+// core bundles the shared hardware.
+type core struct {
+	p  Params
+	l1 *cachesim.Cache
+	l2 *cachesim.Cache
+}
+
+// RunSolo executes one thread alone on the core.
+func RunSolo(p Params, spec ThreadSpec) ThreadResult {
+	res := run(p, []ThreadSpec{spec}, false)
+	return res.Threads[0]
+}
+
+// RunCorun executes two threads on the SMT core until both complete
+// their traces once; a thread finishing early leaves the other to run
+// alone (the methodology behind the throughput measurements of
+// Figure 7).
+func RunCorun(p Params, a, b ThreadSpec) Result {
+	return run(p, []ThreadSpec{a, b}, false)
+}
+
+// RunCorunTimed executes the primary thread to completion while the
+// peer (whose replayer must be wrapping) provides continuous
+// interference — the methodology behind the per-program co-run speedups
+// of Table II and Figure 6.
+func RunCorunTimed(p Params, primary, peer ThreadSpec) Result {
+	return run(p, []ThreadSpec{primary, peer}, true)
+}
+
+// run is an exact event sweep of the two-thread SMT issue model: at any
+// instant a lone ready thread issues at rate 1 instruction/cycle, and
+// two ready threads each issue at Params.sharedRate (round-robin over
+// the shared backend). Stalled threads issue nothing, so reducing a
+// thread's stalls directly increases its issue share — the mechanism
+// behind both the hyper-threading throughput gain and the co-run
+// speedups of the optimized binaries.
+func run(p Params, specs []ThreadSpec, stopWithPrimary bool) Result {
+	c := &core{p: p, l1: cachesim.New(p.L1I), l2: cachesim.New(p.L2)}
+	threads := make([]*threadState, len(specs))
+	now := 0.0
+	skew := p.PeerStartSkew
+	if skew == 0 {
+		skew = 997
+	}
+	for i, s := range specs {
+		threads[i] = &threadState{spec: s}
+		if i > 0 {
+			threads[i].offset = cachesim.PeerLineOffset * int64(i)
+		}
+		if !c.loadBlock(threads[i], now) {
+			threads[i].done = true
+			threads[i].res.Cycles = 0
+			continue
+		}
+		// Stagger thread starts so identical binaries do not run in
+		// deterministic lockstep.
+		threads[i].stallUntil += float64(int64(i) * skew)
+	}
+
+	for {
+		if stopWithPrimary && threads[0].done {
+			break
+		}
+		// Classify threads at the current instant.
+		var ready []*threadState
+		minWake := -1.0
+		anyLive := false
+		for _, t := range threads {
+			if t.done {
+				continue
+			}
+			anyLive = true
+			if t.stallUntil > now {
+				if minWake < 0 || t.stallUntil < minWake {
+					minWake = t.stallUntil
+				}
+				continue
+			}
+			ready = append(ready, t)
+		}
+		if !anyLive {
+			break
+		}
+		if len(ready) == 0 {
+			now = minWake
+			continue
+		}
+
+		// Advance until the first boundary: a ready thread finishing its
+		// block, or a stalled thread waking up (which changes the rate).
+		rate := 1.0
+		if len(ready) == 2 {
+			rate = p.sharedRate()
+		}
+		dt := -1.0
+		for _, t := range ready {
+			if d := t.remain / rate; dt < 0 || d < dt {
+				dt = d
+			}
+		}
+		if minWake >= 0 {
+			// A stalled thread waking up changes the issue rate.
+			if d := minWake - now; d < dt {
+				dt = d
+			}
+		}
+		now += dt
+		for _, t := range ready {
+			t.remain -= dt * rate
+			if t.remain <= 1e-9 {
+				t.remain = 0
+				if !c.loadBlock(t, now) {
+					t.done = true
+					t.res.Cycles = int64(now + 0.5)
+				}
+			}
+		}
+	}
+
+	out := Result{Threads: make([]ThreadResult, len(threads))}
+	for i, t := range threads {
+		if !t.done {
+			// Wrapping peers never complete; report progress so far.
+			t.res.Cycles = int64(now + 0.5)
+		}
+		out.Threads[i] = t.res
+		if t.res.Cycles > out.MakespanCycles && (!stopWithPrimary || i == 0) {
+			out.MakespanCycles = t.res.Cycles
+		}
+	}
+	return out
+}
+
+// loadBlock fetches t's next block at the given time: it performs the
+// block's cache accesses, charges fetch and data stalls, and arms the
+// issue segment. It returns false when the trace is exhausted.
+func (c *core) loadBlock(t *threadState, now float64) bool {
+	var fetchStall int64
+	bytes, ok := t.spec.Replayer.Next(func(line int64) {
+		fetchStall += c.fetch(line+t.offset, t)
+	})
+	if !ok {
+		return false
+	}
+	t.res.Blocks++
+	instrs := int64((int(bytes) + c.p.BytesPerInstr - 1) / c.p.BytesPerInstr)
+	t.res.Instrs += instrs
+
+	dataStall := float64(instrs) * t.spec.DataCPI
+	t.res.FetchStallCycles += fetchStall
+	t.res.DataStallCycles += int64(dataStall)
+
+	t.stallUntil = now + float64(fetchStall) + dataStall
+	t.remain = float64(instrs)
+	return true
+}
+
+// fetch performs a demand instruction fetch of one line through the
+// hierarchy and returns the stall cycles.
+func (c *core) fetch(line int64, t *threadState) int64 {
+	if c.l1.Access(line, &t.res.L1I) {
+		return 0
+	}
+	var stall int64
+	if c.l2.Access(line, &t.res.L2) {
+		stall = c.p.L2HitLatency
+	} else {
+		stall = c.p.MemLatency
+	}
+	// Next-line prefetch into L1I (through L2, silently).
+	for d := 1; d <= c.p.PrefetchDegree; d++ {
+		pl := line + int64(d)
+		if !c.l1.Contains(pl) {
+			c.l2.Access(pl, &t.res.L2)
+			c.l1.Prefetch(pl, &t.res.L1I)
+		}
+	}
+	return stall
+}

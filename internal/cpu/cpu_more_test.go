@@ -1,0 +1,68 @@
+package cpu
+
+import (
+	"testing"
+
+	"codelayout/internal/layout"
+)
+
+func TestIssueWidthMonotone(t *testing.T) {
+	// More issue width can only speed up a co-run (weakly).
+	pa := loopProgram(t, 64, 64, 200, 0.2)
+	pb := loopProgram(t, 64, 64, 200, 0.2)
+	var prev int64 = 1 << 62
+	for _, width := range []float64{1.0, 1.2, 1.5, 2.0} {
+		params := DefaultParams()
+		params.IssueWidth = width
+		res := RunCorun(params, spec(t, pa, false), spec(t, pb, false))
+		if res.MakespanCycles > prev {
+			t.Errorf("width %v: makespan %d above narrower width's %d", width, res.MakespanCycles, prev)
+		}
+		prev = res.MakespanCycles
+	}
+}
+
+func TestPeerSkewBreaksLockstep(t *testing.T) {
+	// Two identical copies: with zero skew forced via a tiny value, the
+	// copies stall simultaneously and hide nothing; the default skew
+	// must finish at least as fast.
+	p := loopProgram(t, 600, 64, 60, 0.25)
+	run := func(skew int64) int64 {
+		params := DefaultParams()
+		params.PeerStartSkew = skew
+		res := RunCorun(params, spec(t, p, false), spec(t, p, false))
+		return res.MakespanCycles
+	}
+	if lockstep, skewed := run(1), run(997); skewed > lockstep {
+		t.Errorf("skewed makespan %d worse than near-lockstep %d", skewed, lockstep)
+	}
+}
+
+func TestWrappingPeerReportsProgress(t *testing.T) {
+	long := loopProgram(t, 64, 64, 400, 0.1)
+	short := loopProgram(t, 64, 64, 5, 0.1)
+	res := RunCorunTimed(DefaultParams(), spec(t, long, false), spec(t, short, true))
+	if res.Threads[1].Blocks <= res.Threads[0].Blocks/100 {
+		t.Errorf("wrapping peer barely ran: %d vs %d blocks", res.Threads[1].Blocks, res.Threads[0].Blocks)
+	}
+	if res.Threads[0].Cycles == 0 {
+		t.Error("primary completion time missing")
+	}
+	if got := res.Threads[0].IPC(); got <= 0 || got > 1 {
+		t.Errorf("primary IPC = %v, want in (0,1]", got)
+	}
+}
+
+func TestEmptyTraceThread(t *testing.T) {
+	p := loopProgram(t, 8, 64, 10, 0)
+	empty := layout.NewReplayer(layout.Original(p), emptyTrace(), 64, false)
+	res := RunCorun(DefaultParams(),
+		spec(t, p, false),
+		ThreadSpec{Replayer: empty, DataCPI: 0})
+	if res.Threads[1].Instrs != 0 {
+		t.Error("empty thread executed instructions")
+	}
+	if res.Threads[0].Instrs == 0 {
+		t.Error("non-empty thread starved")
+	}
+}

@@ -1,0 +1,234 @@
+package cpu
+
+import (
+	"testing"
+
+	"codelayout/internal/cachesim"
+	"codelayout/internal/interp"
+	"codelayout/internal/ir"
+	"codelayout/internal/layout"
+	"codelayout/internal/trace"
+)
+
+// loopProgram builds a cyclic loop over `blocks` blocks of `size` bytes,
+// executed `iters` times, with the given data CPI.
+func loopProgram(t testing.TB, blocks int, size int32, iters int32, dataCPI float64) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("loop", 0)
+	b.SetDataCPI(dataCPI)
+	f := b.Func("main")
+	bbs := make([]*ir.BlockBuilder, blocks)
+	for i := range bbs {
+		bbs[i] = f.Block("b", size)
+	}
+	latch := f.Block("latch", 4)
+	exit := f.Block("exit", 4)
+	for i := 0; i < blocks-1; i++ {
+		bbs[i].Jump(bbs[i+1])
+	}
+	bbs[blocks-1].Jump(latch)
+	latch.Loop(iters, bbs[0], exit)
+	exit.Exit()
+	return b.MustBuild()
+}
+
+func traceOf(t testing.TB, p *ir.Program) *trace.Trace {
+	t.Helper()
+	res, err := interp.Run(p, interp.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Blocks
+}
+
+func spec(t testing.TB, p *ir.Program, wrap bool) ThreadSpec {
+	t.Helper()
+	l := layout.Original(p)
+	return ThreadSpec{
+		Replayer: layout.NewReplayer(l, traceOf(t, p), 64, wrap),
+		DataCPI:  p.DataCPI,
+	}
+}
+
+func TestSoloNoStallsMeansCyclesEqualInstrs(t *testing.T) {
+	p := loopProgram(t, 8, 64, 2000, 0)
+	r := RunSolo(DefaultParams(), spec(t, p, false))
+	if r.Instrs == 0 {
+		t.Fatal("no instructions")
+	}
+	// Tiny working set: only a handful of cold misses; cycles must be
+	// dominated by issue.
+	if r.Cycles < r.Instrs {
+		t.Errorf("cycles %d < instrs %d", r.Cycles, r.Instrs)
+	}
+	slack := float64(r.Cycles-r.Instrs) / float64(r.Instrs)
+	if slack > 0.05 {
+		t.Errorf("cycles %d exceed instrs %d by %.1f%%, want < 5%% (cold misses only)",
+			r.Cycles, r.Instrs, slack*100)
+	}
+	if r.DataStallCycles != 0 {
+		t.Errorf("DataCPI=0 but data stalls = %d", r.DataStallCycles)
+	}
+}
+
+func TestSoloDataCPIAddsStalls(t *testing.T) {
+	p := loopProgram(t, 8, 64, 100, 0.5)
+	r := RunSolo(DefaultParams(), spec(t, p, false))
+	want := float64(r.Instrs) * 0.5
+	got := float64(r.DataStallCycles)
+	if got < want*0.99 || got > want*1.01 {
+		t.Errorf("data stalls = %v, want ~%v", got, want)
+	}
+	if r.IPC() >= 1 {
+		t.Errorf("IPC = %v, want < 1 with stalls", r.IPC())
+	}
+}
+
+func TestSoloThrashingCostsFetchStalls(t *testing.T) {
+	params := DefaultParams()
+	params.PrefetchDegree = 0
+	small := loopProgram(t, 16, 64, 50, 0) // 1 KB: fits
+	big := loopProgram(t, 1024, 64, 50, 0) // 64 KB: thrashes 32 KB L1I
+	rs := RunSolo(params, spec(t, small, false))
+	rb := RunSolo(params, spec(t, big, false))
+	if rb.L1I.MissRatio() <= rs.L1I.MissRatio() {
+		t.Errorf("big miss ratio %v <= small %v", rb.L1I.MissRatio(), rs.L1I.MissRatio())
+	}
+	if rb.FetchStallCycles == 0 {
+		t.Error("thrashing produced no fetch stalls")
+	}
+	// 64 KB loop fits in the 256 KB L2, so stalls are L2-hit priced.
+	if rb.L2.MissRatio() > 0.2 {
+		t.Errorf("L2 miss ratio %v, want mostly hits", rb.L2.MissRatio())
+	}
+}
+
+func TestPrefetchReducesObservedMisses(t *testing.T) {
+	// Straight-line sequential code is the prefetcher's best case.
+	p := loopProgram(t, 1024, 64, 30, 0)
+	base := DefaultParams()
+	base.PrefetchDegree = 0
+	pf := DefaultParams()
+	pf.PrefetchDegree = 2
+	r0 := RunSolo(base, spec(t, p, false))
+	r1 := RunSolo(pf, spec(t, p, false))
+	if r1.L1I.MissRatio() >= r0.L1I.MissRatio() {
+		t.Errorf("prefetch did not reduce miss ratio: %v vs %v", r1.L1I.MissRatio(), r0.L1I.MissRatio())
+	}
+	if r1.L1I.PrefetchHits == 0 {
+		t.Error("no prefetch hits recorded")
+	}
+	if r1.Cycles >= r0.Cycles {
+		t.Errorf("prefetch did not speed up: %d vs %d cycles", r1.Cycles, r0.Cycles)
+	}
+}
+
+func TestCorunThroughputGain(t *testing.T) {
+	// Two stall-heavy programs: SMT hides each other's stalls, so
+	// finishing both co-run beats running them back to back — the
+	// Figure 7(a) effect (15-30%).
+	pa := loopProgram(t, 64, 64, 300, 0.3)
+	pb := loopProgram(t, 64, 64, 300, 0.3)
+	params := DefaultParams()
+	sa := RunSolo(params, spec(t, pa, false))
+	sb := RunSolo(params, spec(t, pb, false))
+	co := RunCorun(params, spec(t, pa, false), spec(t, pb, false))
+	seq := sa.Cycles + sb.Cycles
+	gain := float64(seq)/float64(co.MakespanCycles) - 1
+	if gain < 0.10 || gain > 0.45 {
+		t.Errorf("throughput gain = %.1f%%, want in the hyper-threading band", gain*100)
+	}
+}
+
+func TestCorunNoGainWithoutStalls(t *testing.T) {
+	// With no stalls to hide and a strictly shared pipeline
+	// (IssueWidth 1), co-run cannot beat sequential throughput.
+	pa := loopProgram(t, 8, 64, 300, 0)
+	pb := loopProgram(t, 8, 64, 300, 0)
+	params := DefaultParams()
+	params.IssueWidth = 1.0
+	sa := RunSolo(params, spec(t, pa, false))
+	sb := RunSolo(params, spec(t, pb, false))
+	co := RunCorun(params, spec(t, pa, false), spec(t, pb, false))
+	seq := sa.Cycles + sb.Cycles
+	gain := float64(seq)/float64(co.MakespanCycles) - 1
+	if gain > 0.05 {
+		t.Errorf("gain = %.1f%% without stalls, want ~0", gain*100)
+	}
+	if co.MakespanCycles > seq+seq/20 {
+		t.Errorf("co-run much slower than sequential: %d vs %d", co.MakespanCycles, seq)
+	}
+}
+
+func TestCorunContentionRaisesMisses(t *testing.T) {
+	// Each loop is 20 KB: alone it fits the 32 KB L1I, together they
+	// contend.
+	pa := loopProgram(t, 320, 64, 100, 0.2)
+	pb := loopProgram(t, 320, 64, 100, 0.2)
+	params := DefaultParams()
+	params.PrefetchDegree = 0
+	solo := RunSolo(params, spec(t, pa, false))
+	co := RunCorunTimed(params, spec(t, pa, false), spec(t, pb, true))
+	if co.Threads[0].L1I.MissRatio() <= solo.L1I.MissRatio()*1.5 {
+		t.Errorf("co-run miss ratio %v not well above solo %v",
+			co.Threads[0].L1I.MissRatio(), solo.L1I.MissRatio())
+	}
+	// Contention costs time too.
+	if co.Threads[0].Cycles <= solo.Cycles {
+		t.Errorf("co-run cycles %d <= solo %d", co.Threads[0].Cycles, solo.Cycles)
+	}
+}
+
+func TestCorunTimedStopsWithPrimary(t *testing.T) {
+	pa := loopProgram(t, 16, 64, 50, 0)
+	pb := loopProgram(t, 16, 64, 50, 0)
+	co := RunCorunTimed(DefaultParams(), spec(t, pa, false), spec(t, pb, true))
+	if co.MakespanCycles != co.Threads[0].Cycles {
+		t.Errorf("makespan %d != primary cycles %d", co.MakespanCycles, co.Threads[0].Cycles)
+	}
+	if co.Threads[0].Blocks == 0 || co.Threads[1].Blocks == 0 {
+		t.Error("both threads should have run")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	pa := loopProgram(t, 64, 64, 80, 0.25)
+	pb := loopProgram(t, 96, 64, 60, 0.15)
+	a := RunCorun(DefaultParams(), spec(t, pa, false), spec(t, pb, false))
+	b := RunCorun(DefaultParams(), spec(t, pa, false), spec(t, pb, false))
+	if a.MakespanCycles != b.MakespanCycles ||
+		a.Threads[0].Cycles != b.Threads[0].Cycles ||
+		a.Threads[1].L1I != b.Threads[1].L1I {
+		t.Error("co-run simulation not deterministic")
+	}
+}
+
+func TestFasterLayoutFinishesSooner(t *testing.T) {
+	// A thrashing loop under a layout that doubles spacing (via a
+	// scattered block order) must not beat the packed original.
+	p := loopProgram(t, 700, 48, 40, 0.1)
+	tr := traceOf(t, p)
+	orig := layout.Original(p)
+
+	// Scatter: interleave blocks from the two halves, breaking
+	// fall-through adjacency and adding jump bytes.
+	var scattered []ir.BlockID
+	half := p.NumBlocks() / 2
+	for i := 0; i < half; i++ {
+		scattered = append(scattered, ir.BlockID(i), ir.BlockID(i+half))
+	}
+	sc := layout.ReorderBlocks(p, scattered)
+
+	params := DefaultParams()
+	rOrig := RunSolo(params, ThreadSpec{Replayer: layout.NewReplayer(orig, tr, 64, false), DataCPI: p.DataCPI})
+	rScat := RunSolo(params, ThreadSpec{Replayer: layout.NewReplayer(sc, tr, 64, false), DataCPI: p.DataCPI})
+	if rScat.Cycles < rOrig.Cycles {
+		t.Errorf("scattered layout faster (%d) than original (%d)", rScat.Cycles, rOrig.Cycles)
+	}
+}
+
+func TestCachesimDefaultsShared(t *testing.T) {
+	if DefaultParams().L1I != cachesim.L1IDefault {
+		t.Error("cpu default L1I differs from cachesim default")
+	}
+}

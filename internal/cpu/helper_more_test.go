@@ -1,0 +1,5 @@
+package cpu
+
+import "codelayout/internal/trace"
+
+func emptyTrace() *trace.Trace { return trace.New(nil) }

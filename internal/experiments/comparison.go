@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"codelayout/internal/core"
+	"codelayout/internal/progen"
+	"codelayout/internal/stats"
+)
+
+// ComparisonRow is one (program, optimizer) entry of the extension
+// comparison.
+type ComparisonRow struct {
+	Name      string
+	Optimizer string
+	NA        bool
+	// SoloMissReduction is the hardware-counted solo miss reduction.
+	SoloMissReduction float64
+	// SoloSpeedup is base cycles / optimized cycles in solo run.
+	SoloSpeedup float64
+	// CorunMissReduction and CorunSpeedup measure the co-run against
+	// the gcc probe running the baseline.
+	CorunMissReduction float64
+	CorunSpeedup       float64
+	// OverheadBytes is the transformation's static code-size cost.
+	OverheadBytes int64
+}
+
+// ComparisonResult is the extension experiment of DESIGN.md §6: the
+// paper's four optimizers side by side with the related-work baselines
+// it cites — Pettis-Hansen call-graph placement, the Conflict Miss
+// Graph, and intra-procedural basic-block reordering. The paper argues
+// (a) that whole-program models beat call-pair information and (b) that
+// inter-procedural reordering beats intra-procedural when functions
+// execute only a fraction of their bodies per invocation; this table
+// quantifies both claims on the synthetic suite.
+type ComparisonResult struct {
+	Rows []ComparisonRow
+}
+
+// Comparison measures all optimizers and baselines on a subset of the
+// main suite (or the full suite when names is nil).
+func Comparison(w *Workspace, names []string) (ComparisonResult, error) {
+	var res ComparisonResult
+	if names == nil {
+		names = progen.MainSuiteNames
+	}
+	gcc, err := w.Bench(progen.ProbeGCC)
+	if err != nil {
+		return res, err
+	}
+	for _, name := range names {
+		b, err := w.Bench(name)
+		if err != nil {
+			return res, err
+		}
+		baseSolo, err := b.HWSolo(Baseline)
+		if err != nil {
+			return res, err
+		}
+		baseCorun, err := HWCorunTimed(b, Baseline, gcc, Baseline)
+		if err != nil {
+			return res, err
+		}
+		for _, o := range core.AllWithBaselines() {
+			row := ComparisonRow{Name: name, Optimizer: o.Name()}
+			if o.Gran == core.GranBasicBlock && !o.Intra && progen.BBReorderUnsupported[name] {
+				row.NA = true
+				res.Rows = append(res.Rows, row)
+				continue
+			}
+			l, err := b.Layout(o.Name())
+			if err != nil {
+				return res, err
+			}
+			row.OverheadBytes = l.JumpOverheadBytes()
+			solo, err := b.HWSolo(o.Name())
+			if err != nil {
+				return res, err
+			}
+			corun, err := HWCorunTimed(b, o.Name(), gcc, Baseline)
+			if err != nil {
+				return res, err
+			}
+			row.SoloMissReduction = stats.Reduction(
+				baseSolo.Counters.ICacheMissRatio(), solo.Counters.ICacheMissRatio())
+			row.SoloSpeedup = float64(baseSolo.Thread.Cycles) / float64(solo.Thread.Cycles)
+			row.CorunMissReduction = stats.Reduction(
+				baseCorun.Counters.ICacheMissRatio(), corun.Counters.ICacheMissRatio())
+			row.CorunSpeedup = float64(baseCorun.Primary.Cycles) / float64(corun.Primary.Cycles)
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// AverageByOptimizer aggregates the mean co-run speedup per optimizer.
+func (r ComparisonResult) AverageByOptimizer() map[string]float64 {
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	for _, row := range r.Rows {
+		if row.NA {
+			continue
+		}
+		sums[row.Optimizer] += row.CorunSpeedup
+		counts[row.Optimizer]++
+	}
+	out := make(map[string]float64, len(sums))
+	for k, s := range sums {
+		out[k] = s / float64(counts[k])
+	}
+	return out
+}
+
+// String renders the comparison table.
+func (r ComparisonResult) String() string {
+	t := &stats.Table{Header: []string{
+		"Benchmark", "Optimizer", "solo miss red.", "solo speedup",
+		"corun miss red.", "corun speedup", "overhead(B)",
+	}}
+	for _, row := range r.Rows {
+		if row.NA {
+			t.Add(row.Name, row.Optimizer, "N/A", "N/A", "N/A", "N/A", "N/A")
+			continue
+		}
+		t.Add(row.Name, row.Optimizer,
+			stats.Pct(row.SoloMissReduction),
+			stats.SignedPct(row.SoloSpeedup-1),
+			stats.Pct(row.CorunMissReduction),
+			stats.SignedPct(row.CorunSpeedup-1),
+			itoa(row.OverheadBytes))
+	}
+	return "Extension: paper optimizers vs related-work baselines (gcc probe)\n\n" + t.String()
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [24]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,444 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sharedWS is reused across tests so programs are generated, profiled
+// and optimized once.
+var sharedWS = NewWorkspace()
+
+func TestWorkspaceCachesBenches(t *testing.T) {
+	w := NewWorkspace()
+	a, err := w.Bench("429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Bench("429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("workspace did not cache the bench")
+	}
+	if _, err := w.Bench("no.such"); err == nil {
+		t.Error("unknown bench accepted")
+	}
+}
+
+func TestBenchLayoutsCachedAndValid(t *testing.T) {
+	b, err := sharedWS.Bench("429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := b.Layout(Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := b.Layout(Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 {
+		t.Error("layout not cached")
+	}
+	if _, err := b.Layout("func-affinity"); err != nil {
+		t.Errorf("func-affinity: %v", err)
+	}
+	if _, err := b.Layout("nonsense"); err == nil {
+		t.Error("unknown layout name accepted")
+	}
+}
+
+func TestFigure1MatchesPaper(t *testing.T) {
+	r := Figure1()
+	if got, want := r.Sequence, []int32{1, 4, 2, 3, 5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Figure 1 sequence = %v, want %v", got, want)
+	}
+	s := r.String()
+	for _, frag := range []string{"w=5", "(B1,B4)", "B1 B4 B2 B3 B5"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Figure 1 rendering missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestFigure2MatchesPaper(t *testing.T) {
+	r := Figure2()
+	names := make([]string, len(r.Sequence))
+	for i, s := range r.Sequence {
+		names[i] = r.Names[s]
+	}
+	if got := strings.Join(names, " "); got != "A B E F C" {
+		t.Errorf("Figure 2 sequence = %q, want \"A B E F C\"", got)
+	}
+	if !strings.Contains(r.String(), "A B E F C") {
+		t.Error("Figure 2 rendering missing the sequence")
+	}
+}
+
+func TestFigure3PacksCorrelatedBlocks(t *testing.T) {
+	r, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimized layout must interleave X and Y blocks: the paper's
+	// point is that X2/Y2 and X3/Y3 end up adjacent across function
+	// boundaries.
+	joined := strings.Join(r.Order, " ")
+	x2 := strings.Index(joined, "X.X2")
+	y2 := strings.Index(joined, "Y.Y2")
+	x3 := strings.Index(joined, "X.X3")
+	y3 := strings.Index(joined, "Y.Y3")
+	if x2 < 0 || y2 < 0 || x3 < 0 || y3 < 0 {
+		t.Fatalf("missing blocks in order: %s", joined)
+	}
+	// X2 must sit next to Y2 (and X3 next to Y3), i.e. between X2 and
+	// Y2 there is no X3/Y3 and vice versa.
+	between := func(a, b, c int) bool { return (a < c && c < b) || (b < c && c < a) }
+	if between(x2, y2, x3) || between(x2, y2, y3) {
+		t.Errorf("variant-1 pair not adjacent: %s", joined)
+	}
+	if between(x3, y3, x2) || between(x3, y3, y2) {
+		t.Errorf("variant-2 pair not adjacent: %s", joined)
+	}
+	// Packing pulls the correlated pair together: the X2..Y2 span
+	// collapses to back-to-back blocks.
+	if r.SpanOptimized >= r.SpanOriginal {
+		t.Errorf("variant-pair span: optimized %d >= original %d", r.SpanOptimized, r.SpanOriginal)
+	}
+	// And the per-iteration hot path stays put (±1 line: repositioning
+	// 100-byte blocks can add or remove one straddle line).
+	if r.HotLinesOptimized > r.HotLinesOriginal+1 {
+		t.Errorf("hot lines: optimized %d >> original %d", r.HotLinesOptimized, r.HotLinesOriginal)
+	}
+}
+
+func TestTable2SubsetShapes(t *testing.T) {
+	names := []string{"445.gobmk", "429.mcf", "458.sjeng"}
+	res, err := Table2On(sharedWS, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(names)*len(Table2Optimizers) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// BB affinity must improve gobmk's average co-run speedup and
+	// reduce its misses on both paths (the paper's headline result).
+	row := res.Row("445.gobmk", "bb-affinity")
+	if row == nil || row.NA {
+		t.Fatal("gobmk bb-affinity row missing")
+	}
+	if row.AvgSpeedup <= 1.0 {
+		t.Errorf("gobmk bb-affinity co-run speedup = %v, want > 1", row.AvgSpeedup)
+	}
+	if row.AvgMissHW <= 0 || row.AvgMissSim <= 0 {
+		t.Errorf("gobmk bb-affinity miss reductions hw=%v sim=%v, want > 0",
+			row.AvgMissHW, row.AvgMissSim)
+	}
+	// The simulated reduction should be at least as large as the
+	// hardware-counted one (prefetching hides part of the benefit).
+	if row.AvgMissSim < row.AvgMissHW-0.05 {
+		t.Errorf("simulated reduction %v well below hw %v; expected sim >= hw",
+			row.AvgMissSim, row.AvgMissHW)
+	}
+	if _, best := res.BestSpeedup("445.gobmk"); best <= 1 {
+		t.Errorf("best speedup for gobmk = %v", best)
+	}
+	if !strings.Contains(res.String(), "445.gobmk") {
+		t.Error("rendering missing program")
+	}
+}
+
+func TestTable2NACells(t *testing.T) {
+	res, err := Table2On(sharedWS, []string{"400.perlbench"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Row("400.perlbench", "bb-affinity")
+	if row == nil || !row.NA {
+		t.Error("perlbench bb-affinity must be N/A (paper's compiler errors)")
+	}
+	if !strings.Contains(res.String(), "N/A") {
+		t.Error("rendering missing N/A cells")
+	}
+}
+
+func TestFigure6RendersCells(t *testing.T) {
+	res, err := Table2On(sharedWS, []string{"445.gobmk", "429.mcf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6 := Figure6FromTable2(res)
+	s := f6.String()
+	if !strings.Contains(s, "445.gobmk vs 429.mcf") {
+		t.Errorf("Figure 6 rendering missing pair bars:\n%s", s)
+	}
+}
+
+func TestOptOptNegligibleExtraGain(t *testing.T) {
+	names := []string{"445.gobmk", "429.mcf", "458.sjeng"}
+	t2, err := Table2On(sharedWS, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OptOpt(sharedWS, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 3 {
+		t.Fatalf("selected %v", res.Selected)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(res.Rows))
+	}
+	// §III-F: only negligible extra improvements (but no slowdown of
+	// consequence) from optimizing the peer as well.
+	extra := res.AvgExtraGain()
+	if extra < -0.02 || extra > 0.05 {
+		t.Errorf("avg extra gain = %v, want negligible", extra)
+	}
+	if !strings.Contains(res.String(), "extra gain") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestComparisonBaselines(t *testing.T) {
+	res, err := Comparison(sharedWS, []string{"458.sjeng"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOpt := make(map[string]ComparisonRow)
+	for _, row := range res.Rows {
+		byOpt[row.Optimizer] = row
+	}
+	inter, okInter := byOpt["bb-affinity"]
+	intra, okIntra := byOpt["bb-affinity-intra"]
+	if !okInter || !okIntra {
+		t.Fatalf("missing rows: %v", byOpt)
+	}
+	// The paper's argument for inter-procedural reordering: when each
+	// invocation executes only part of a function, crossing function
+	// boundaries packs better than staying inside them.
+	if inter.SoloMissReduction <= intra.SoloMissReduction {
+		t.Errorf("inter-procedural reduction %v <= intra %v",
+			inter.SoloMissReduction, intra.SoloMissReduction)
+	}
+	// The call-graph baseline sees only call pairs, not windowed
+	// co-occurrence; it must not beat function affinity's miss
+	// reduction.
+	fa := byOpt["func-affinity"]
+	cg := byOpt["func-callgraph"]
+	if cg.SoloMissReduction > fa.SoloMissReduction+0.10 {
+		t.Errorf("call-graph baseline (%v) clearly beats func affinity (%v)",
+			cg.SoloMissReduction, fa.SoloMissReduction)
+	}
+	avg := res.AverageByOptimizer()
+	if len(avg) != 8 {
+		t.Errorf("AverageByOptimizer has %d entries, want 8", len(avg))
+	}
+	if !strings.Contains(res.String(), "bb-affinity-intra") {
+		t.Error("rendering missing baseline rows")
+	}
+}
+
+func TestComparisonNACells(t *testing.T) {
+	res, err := Comparison(sharedWS, []string{"453.povray"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		switch row.Optimizer {
+		case "bb-affinity", "bb-trg":
+			if !row.NA {
+				t.Errorf("%s on povray should be N/A", row.Optimizer)
+			}
+		case "bb-affinity-intra":
+			if row.NA {
+				t.Error("intra reordering is not affected by the paper's BB errors")
+			}
+		}
+	}
+}
+
+func TestIntroTableSubset(t *testing.T) {
+	res, err := IntroTableOn(sharedWS, []string{"458.sjeng", "429.mcf", "445.gobmk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mcf is below the non-trivial threshold; the others are not.
+	if len(res.Programs) == 0 {
+		t.Fatal("no non-trivial programs found")
+	}
+	for _, p := range res.Programs {
+		if p == "429.mcf" {
+			t.Error("mcf counted as non-trivial")
+		}
+	}
+	if res.AvgCorun1 <= res.AvgSolo || res.AvgCorun2 <= res.AvgSolo {
+		t.Errorf("co-run (%v, %v) not above solo (%v)", res.AvgCorun1, res.AvgCorun2, res.AvgSolo)
+	}
+	if res.Increase1() <= 0 || res.Increase2() <= 0 {
+		t.Error("contention increases not positive")
+	}
+	if !strings.Contains(res.String(), "co-run 2 (gamess)") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	res, err := Table1(sharedWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(res.Rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range res.Rows {
+		byName[r.Name] = r
+		// Contention must monotonically increase from solo to the
+		// aggressive probe for every program.
+		if !(r.MissSolo <= r.MissGCC && r.MissGCC <= r.MissGamess+0.005) {
+			t.Errorf("%s: miss ordering solo %v, gcc %v, gamess %v", r.Name, r.MissSolo, r.MissGCC, r.MissGamess)
+		}
+		if r.DynamicInstrs <= 0 || r.StaticBytes <= 0 {
+			t.Errorf("%s: empty characteristics", r.Name)
+		}
+	}
+	// Table I orderings: mcf near zero solo, gobmk the highest; mcf the
+	// smallest binary, xalancbmk the biggest.
+	if byName["429.mcf"].MissSolo > 0.005 {
+		t.Errorf("mcf solo = %v, want ~0", byName["429.mcf"].MissSolo)
+	}
+	if byName["445.gobmk"].MissSolo < byName["458.sjeng"].MissSolo {
+		t.Error("gobmk should out-miss sjeng")
+	}
+	if byName["429.mcf"].StaticBytes > byName["483.xalancbmk"].StaticBytes {
+		t.Error("static size ordering wrong")
+	}
+}
+
+func TestFigure4Subset(t *testing.T) {
+	res, err := Figure4On(sharedWS, []string{"458.sjeng", "429.mcf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.NonTrivialCount() != 1 {
+		t.Errorf("NonTrivialCount = %d, want 1 (sjeng only)", res.NonTrivialCount())
+	}
+	s := res.String()
+	if !strings.Contains(s, "416.gamess as probe") {
+		t.Error("rendering missing probe panel")
+	}
+}
+
+func TestFigure5Subset(t *testing.T) {
+	res, err := Figure5On(sharedWS, []string{"445.gobmk", "453.povray"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FuncAffinity) != 2 || len(res.BBAffinity) != 2 {
+		t.Fatalf("rows: %d/%d", len(res.FuncAffinity), len(res.BBAffinity))
+	}
+	// povray BB reordering is N/A per the paper.
+	if !res.BBAffinity[1].NA {
+		t.Error("povray BB row should be N/A")
+	}
+	// gobmk BB affinity must show a large miss reduction.
+	if res.BBAffinity[0].NA || res.BBAffinity[0].MissReduction < 0.2 {
+		t.Errorf("gobmk BB reduction = %+v", res.BBAffinity[0])
+	}
+	if res.MaxMissReduction() < 0.2 {
+		t.Errorf("MaxMissReduction = %v", res.MaxMissReduction())
+	}
+	if !strings.Contains(res.String(), "(N/A)") {
+		t.Error("rendering missing N/A marker")
+	}
+}
+
+func TestFigure7Subset(t *testing.T) {
+	res, err := Figure7On(sharedWS, []string{"458.sjeng", "471.omnetpp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 3 { // (s,s) (s,o) (o,o)
+		t.Fatalf("pairs = %d, want 3", len(res.Pairs))
+	}
+	lo, hi := res.GainBounds()
+	if lo < 0.05 || hi > 0.60 {
+		t.Errorf("throughput gains [%v, %v] outside plausible hyper-threading band", lo, hi)
+	}
+	for _, p := range res.Pairs {
+		if p.BaseGain <= 0 {
+			t.Errorf("pair %s-%s: no hyper-threading benefit (%v)", p.A, p.B, p.BaseGain)
+		}
+	}
+	if !strings.Contains(res.String(), "magnification") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestHWCorunBothMakespan(t *testing.T) {
+	a, err := sharedWS.Bench("458.sjeng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sharedWS.Bench("429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := HWCorunBoth(a, Baseline, b, Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloA, err := a.HWSolo(Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloB, err := b.HWSolo(Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Makespan covers the later finisher and cannot beat the longer
+	// program running alone, nor exceed the back-to-back time.
+	longer := soloA.Thread.Cycles
+	if soloB.Thread.Cycles > longer {
+		longer = soloB.Thread.Cycles
+	}
+	if res.MakespanCycles < longer {
+		t.Errorf("makespan %d beats the longer solo %d", res.MakespanCycles, longer)
+	}
+	if seq := soloA.Thread.Cycles + soloB.Thread.Cycles; res.MakespanCycles > seq {
+		t.Errorf("makespan %d worse than sequential %d", res.MakespanCycles, seq)
+	}
+	if res.Threads[0].Instrs == 0 || res.Threads[1].Instrs == 0 {
+		t.Error("a thread did not run")
+	}
+}
+
+func TestHWAndSimPathsDiffer(t *testing.T) {
+	b, err := sharedWS.Bench("445.gobmk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := b.HWSolo(Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := b.SimSolo(Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hardware path prefetches; its observed miss ratio must be
+	// below the idealized simulation's.
+	if hw.Counters.ICacheMissRatio() >= sim {
+		t.Errorf("hw miss %v >= sim miss %v; prefetching should hide misses",
+			hw.Counters.ICacheMissRatio(), sim)
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"codelayout/internal/progen"
+	"codelayout/internal/textplot"
+)
+
+// Figure4Row is one program's three bars in Figure 4.
+type Figure4Row struct {
+	Name                          string
+	MissSolo, MissGCC, MissGamess float64
+}
+
+// Figure4Result reproduces Figure 4: L1 instruction cache miss ratios of
+// the 29 screening programs under solo run and under co-run with the gcc
+// and gamess probes.
+type Figure4Result struct {
+	Rows []Figure4Row
+}
+
+// Figure4 measures the screening suite.
+func Figure4(w *Workspace) (Figure4Result, error) {
+	return Figure4On(w, nil)
+}
+
+// Figure4On measures a subset of the screening suite (nil means all).
+func Figure4On(w *Workspace, names []string) (Figure4Result, error) {
+	var res Figure4Result
+	suite, err := w.benchSubset(names)
+	if err != nil {
+		return res, err
+	}
+	gcc, err := w.Bench(progen.ProbeGCC)
+	if err != nil {
+		return res, err
+	}
+	gamess, err := w.Bench(progen.ProbeGamess)
+	if err != nil {
+		return res, err
+	}
+	for _, b := range suite {
+		solo, err := b.HWSolo(Baseline)
+		if err != nil {
+			return res, err
+		}
+		c1, err := HWCorunTimed(b, Baseline, gcc, Baseline)
+		if err != nil {
+			return res, err
+		}
+		c2, err := HWCorunTimed(b, Baseline, gamess, Baseline)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, Figure4Row{
+			Name:       b.Name(),
+			MissSolo:   solo.Counters.ICacheMissRatio(),
+			MissGCC:    c1.Counters.ICacheMissRatio(),
+			MissGamess: c2.Counters.ICacheMissRatio(),
+		})
+	}
+	return res, nil
+}
+
+// NonTrivialCount returns how many programs exceed the non-trivial solo
+// miss threshold (the paper: 9 of 29).
+func (r Figure4Result) NonTrivialCount() int {
+	n := 0
+	for _, row := range r.Rows {
+		if row.MissSolo >= NonTrivialMiss {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the figure as three grouped ASCII charts.
+func (r Figure4Result) String() string {
+	out := "Figure 4: L1 instruction cache miss ratios under solo- and co-run\n\n"
+	for _, series := range []struct {
+		title string
+		pick  func(Figure4Row) float64
+	}{
+		{"solo", func(x Figure4Row) float64 { return x.MissSolo }},
+		{"403.gcc as probe", func(x Figure4Row) float64 { return x.MissGCC }},
+		{"416.gamess as probe", func(x Figure4Row) float64 { return x.MissGamess }},
+	} {
+		c := &textplot.Chart{Title: series.title, Width: 40, Format: "%.2f%%"}
+		for _, row := range r.Rows {
+			c.Add(row.Name, 100*series.pick(row))
+		}
+		out += c.String() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"math"
+
+	"codelayout/internal/progen"
+	"codelayout/internal/stats"
+	"codelayout/internal/textplot"
+)
+
+// Figure5Row is one program's solo-run effect for one optimizer.
+type Figure5Row struct {
+	Name string
+	// NA marks the paper's "N/A" cells (BB reordering on perlbench and
+	// povray).
+	NA bool
+	// Speedup is base cycles / optimized cycles (1.0 = unchanged).
+	Speedup float64
+	// MissReduction is the relative I-cache miss-ratio reduction as
+	// seen by the hardware counters.
+	MissReduction float64
+}
+
+// Figure5Result reproduces Figure 5: the solo-run performance speedup
+// (a) and instruction-miss reduction (b) of the two affinity optimizers
+// on the main suite.
+type Figure5Result struct {
+	FuncAffinity []Figure5Row
+	BBAffinity   []Figure5Row
+}
+
+// Figure5 measures the solo-run effect of the affinity optimizers.
+func Figure5(w *Workspace) (Figure5Result, error) {
+	return Figure5On(w, progen.MainSuiteNames)
+}
+
+// Figure5On measures the solo-run effect on a subset of the suite.
+func Figure5On(w *Workspace, names []string) (Figure5Result, error) {
+	var res Figure5Result
+	suite := make([]*Bench, 0, len(names))
+	for _, n := range names {
+		b, err := w.Bench(n)
+		if err != nil {
+			return res, err
+		}
+		suite = append(suite, b)
+	}
+	for _, b := range suite {
+		base, err := b.HWSolo(Baseline)
+		if err != nil {
+			return res, err
+		}
+		for _, opt := range []struct {
+			name string
+			dst  *[]Figure5Row
+			na   bool
+		}{
+			{"func-affinity", &res.FuncAffinity, false},
+			{"bb-affinity", &res.BBAffinity, progen.BBReorderUnsupported[b.Name()]},
+		} {
+			if opt.na {
+				*opt.dst = append(*opt.dst, Figure5Row{Name: b.Name(), NA: true})
+				continue
+			}
+			o, err := b.HWSolo(opt.name)
+			if err != nil {
+				return res, err
+			}
+			*opt.dst = append(*opt.dst, Figure5Row{
+				Name:    b.Name(),
+				Speedup: float64(base.Thread.Cycles) / float64(o.Thread.Cycles),
+				MissReduction: stats.Reduction(
+					base.Counters.ICacheMissRatio(), o.Counters.ICacheMissRatio()),
+			})
+		}
+	}
+	return res, nil
+}
+
+// MaxMissReduction returns the largest miss reduction across both
+// optimizers (the paper: "up to 34% by function reordering and 37% by BB
+// reordering" — solo).
+func (r Figure5Result) MaxMissReduction() float64 {
+	best := math.Inf(-1)
+	for _, rows := range [][]Figure5Row{r.FuncAffinity, r.BBAffinity} {
+		for _, row := range rows {
+			if !row.NA && row.MissReduction > best {
+				best = row.MissReduction
+			}
+		}
+	}
+	return best
+}
+
+// String renders the two panels.
+func (r Figure5Result) String() string {
+	out := "Figure 5: solo-run effect of the two affinity optimizers\n\n"
+	render := func(title string, rows []Figure5Row, pick func(Figure5Row) float64, base float64, format string) string {
+		c := &textplot.Chart{Title: title, Width: 30, Format: format, Baseline: base}
+		for _, row := range rows {
+			if row.NA {
+				c.Add(row.Name+" (N/A)", base)
+				continue
+			}
+			c.Add(row.Name, pick(row))
+		}
+		return c.String() + "\n"
+	}
+	out += render("(a) speedup, function reordering", r.FuncAffinity,
+		func(x Figure5Row) float64 { return x.Speedup }, 1, "%.3fx")
+	out += render("(a) speedup, BB reordering", r.BBAffinity,
+		func(x Figure5Row) float64 { return x.Speedup }, 1, "%.3fx")
+	out += render("(b) miss reduction, function reordering", r.FuncAffinity,
+		func(x Figure5Row) float64 { return 100 * x.MissReduction }, 0, "%.1f%%")
+	out += render("(b) miss reduction, BB reordering", r.BBAffinity,
+		func(x Figure5Row) float64 { return 100 * x.MissReduction }, 0, "%.1f%%")
+	return out
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"codelayout/internal/textplot"
+)
+
+// Figure6Result reproduces Figure 6: the per-probe co-run speedups of
+// the three optimizers. It is a re-rendering of Table II's cells before
+// averaging, exactly as the paper's Figure 6 plots the data behind
+// Table II.
+type Figure6Result struct {
+	Table Table2Result
+}
+
+// Figure6 measures (or reuses) the co-run matrix.
+func Figure6(w *Workspace) (Figure6Result, error) {
+	t, err := Table2(w)
+	return Figure6Result{Table: t}, err
+}
+
+// Figure6FromTable2 wraps an existing Table II result, avoiding a second
+// run of the co-run matrix.
+func Figure6FromTable2(t Table2Result) Figure6Result { return Figure6Result{Table: t} }
+
+// String renders one panel per optimizer, one bar per (program, probe).
+func (r Figure6Result) String() string {
+	out := "Figure 6: co-run speedup of three optimizers (optimized+original vs original+original)\n\n"
+	panel := map[string]string{
+		"func-affinity": "(a) function layout opt based on affinity model",
+		"bb-affinity":   "(b) BB layout opt based on affinity model",
+		"func-trg":      "(c) function layout opt based on TRG model",
+	}
+	for _, opt := range Table2Optimizers {
+		c := &textplot.Chart{Title: panel[opt], Width: 30, Format: "%.3fx", Baseline: 1}
+		for _, row := range r.Table.Rows {
+			if row.Optimizer != opt || row.NA {
+				continue
+			}
+			for _, cell := range row.Cells {
+				c.Add(fmt.Sprintf("%s vs %s", row.Name, cell.Probe), cell.Speedup)
+			}
+		}
+		out += c.String() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"codelayout/internal/progen"
+	"codelayout/internal/stats"
+)
+
+// NonTrivialMiss is the solo miss-ratio threshold above which a program
+// counts as having a "non-trivial miss ratio" in the paper's sense ("9
+// out of 29 SPEC CPU 2006 programs have non-trivial miss ratios").
+const NonTrivialMiss = 0.005
+
+// IntroResult reproduces the unnumbered table of §I: the average
+// instruction-cache miss ratio of the non-trivial programs under solo
+// execution and under hyper-threaded co-run with the two probes.
+type IntroResult struct {
+	// Programs lists the non-trivial programs.
+	Programs []string
+	// AvgSolo, AvgCorun1 and AvgCorun2 are the averages over Programs;
+	// co-run 1 uses the gcc probe, co-run 2 the gamess probe.
+	AvgSolo, AvgCorun1, AvgCorun2 float64
+}
+
+// Increase1 and Increase2 return the co-run miss inflation over solo.
+func (r IntroResult) Increase1() float64 { return stats.RelChange(r.AvgSolo, r.AvgCorun1) }
+func (r IntroResult) Increase2() float64 { return stats.RelChange(r.AvgSolo, r.AvgCorun2) }
+
+// IntroTable measures the §I contention table on the screening suite,
+// using the hardware-counter path as the paper did.
+func IntroTable(w *Workspace) (IntroResult, error) {
+	return IntroTableOn(w, nil)
+}
+
+// IntroTableOn measures the contention table on a subset of the
+// screening suite (nil means all 29 programs); tests use subsets.
+func IntroTableOn(w *Workspace, names []string) (IntroResult, error) {
+	suite, err := w.benchSubset(names)
+	if err != nil {
+		return IntroResult{}, err
+	}
+	gcc, err := w.Bench(progen.ProbeGCC)
+	if err != nil {
+		return IntroResult{}, err
+	}
+	gamess, err := w.Bench(progen.ProbeGamess)
+	if err != nil {
+		return IntroResult{}, err
+	}
+
+	var res IntroResult
+	var solo, co1, co2 []float64
+	for _, b := range suite {
+		s, err := b.HWSolo(Baseline)
+		if err != nil {
+			return res, err
+		}
+		mr := s.Counters.ICacheMissRatio()
+		if mr < NonTrivialMiss {
+			continue
+		}
+		c1, err := HWCorunTimed(b, Baseline, gcc, Baseline)
+		if err != nil {
+			return res, err
+		}
+		c2, err := HWCorunTimed(b, Baseline, gamess, Baseline)
+		if err != nil {
+			return res, err
+		}
+		res.Programs = append(res.Programs, b.Name())
+		solo = append(solo, mr)
+		co1 = append(co1, c1.Counters.ICacheMissRatio())
+		co2 = append(co2, c2.Counters.ICacheMissRatio())
+	}
+	res.AvgSolo = stats.Mean(solo)
+	res.AvgCorun1 = stats.Mean(co1)
+	res.AvgCorun2 = stats.Mean(co2)
+	return res, nil
+}
+
+// String renders the table in the paper's layout.
+func (r IntroResult) String() string {
+	t := &stats.Table{Header: []string{"", "avg. miss ratio", "increase over solo"}}
+	t.Add("solo", stats.Pct(r.AvgSolo), "—")
+	t.Add("co-run 1 (gcc)", stats.Pct(r.AvgCorun1), stats.SignedPct(r.Increase1()))
+	t.Add("co-run 2 (gamess)", stats.Pct(r.AvgCorun2), stats.SignedPct(r.Increase2()))
+	return fmt.Sprintf("Intro table (§I): shared-cache contention over %d non-trivial programs\n(%s)\n\n%s",
+		len(r.Programs), strings.Join(r.Programs, ", "), t)
+}

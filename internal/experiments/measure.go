@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"codelayout/internal/cachesim"
+	"codelayout/internal/counters"
+	"codelayout/internal/cpu"
+)
+
+// The harness measures every configuration along the paper's two paths:
+//
+//   - the "hardware" path (HW*): the cpu package's timed SMT core with
+//     next-line prefetching, read out through PAPI-style counters — the
+//     analogue of running on the Xeon and reading performance counters;
+//   - the "simulated" path (Sim*): the Pin-style plain LRU instruction
+//     cache simulation of cachesim, no prefetch, no timing.
+//
+// The paper observes that hardware-counted miss reductions are smaller
+// than simulated ones (prefetching and overlap hide part of the
+// benefit); keeping both paths reproduces that.
+
+// HWSoloResult is a timed solo run.
+type HWSoloResult struct {
+	Thread   cpu.ThreadResult
+	Counters *counters.Set
+}
+
+// HWSolo times one program alone on the core.
+func (b *Bench) HWSolo(layoutName string) (HWSoloResult, error) {
+	params := cpu.DefaultParams()
+	r, err := b.Replayer(layoutName, params.L1I.LineBytes, false)
+	if err != nil {
+		return HWSoloResult{}, err
+	}
+	tr := cpu.RunSolo(params, cpu.ThreadSpec{Replayer: r, DataCPI: b.Prog.DataCPI})
+	return HWSoloResult{Thread: tr, Counters: counters.FromThread(tr)}, nil
+}
+
+// HWCorunResult is a timed co-run where the primary runs to completion
+// against a wrapping peer.
+type HWCorunResult struct {
+	Primary  cpu.ThreadResult
+	Peer     cpu.ThreadResult
+	Counters *counters.Set // primary's counters
+}
+
+// HWCorunTimed times primary (with the given layout) co-running against
+// peer (with peerLayout); the peer wraps to provide interference for the
+// primary's whole execution — the Table II / Figure 6 methodology.
+func HWCorunTimed(primary *Bench, layoutName string, peer *Bench, peerLayout string) (HWCorunResult, error) {
+	params := cpu.DefaultParams()
+	pr, err := primary.Replayer(layoutName, params.L1I.LineBytes, false)
+	if err != nil {
+		return HWCorunResult{}, err
+	}
+	er, err := peer.Replayer(peerLayout, params.L1I.LineBytes, true)
+	if err != nil {
+		return HWCorunResult{}, err
+	}
+	res := cpu.RunCorunTimed(params,
+		cpu.ThreadSpec{Replayer: pr, DataCPI: primary.Prog.DataCPI},
+		cpu.ThreadSpec{Replayer: er, DataCPI: peer.Prog.DataCPI})
+	return HWCorunResult{
+		Primary:  res.Threads[0],
+		Peer:     res.Threads[1],
+		Counters: counters.FromThread(res.Threads[0]),
+	}, nil
+}
+
+// HWCorunBoth runs both programs once to completion on the SMT core and
+// returns the makespan — the Figure 7 throughput methodology.
+func HWCorunBoth(a *Bench, aLayout string, b *Bench, bLayout string) (cpu.Result, error) {
+	params := cpu.DefaultParams()
+	ar, err := a.Replayer(aLayout, params.L1I.LineBytes, false)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	br, err := b.Replayer(bLayout, params.L1I.LineBytes, false)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	return cpu.RunCorun(params,
+		cpu.ThreadSpec{Replayer: ar, DataCPI: a.Prog.DataCPI},
+		cpu.ThreadSpec{Replayer: br, DataCPI: b.Prog.DataCPI}), nil
+}
+
+// SimSolo runs the Pin-style solo instruction cache simulation and
+// returns the miss ratio.
+func (b *Bench) SimSolo(layoutName string) (float64, error) {
+	cfg := cachesim.L1IDefault
+	r, err := b.Replayer(layoutName, cfg.LineBytes, false)
+	if err != nil {
+		return 0, err
+	}
+	res := cachesim.SimulateSolo(cfg, r)
+	return res.Stats.MissRatio(), nil
+}
+
+// SimCorun runs the Pin-style shared-cache co-run simulation and
+// returns the primary's miss ratio.
+func SimCorun(primary *Bench, layoutName string, peer *Bench, peerLayout string) (float64, error) {
+	cfg := cachesim.L1IDefault
+	pr, err := primary.Replayer(layoutName, cfg.LineBytes, false)
+	if err != nil {
+		return 0, err
+	}
+	er, err := peer.Replayer(peerLayout, cfg.LineBytes, true)
+	if err != nil {
+		return 0, err
+	}
+	res := cachesim.SimulateCorun(cfg, pr, er)
+	return res.PerThread[0].MissRatio(), nil
+}

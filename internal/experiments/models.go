@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"codelayout/internal/affinity"
+	"codelayout/internal/core"
+	"codelayout/internal/ir"
+	"codelayout/internal/layout"
+	"codelayout/internal/trace"
+	"codelayout/internal/trg"
+)
+
+// This file regenerates the paper's worked model examples: Figure 1
+// (the w-window affinity hierarchy), Figure 2 (TRG reduction) and
+// Figure 3 (inter-procedural basic-block reordering).
+
+// Figure1Result reproduces Figure 1: the hierarchical w-window affinity
+// of the example trace B1 B4 B2 B4 B2 B3 B5 B1 B4.
+type Figure1Result struct {
+	Hierarchy *affinity.Hierarchy
+	Sequence  []int32
+}
+
+// Figure1 runs the affinity analysis on the paper's example trace.
+func Figure1() Figure1Result {
+	tr := trace.New([]int32{1, 4, 2, 4, 2, 3, 5, 1, 4})
+	h := affinity.BuildHierarchy(tr, affinity.Options{WMax: 5})
+	return Figure1Result{Hierarchy: h, Sequence: h.Sequence()}
+}
+
+// String renders the hierarchy levels and output sequence like Figure 1(b).
+func (r Figure1Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 1: hierarchical w-window affinity of trace B1 B4 B2 B4 B2 B3 B5 B1 B4\n\n")
+	for w := r.Hierarchy.WMax(); w >= 1; w-- {
+		part := r.Hierarchy.Partition(w)
+		fmt.Fprintf(&sb, "  w=%d: ", w)
+		for _, g := range part.Groups {
+			names := make([]string, len(g))
+			for i, s := range g {
+				names[i] = fmt.Sprintf("B%d", s)
+			}
+			fmt.Fprintf(&sb, "(%s) ", strings.Join(names, ","))
+		}
+		sb.WriteByte('\n')
+	}
+	names := make([]string, len(r.Sequence))
+	for i, s := range r.Sequence {
+		names[i] = fmt.Sprintf("B%d", s)
+	}
+	fmt.Fprintf(&sb, "\n  output sequence: %s\n", strings.Join(names, " "))
+	return sb.String()
+}
+
+// Figure2Result reproduces Figure 2: TRG reduction with 3 code slots.
+type Figure2Result struct {
+	Graph    *trg.Graph
+	Sequence []int32
+	Names    map[int32]string
+}
+
+// Figure2 builds the example TRG and reduces it. The edge weights are
+// reconstructed so every narrated step of the paper follows (the
+// figure's labels are partly illegible in the source; see
+// internal/trg's Figure 2 test).
+func Figure2() Figure2Result {
+	const (
+		A int32 = 0
+		B int32 = 1
+		C int32 = 2
+		E int32 = 3
+		F int32 = 4
+	)
+	g := trg.NewGraph()
+	for _, n := range []int32{A, B, C, E, F} {
+		g.AddNode(n)
+	}
+	g.AddWeight(A, B, 50)
+	g.AddWeight(E, F, 45)
+	g.AddWeight(C, B, 40)
+	g.AddWeight(C, A, 30)
+	g.AddWeight(B, F, 20)
+	g.AddWeight(C, E, 15)
+	g.AddWeight(A, F, 10)
+	return Figure2Result{
+		Graph:    g,
+		Sequence: trg.Reduce(g, 3),
+		Names:    map[int32]string{A: "A", B: "B", C: "C", E: "E", F: "F"},
+	}
+}
+
+// String renders the edges and the reduced sequence.
+func (r Figure2Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 2: TRG reduction with 3 code slots\n\n  edges (desc weight):\n")
+	for _, e := range r.Graph.Edges() {
+		fmt.Fprintf(&sb, "    %s-%s: %d\n", r.Names[e.A], r.Names[e.B], e.Weight)
+	}
+	names := make([]string, len(r.Sequence))
+	for i, s := range r.Sequence {
+		names[i] = r.Names[s]
+	}
+	fmt.Fprintf(&sb, "\n  output sequence: %s\n", strings.Join(names, " "))
+	return sb.String()
+}
+
+// Figure3Result reproduces Figure 3: inter-procedural basic-block
+// reordering of the two correlated functions X and Y.
+type Figure3Result struct {
+	Prog *ir.Program
+	// Original and Optimized are the two layouts.
+	Original, Optimized *layout.Layout
+	// Order is the BB-affinity block order (named).
+	Order []string
+	// HotLinesOriginal and HotLinesOptimized count the cache lines the
+	// per-iteration hot path touches under each layout.
+	HotLinesOriginal, HotLinesOptimized int
+	// SpanOriginal and SpanOptimized measure the address span of the
+	// variant-1 working set (X2, Y2): inter-procedural packing pulls
+	// the correlated pair together.
+	SpanOriginal, SpanOptimized int64
+}
+
+// Figure3 builds the example program, profiles it, applies BB affinity
+// and reports the layout change.
+func Figure3() (Figure3Result, error) {
+	var res Figure3Result
+	p := buildFigure3Program()
+	res.Prog = p
+	prof, err := core.ProfileProgram(p, core.TrainSeed)
+	if err != nil {
+		return res, err
+	}
+	opt, _, err := core.BBAffinity().Optimize(prof)
+	if err != nil {
+		return res, err
+	}
+	res.Original = layout.Original(p)
+	res.Optimized = opt
+	for _, b := range opt.Order() {
+		blk := p.Blocks[b]
+		res.Order = append(res.Order, p.Funcs[blk.Fn].Name+"."+blk.Name)
+	}
+	// The per-iteration hot path when g=1: X1 X2 Y1 Y2 (+ main's call
+	// blocks). Count its lines under both layouts.
+	hot := []ir.BlockID{
+		p.BlockByName("X", "X1").ID, p.BlockByName("X", "X2").ID,
+		p.BlockByName("Y", "Y1").ID, p.BlockByName("Y", "Y2").ID,
+	}
+	res.HotLinesOriginal = res.Original.TouchedLines(hot, 64)
+	res.HotLinesOptimized = res.Optimized.TouchedLines(hot, 64)
+	pair := []ir.BlockID{
+		p.BlockByName("X", "X2").ID, p.BlockByName("Y", "Y2").ID,
+	}
+	res.SpanOriginal = span(res.Original, pair)
+	res.SpanOptimized = span(res.Optimized, pair)
+	return res, nil
+}
+
+// span returns the address extent covering all of the given blocks.
+func span(l *layout.Layout, blocks []ir.BlockID) int64 {
+	lo, hi := int64(1<<62), int64(0)
+	for _, b := range blocks {
+		if l.Addr[b] < lo {
+			lo = l.Addr[b]
+		}
+		if end := l.Addr[b] + int64(l.Size[b]); end > hi {
+			hi = end
+		}
+	}
+	return hi - lo
+}
+
+// buildFigure3Program is the paper's example: main calls X then Y in a
+// loop; X randomly sets global b to 1 or 2 and executes the matching
+// half; Y branches on b.
+func buildFigure3Program() *ir.Program {
+	b := ir.NewBuilder("fig3", 1)
+	main := b.Func("main")
+	x := b.Func("X")
+	y := b.Func("Y")
+
+	mEntry := main.Block("entry", 8)
+	mCallX := main.Block("callX", 8)
+	mCallY := main.Block("callY", 8)
+	mLatch := main.Block("latch", 8)
+	mExit := main.Block("exit", 8)
+	mEntry.Jump(mCallX)
+	mCallX.Call(x, mCallY)
+	mCallY.Call(y, mLatch)
+	mLatch.Loop(100, mCallX, mExit)
+	mExit.Exit()
+
+	x1 := x.Block("X1", 100)
+	x2 := x.Block("X2", 100)
+	x3 := x.Block("X3", 100)
+	x1.Choose(0, 1, 2)
+	x1.Branch(ir.GlobalEq{Reg: 0, Val: 2}, x3, x2)
+	x2.Return()
+	x3.Return()
+
+	y1 := y.Block("Y1", 100)
+	y2 := y.Block("Y2", 100)
+	y3 := y.Block("Y3", 100)
+	y1.Branch(ir.GlobalEq{Reg: 0, Val: 2}, y3, y2)
+	y2.Return()
+	y3.Return()
+
+	p, err := b.Build()
+	if err != nil {
+		panic(err) // static example; correct by construction
+	}
+	return p
+}
+
+// String renders the before/after layouts.
+func (r Figure3Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3: inter-procedural basic-block reordering\n\n")
+	sb.WriteString("  optimized block order: " + strings.Join(r.Order, " ") + "\n")
+	fmt.Fprintf(&sb, "  hot-path lines (X1 X2 Y1 Y2): original %d, optimized %d\n",
+		r.HotLinesOriginal, r.HotLinesOptimized)
+	fmt.Fprintf(&sb, "  variant-1 pair span (X2..Y2): original %dB, optimized %dB\n",
+		r.SpanOriginal, r.SpanOptimized)
+	return sb.String()
+}

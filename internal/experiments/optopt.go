@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"codelayout/internal/stats"
+)
+
+// OptOptRow is one program's defensiveness+politeness measurement.
+type OptOptRow struct {
+	Name string
+	// Peer is the co-run partner (itself in the paper's
+	// optimized-optimized self-pairings; here each of the three most
+	// improving programs is paired with the other two and itself).
+	Peer string
+	// OptBase is the primary's co-run speedup when only the primary is
+	// optimized (optimized+baseline vs baseline+baseline).
+	OptBase float64
+	// OptOpt is the speedup when both are optimized
+	// (optimized+optimized vs baseline+baseline).
+	OptOpt float64
+}
+
+// ExtraGain returns the additional improvement from also optimizing the
+// peer — the quantity §III-F reports as negligible.
+func (r OptOptRow) ExtraGain() float64 { return r.OptOpt/r.OptBase - 1 }
+
+// OptOptResult reproduces §III-F: combining defensiveness and
+// politeness. The paper selects the three most improving programs from
+// function affinity and compares optimized-optimized co-run with
+// optimized-baseline co-run.
+type OptOptResult struct {
+	Selected []string
+	Rows     []OptOptRow
+}
+
+// OptOpt runs the §III-F study, reusing a Table II result to select the
+// three most improving programs under function affinity.
+func OptOpt(w *Workspace, t2 Table2Result) (OptOptResult, error) {
+	var res OptOptResult
+	type cand struct {
+		name    string
+		speedup float64
+	}
+	var cands []cand
+	for _, row := range t2.Rows {
+		if row.Optimizer == "func-affinity" && !row.NA {
+			cands = append(cands, cand{row.Name, row.AvgSpeedup})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].speedup > cands[j].speedup })
+	if len(cands) > 3 {
+		cands = cands[:3]
+	}
+	for _, c := range cands {
+		res.Selected = append(res.Selected, c.name)
+	}
+
+	const opt = "func-affinity"
+	for _, primName := range res.Selected {
+		prim, err := w.Bench(primName)
+		if err != nil {
+			return res, err
+		}
+		for _, peerName := range res.Selected {
+			peer, err := w.Bench(peerName)
+			if err != nil {
+				return res, err
+			}
+			base, err := HWCorunTimed(prim, Baseline, peer, Baseline)
+			if err != nil {
+				return res, err
+			}
+			ob, err := HWCorunTimed(prim, opt, peer, Baseline)
+			if err != nil {
+				return res, err
+			}
+			oo, err := HWCorunTimed(prim, opt, peer, opt)
+			if err != nil {
+				return res, err
+			}
+			res.Rows = append(res.Rows, OptOptRow{
+				Name:    primName,
+				Peer:    peerName,
+				OptBase: float64(base.Primary.Cycles) / float64(ob.Primary.Cycles),
+				OptOpt:  float64(base.Primary.Cycles) / float64(oo.Primary.Cycles),
+			})
+		}
+	}
+	return res, nil
+}
+
+// AvgExtraGain returns the mean additional gain from optimizing the
+// peer too.
+func (r OptOptResult) AvgExtraGain() float64 {
+	xs := make([]float64, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		xs = append(xs, row.ExtraGain())
+	}
+	return stats.Mean(xs)
+}
+
+// String renders the study.
+func (r OptOptResult) String() string {
+	t := &stats.Table{Header: []string{"primary", "peer", "opt+base", "opt+opt", "extra gain"}}
+	for _, row := range r.Rows {
+		t.Add(row.Name, row.Peer,
+			stats.SignedPct(row.OptBase-1),
+			stats.SignedPct(row.OptOpt-1),
+			stats.SignedPct(row.ExtraGain()))
+	}
+	return fmt.Sprintf("§III-F: combining defensiveness and politeness (3 most improving programs)\n\n%s\naverage extra gain from optimizing the peer: %s\n",
+		t, stats.SignedPct(r.AvgExtraGain()))
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"codelayout/internal/progen"
+	"codelayout/internal/stats"
+)
+
+// Table1Row is one benchmark's characteristics, matching the columns of
+// the paper's Table I.
+type Table1Row struct {
+	Name string
+	// DynamicInstrs is the executed instruction count (the paper
+	// reports billions; the synthetic analogues run millions).
+	DynamicInstrs int64
+	// StaticBytes is the program's static code size.
+	StaticBytes int64
+	// MissSolo, MissGCC and MissGamess are L1 I-cache miss ratios solo
+	// and co-running with the two probes (hardware counters).
+	MissSolo, MissGCC, MissGamess float64
+}
+
+// Table1Result reproduces Table I for the 8-program main suite.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 measures the characteristics of the main suite.
+func Table1(w *Workspace) (Table1Result, error) {
+	var res Table1Result
+	suite, err := w.MainSuite()
+	if err != nil {
+		return res, err
+	}
+	gcc, err := w.Bench(progen.ProbeGCC)
+	if err != nil {
+		return res, err
+	}
+	gamess, err := w.Bench(progen.ProbeGamess)
+	if err != nil {
+		return res, err
+	}
+	for _, b := range suite {
+		solo, err := b.HWSolo(Baseline)
+		if err != nil {
+			return res, err
+		}
+		c1, err := HWCorunTimed(b, Baseline, gcc, Baseline)
+		if err != nil {
+			return res, err
+		}
+		c2, err := HWCorunTimed(b, Baseline, gamess, Baseline)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			Name:          b.Name(),
+			DynamicInstrs: solo.Thread.Instrs,
+			StaticBytes:   b.Prog.StaticBytes(),
+			MissSolo:      solo.Counters.ICacheMissRatio(),
+			MissGCC:       c1.Counters.ICacheMissRatio(),
+			MissGamess:    c2.Counters.ICacheMissRatio(),
+		})
+	}
+	return res, nil
+}
+
+// String renders Table I.
+func (r Table1Result) String() string {
+	t := &stats.Table{Header: []string{
+		"Prog.", "Instr (dyn, M)", "Static (B)", "Solo", "Co-run gcc", "Co-run gamess",
+	}}
+	for _, row := range r.Rows {
+		t.Add(row.Name,
+			fmt.Sprintf("%.2f", float64(row.DynamicInstrs)/1e6),
+			fmt.Sprintf("%d", row.StaticBytes),
+			stats.Pct(row.MissSolo),
+			stats.Pct(row.MissGCC),
+			stats.Pct(row.MissGamess))
+	}
+	return "Table I: characteristics of the 8 benchmarks\n\n" + t.String()
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"codelayout/internal/progen"
+	"codelayout/internal/stats"
+)
+
+// Table2Optimizers lists the three optimizers Table II reports (BB TRG
+// "does not show improvement, so we omit it", as the paper does).
+var Table2Optimizers = []string{"func-affinity", "bb-affinity", "func-trg"}
+
+// CorunCell is one (program, optimizer, probe) co-run measurement.
+type CorunCell struct {
+	Probe string
+	// Speedup is baseline-primary cycles / optimized-primary cycles in
+	// the same co-run (both normalized against the original+original
+	// pairing by construction: the peer always runs the baseline).
+	Speedup float64
+	// MissReductionHW and MissReductionSim are the relative miss-ratio
+	// reductions on the hardware-counter and Pin-simulation paths.
+	MissReductionHW  float64
+	MissReductionSim float64
+}
+
+// Table2Row is one (program, optimizer) row: the per-probe cells and
+// their averages.
+type Table2Row struct {
+	Name      string
+	Optimizer string
+	NA        bool
+	Cells     []CorunCell
+	// Averages across all probes.
+	AvgSpeedup, AvgMissHW, AvgMissSim float64
+}
+
+// Table2Result reproduces Table II: average co-run speedup and miss
+// ratio reduction of the three optimizers over the main suite. The
+// per-probe cells also provide Figure 6's bars.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 runs the full co-run matrix: every main-suite program, under
+// every optimizer, against every main-suite probe running the baseline.
+func Table2(w *Workspace) (Table2Result, error) {
+	return Table2On(w, progen.MainSuiteNames)
+}
+
+// Table2On runs the co-run matrix on a subset of the suite (each
+// program is both a primary and a probe). The tests use small subsets;
+// the benchmark harness runs the full suite.
+func Table2On(w *Workspace, names []string) (Table2Result, error) {
+	var res Table2Result
+	suite := make([]*Bench, 0, len(names))
+	for _, n := range names {
+		b, err := w.Bench(n)
+		if err != nil {
+			return res, err
+		}
+		suite = append(suite, b)
+	}
+	for _, primary := range suite {
+		for _, optName := range Table2Optimizers {
+			row := Table2Row{Name: primary.Name(), Optimizer: optName}
+			if optName == "bb-affinity" && progen.BBReorderUnsupported[primary.Name()] {
+				row.NA = true
+				res.Rows = append(res.Rows, row)
+				continue
+			}
+			var sp, mhw, msim []float64
+			for _, probe := range suite {
+				cell, err := corunCell(primary, optName, probe)
+				if err != nil {
+					return res, err
+				}
+				row.Cells = append(row.Cells, cell)
+				sp = append(sp, cell.Speedup)
+				mhw = append(mhw, cell.MissReductionHW)
+				msim = append(msim, cell.MissReductionSim)
+			}
+			row.AvgSpeedup = stats.Mean(sp)
+			row.AvgMissHW = stats.Mean(mhw)
+			row.AvgMissSim = stats.Mean(msim)
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// corunCell measures one primary+probe pairing: the optimized primary
+// against the baseline probe, compared with the baseline primary against
+// the same probe.
+func corunCell(primary *Bench, optName string, probe *Bench) (CorunCell, error) {
+	base, err := HWCorunTimed(primary, Baseline, probe, Baseline)
+	if err != nil {
+		return CorunCell{}, err
+	}
+	opt, err := HWCorunTimed(primary, optName, probe, Baseline)
+	if err != nil {
+		return CorunCell{}, err
+	}
+	simBase, err := SimCorun(primary, Baseline, probe, Baseline)
+	if err != nil {
+		return CorunCell{}, err
+	}
+	simOpt, err := SimCorun(primary, optName, probe, Baseline)
+	if err != nil {
+		return CorunCell{}, err
+	}
+	return CorunCell{
+		Probe:   probe.Name(),
+		Speedup: float64(base.Primary.Cycles) / float64(opt.Primary.Cycles),
+		MissReductionHW: stats.Reduction(
+			base.Counters.ICacheMissRatio(), opt.Counters.ICacheMissRatio()),
+		MissReductionSim: stats.Reduction(simBase, simOpt),
+	}, nil
+}
+
+// Row returns the row for a (program, optimizer), or nil.
+func (r Table2Result) Row(name, optimizer string) *Table2Row {
+	for i := range r.Rows {
+		if r.Rows[i].Name == name && r.Rows[i].Optimizer == optimizer {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// BestSpeedup returns the best average co-run speedup for a program
+// across the three optimizers (the bold cells of Table II).
+func (r Table2Result) BestSpeedup(name string) (string, float64) {
+	bestOpt, best := "", 0.0
+	for _, row := range r.Rows {
+		if row.Name == name && !row.NA && row.AvgSpeedup > best {
+			best = row.AvgSpeedup
+			bestOpt = row.Optimizer
+		}
+	}
+	return bestOpt, best
+}
+
+// String renders Table II.
+func (r Table2Result) String() string {
+	t := &stats.Table{Header: []string{
+		"Benchmark", "Optimizer", "Speedup", "Miss red. (hw)", "Miss red. (sim)",
+	}}
+	for _, row := range r.Rows {
+		if row.NA {
+			t.Add(row.Name, row.Optimizer, "N/A", "N/A", "N/A")
+			continue
+		}
+		t.Add(row.Name, row.Optimizer,
+			stats.SignedPct(row.AvgSpeedup-1),
+			stats.Pct(row.AvgMissHW),
+			stats.Pct(row.AvgMissSim))
+	}
+	return "Table II: average co-run speedup and miss ratio reduction\n\n" + t.String()
+}

@@ -1,0 +1,180 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§III) on the synthetic suite: the intro contention table,
+// Table I (benchmark characteristics), Figures 1-3 (model examples),
+// Figure 4 (29-program screening), Figure 5 (solo effect), Table II and
+// Figure 6 (co-run effect), Figure 7 (hyper-threading throughput), and
+// the §III-F optimized+optimized co-run study. Each experiment returns a
+// structured result with a String() rendering; cmd/benchtables prints
+// them and bench_test.go wraps each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"codelayout/internal/core"
+	"codelayout/internal/ir"
+	"codelayout/internal/layout"
+	"codelayout/internal/progen"
+)
+
+// Baseline is the layout name of the unoptimized binary.
+const Baseline = "original"
+
+// Bench bundles everything the harness needs about one program:
+// the generated IR, the training profile (test input), the evaluation
+// trace (reference input), and the lazily built layouts.
+type Bench struct {
+	Spec progen.Spec
+	Prog *ir.Program
+	// Train is the profiling run (core.TrainSeed).
+	Train *core.Profile
+	// Eval is the measurement run (core.EvalSeed).
+	Eval *core.Profile
+
+	mu      sync.Mutex
+	layouts map[string]*layout.Layout
+	reports map[string]core.Report
+}
+
+// Name returns the program name.
+func (b *Bench) Name() string { return b.Spec.Name }
+
+// Layout returns (building and caching on first use) the named layout:
+// Baseline or an optimizer name from core.AllOptimizers.
+func (b *Bench) Layout(name string) (*layout.Layout, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if l, ok := b.layouts[name]; ok {
+		return l, nil
+	}
+	var l *layout.Layout
+	if name == Baseline {
+		l = layout.Original(b.Prog)
+	} else {
+		opt, err := optimizerByName(name)
+		if err != nil {
+			return nil, err
+		}
+		var rep core.Report
+		l, rep, err = opt.Optimize(b.Train)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %w", name, b.Name(), err)
+		}
+		b.reports[name] = rep
+	}
+	b.layouts[name] = l
+	return l, nil
+}
+
+// Replayer returns a replayer of the evaluation trace through the named
+// layout.
+func (b *Bench) Replayer(layoutName string, lineBytes int, wrap bool) (*layout.Replayer, error) {
+	l, err := b.Layout(layoutName)
+	if err != nil {
+		return nil, err
+	}
+	return layout.NewReplayer(l, b.Eval.Blocks, lineBytes, wrap), nil
+}
+
+func optimizerByName(name string) (core.Optimizer, error) {
+	for _, o := range core.AllWithBaselines() {
+		if o.Name() == name {
+			return o, nil
+		}
+	}
+	return core.Optimizer{}, fmt.Errorf("experiments: unknown optimizer %q", name)
+}
+
+// Workspace lazily generates, profiles and optimizes suite programs and
+// caches everything, so that a sequence of experiments (or benchmark
+// iterations) pays each cost once.
+type Workspace struct {
+	mu      sync.Mutex
+	benches map[string]*Bench
+}
+
+// NewWorkspace creates an empty workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{benches: make(map[string]*Bench)}
+}
+
+// Bench returns the named suite program, generating and profiling it on
+// first use.
+func (w *Workspace) Bench(name string) (*Bench, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if b, ok := w.benches[name]; ok {
+		return b, nil
+	}
+	spec, err := progen.SpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := progen.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	train, err := core.ProfileProgram(prog, core.TrainSeed)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := core.ProfileProgram(prog, core.EvalSeed)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bench{
+		Spec:    spec,
+		Prog:    prog,
+		Train:   train,
+		Eval:    eval,
+		layouts: make(map[string]*layout.Layout),
+		reports: make(map[string]core.Report),
+	}
+	w.benches[name] = b
+	return b, nil
+}
+
+// MainSuite returns the 8 Table I benches.
+func (w *Workspace) MainSuite() ([]*Bench, error) {
+	out := make([]*Bench, 0, len(progen.MainSuiteNames))
+	for _, n := range progen.MainSuiteNames {
+		b, err := w.Bench(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// ScreeningSuite returns the 29 Figure 4 benches.
+func (w *Workspace) ScreeningSuite() ([]*Bench, error) {
+	suite := progen.ScreeningSuite()
+	out := make([]*Bench, 0, len(suite))
+	for _, s := range suite {
+		b, err := w.Bench(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// benchSubset resolves a list of program names to benches; nil means
+// the whole screening suite.
+func (w *Workspace) benchSubset(names []string) ([]*Bench, error) {
+	if names == nil {
+		return w.ScreeningSuite()
+	}
+	out := make([]*Bench, 0, len(names))
+	for _, n := range names {
+		b, err := w.Bench(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

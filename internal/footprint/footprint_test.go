@@ -1,0 +1,219 @@
+package footprint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowFootprint(t *testing.T) {
+	// Paper example: in trimmed trace B1 B3 B2 B3 B4, fp<B1,B2> = 3.
+	syms := []int32{1, 3, 2, 3, 4}
+	if got := WindowFootprint(syms, 0, 2, nil); got != 3 {
+		t.Errorf("fp<B1,B2> = %d, want 3", got)
+	}
+	// Order of endpoints must not matter.
+	if got := WindowFootprint(syms, 2, 0, nil); got != 3 {
+		t.Errorf("fp with swapped endpoints = %d, want 3", got)
+	}
+	// Full trace.
+	if got := WindowFootprint(syms, 0, 4, nil); got != 4 {
+		t.Errorf("fp full = %d, want 4", got)
+	}
+	// Weighted footprint sums block sizes.
+	weights := []int32{0, 10, 20, 30, 40}
+	if got := WindowFootprint(syms, 0, 2, weights); got != 60 {
+		t.Errorf("weighted fp = %d, want 60", got)
+	}
+}
+
+func curvesClose(a, b *Curve) bool {
+	if a.N != b.N || math.Abs(a.Total-b.Total) > 1e-9 {
+		return false
+	}
+	for w := 0; w <= a.N; w++ {
+		if math.Abs(a.At(w)-b.At(w)) > 1e-6 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCurveMatchesNaiveSmall(t *testing.T) {
+	cases := [][]int32{
+		{0, 1, 0},
+		{0, 0, 0},
+		{0, 1},
+		{0, 1, 2, 0, 1, 2, 2},
+		{5},
+		{},
+	}
+	for _, syms := range cases {
+		got := NewCurve(syms, nil)
+		want := NewCurveNaive(syms, nil)
+		if !curvesClose(got, want) {
+			t.Errorf("curve mismatch for %v:\n got %v\nwant %v", syms, got.FP, want.FP)
+		}
+	}
+}
+
+func TestCurveMatchesNaiveQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		syms := make([]int32, len(raw))
+		for i, r := range raw {
+			syms[i] = int32(r % 10)
+		}
+		return curvesClose(NewCurve(syms, nil), NewCurveNaive(syms, nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCurveMatchesNaiveWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	weights := make([]int32, 16)
+	for i := range weights {
+		weights[i] = int32(8 + rng.Intn(120))
+	}
+	for trial := 0; trial < 20; trial++ {
+		syms := make([]int32, 60)
+		for i := range syms {
+			syms[i] = int32(rng.Intn(16))
+		}
+		if !curvesClose(NewCurve(syms, weights), NewCurveNaive(syms, weights)) {
+			t.Fatalf("weighted curve mismatch on trial %d", trial)
+		}
+	}
+}
+
+func TestCurveMonotoneAndConcaveProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	syms := make([]int32, 4000)
+	for i := range syms {
+		syms[i] = int32(rng.Intn(64))
+	}
+	c := NewCurve(syms, nil)
+	for w := 1; w <= c.N; w++ {
+		if c.At(w) < c.At(w-1)-1e-9 {
+			t.Fatalf("footprint not monotone at w=%d", w)
+		}
+	}
+	if c.At(1) != 1 {
+		t.Errorf("FP(1) = %v, want 1 (every window of 1 has footprint 1)", c.At(1))
+	}
+	if math.Abs(c.At(c.N)-c.Total) > 1e-9 {
+		t.Errorf("FP(n) = %v, want total %v", c.At(c.N), c.Total)
+	}
+	// At clamps out-of-range windows.
+	if c.At(-5) != 0 || c.At(c.N+100) != c.Total {
+		t.Error("At does not clamp")
+	}
+}
+
+// cyclicTrace returns a trace looping over k symbols r times.
+func cyclicTrace(k, r int) []int32 {
+	syms := make([]int32, 0, k*r)
+	for i := 0; i < r; i++ {
+		for s := 0; s < k; s++ {
+			syms = append(syms, int32(s))
+		}
+	}
+	return syms
+}
+
+func TestMissRatioAtCyclic(t *testing.T) {
+	// A cyclic trace over 32 symbols: LRU thrashes below 32, holds at 32.
+	c := NewCurve(cyclicTrace(32, 100), nil)
+	low := c.MissRatioAt(8)
+	high := c.MissRatioAt(40)
+	if low < 0.5 {
+		t.Errorf("miss ratio with capacity 8 = %v, want close to 1 (thrash)", low)
+	}
+	if high != 0 {
+		t.Errorf("miss ratio with capacity 40 = %v, want 0", high)
+	}
+	// A cache of exactly the working set holds a cyclic trace under LRU.
+	if fit := c.MissRatioAt(32); fit != 0 {
+		t.Errorf("miss ratio with capacity 32 = %v, want 0 (exact fit)", fit)
+	}
+	if got := c.MissRatioAt(0); got != 1 {
+		t.Errorf("miss ratio at capacity 0 = %v, want 1", got)
+	}
+}
+
+func TestCorunMissRatioContention(t *testing.T) {
+	// Self loops over 20 symbols, peer over 20 symbols; cache of 32
+	// holds either alone but not both.
+	self := NewCurve(cyclicTrace(20, 50), nil)
+	peer := NewCurve(cyclicTrace(20, 50), nil)
+	solo := self.MissRatioAt(32)
+	corun := CorunMissRatio(self, peer, 32)
+	if solo != 0 {
+		t.Errorf("solo miss = %v, want 0 (working set fits)", solo)
+	}
+	if corun <= solo {
+		t.Errorf("co-run miss %v not above solo %v: no contention modeled", corun, solo)
+	}
+	// A huge shared cache removes the contention.
+	if got := CorunMissRatio(self, peer, 1000); got != 0 {
+		t.Errorf("co-run miss with big cache = %v, want 0", got)
+	}
+	if got := CorunMissRatio(self, peer, 0); got != 1 {
+		t.Errorf("co-run miss with no cache = %v, want 1", got)
+	}
+}
+
+func TestAnalyzeGains(t *testing.T) {
+	// Base program loops over 30 symbols; "optimized" loops over 15
+	// (layout packing halved its footprint). Peer loops over 20. With a
+	// shared capacity of 35, peer+base reuses overflow (20+20 > 35) but
+	// peer+opt fit exactly (20+15).
+	base := NewCurve(cyclicTrace(30, 60), nil)
+	opt := NewCurve(cyclicTrace(15, 120), nil)
+	peer := NewCurve(cyclicTrace(20, 90), nil)
+	rep := Analyze(base, opt, peer, 35)
+
+	if rep.SelfCorunOpt >= rep.SelfCorunBase {
+		t.Errorf("defensiveness: opt co-run miss %v !< base %v", rep.SelfCorunOpt, rep.SelfCorunBase)
+	}
+	if rep.PeerCorunOpt >= rep.PeerCorunBase {
+		t.Errorf("politeness: peer miss with opt %v !< with base %v", rep.PeerCorunOpt, rep.PeerCorunBase)
+	}
+	if g := rep.DefensivenessGain(); g <= 0 || g > 1 {
+		t.Errorf("DefensivenessGain = %v, want in (0,1]", g)
+	}
+	if g := rep.PolitenessGain(); g <= 0 || g > 1 {
+		t.Errorf("PolitenessGain = %v, want in (0,1]", g)
+	}
+}
+
+func TestRelGainZeroBase(t *testing.T) {
+	rep := SharingReport{SoloBase: 0, SoloOpt: 0}
+	if rep.LocalityGain() != 0 {
+		t.Error("gain with zero base should be 0")
+	}
+}
+
+func TestEmptyCurve(t *testing.T) {
+	c := NewCurve(nil, nil)
+	if c.MissRatioAt(10) != 1 {
+		t.Error("empty trace miss ratio should degenerate to 1")
+	}
+	if CorunMissRatio(c, c, 10) != 0 {
+		t.Error("empty self co-run miss should be 0")
+	}
+}
+
+func BenchmarkNewCurve(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	syms := make([]int32, 1<<17)
+	for i := range syms {
+		syms[i] = int32(rng.Intn(2048))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewCurve(syms, nil)
+	}
+}

@@ -1,0 +1,44 @@
+package footprint
+
+// NewCurveNaive computes the average footprint curve by enumerating every
+// window of every length — O(n^2) time. It is the reference
+// implementation the tests compare NewCurve against, and is exported so
+// the model-validation benches can quantify the speedup of the
+// closed-form computation.
+func NewCurveNaive(syms []int32, weights []int32) *Curve {
+	n := len(syms)
+	c := &Curve{FP: make([]float64, n+1), N: n}
+	if n == 0 {
+		return c
+	}
+	w := func(s int32) float64 {
+		if weights == nil {
+			return 1
+		}
+		return float64(weights[s])
+	}
+	seenAll := make(map[int32]struct{})
+	for _, s := range syms {
+		if _, ok := seenAll[s]; !ok {
+			seenAll[s] = struct{}{}
+			c.Total += w(s)
+		}
+	}
+	for win := 1; win <= n; win++ {
+		var sum float64
+		for start := 0; start+win <= n; start++ {
+			seen := make(map[int32]struct{}, win)
+			var fp float64
+			for k := start; k < start+win; k++ {
+				s := syms[k]
+				if _, ok := seen[s]; !ok {
+					seen[s] = struct{}{}
+					fp += w(s)
+				}
+			}
+			sum += fp
+		}
+		c.FP[win] = sum / float64(n-win+1)
+	}
+	return c
+}

@@ -1,0 +1,111 @@
+package footprint
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// phasedTrace loops over k symbols per phase, p phases, reps loops per
+// phase — the shape of real instruction traces.
+func phasedTrace(k, phases, reps int) []int32 {
+	var syms []int32
+	for ph := 0; ph < phases; ph++ {
+		for r := 0; r < reps; r++ {
+			for i := 0; i < k; i++ {
+				syms = append(syms, int32(ph*k+i))
+			}
+		}
+	}
+	return syms
+}
+
+func TestCorunPeerNeverHelps(t *testing.T) {
+	// Any peer shrinks the effective capacity, so the predicted co-run
+	// miss ratio is at least the solo one. (Between two peers the model
+	// is not necessarily monotone: the miss ratio is the footprint
+	// slope at the boundary window, and the slope of a phased trace is
+	// not monotone in w.)
+	self := NewCurve(phasedTrace(24, 3, 30), nil)
+	small := NewCurve(phasedTrace(8, 1, 90), nil)
+	big := NewCurve(phasedTrace(40, 1, 40), nil)
+	const c = 48.0
+	mrSolo := self.MissRatioAt(c)
+	for name, peer := range map[string]*Curve{"small": small, "big": big} {
+		if mr := CorunMissRatio(self, peer, c); mr < mrSolo {
+			t.Errorf("%s peer lowered misses: %v < solo %v", name, mr, mrSolo)
+		}
+	}
+}
+
+func TestCorunMissMonotoneInCapacity(t *testing.T) {
+	self := NewCurve(phasedTrace(24, 2, 40), nil)
+	peer := NewCurve(phasedTrace(24, 2, 40), nil)
+	prev := 2.0
+	for _, c := range []float64{8, 16, 32, 64, 128} {
+		mr := CorunMissRatio(self, peer, c)
+		if mr > prev+1e-9 {
+			t.Fatalf("miss ratio rose with capacity at c=%v: %v > %v", c, mr, prev)
+		}
+		prev = mr
+	}
+}
+
+func TestWeightedCurveScalesWithBlockSizes(t *testing.T) {
+	syms := phasedTrace(10, 2, 20)
+	unit := NewCurve(syms, nil)
+	weights := make([]int32, 40)
+	for i := range weights {
+		weights[i] = 64
+	}
+	weighted := NewCurve(syms, weights)
+	// Scaling every weight by 64 scales the whole curve by 64.
+	for _, w := range []int{1, 10, 100, len(syms)} {
+		if got, want := weighted.At(w), 64*unit.At(w); !close(got, want) {
+			t.Fatalf("FP(%d): weighted %v != 64*unit %v", w, got, want)
+		}
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-6
+}
+
+func TestSlopeNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	syms := make([]int32, 3000)
+	for i := range syms {
+		syms[i] = int32(rng.Intn(50))
+	}
+	c := NewCurve(syms, nil)
+	for w := 0; w < c.N; w++ {
+		if c.Slope(w) < -1e-9 {
+			t.Fatalf("negative slope at w=%d", w)
+		}
+	}
+}
+
+func TestAnalyzeSoloOnlyBenefitCase(t *testing.T) {
+	// The paper highlights optimizations that do not improve solo run
+	// but improve co-run: base fits the cache alone, so does opt — both
+	// solo miss 0 — but only opt fits alongside the peer.
+	base := NewCurve(phasedTrace(24, 1, 60), nil) // 24 symbols
+	opt := NewCurve(phasedTrace(12, 1, 120), nil) // packed to 12
+	peer := NewCurve(phasedTrace(20, 1, 70), nil) // 20 symbols
+	rep := Analyze(base, opt, peer, 36)
+	if rep.SoloBase != 0 || rep.SoloOpt != 0 {
+		t.Fatalf("solo misses should be 0/0: %v/%v", rep.SoloBase, rep.SoloOpt)
+	}
+	if rep.SelfCorunBase <= 0 {
+		t.Fatal("base should contend with the peer")
+	}
+	if rep.SelfCorunOpt >= rep.SelfCorunBase {
+		t.Fatal("optimization should relieve co-run misses")
+	}
+	if rep.LocalityGain() != 0 || rep.DefensivenessGain() <= 0 {
+		t.Errorf("gains: locality %v defensiveness %v", rep.LocalityGain(), rep.DefensivenessGain())
+	}
+}

@@ -1,0 +1,153 @@
+// Package interp executes ir programs and records their basic-block
+// traces. It plays the role of the paper's instrumentation + runtime
+// phases: "the modeling step instruments the program and runs it using
+// the test data input set" (§II-F). The "input set" here is the random
+// seed: the training seed stands in for SPEC's test input and a different
+// evaluation seed for the reference input, so an optimizer never trains
+// on the exact trace it is judged with.
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"codelayout/internal/ir"
+	"codelayout/internal/trace"
+)
+
+// Options controls one execution.
+type Options struct {
+	// Seed selects the program input (branch outcomes and choice
+	// effects). Executions are fully deterministic for a given seed.
+	Seed int64
+	// MaxSteps caps the number of basic-block executions; 0 means the
+	// default of 50 million. The interpreter stops with Completed=false
+	// when the cap is reached.
+	MaxSteps int
+	// MaxCallDepth caps the call stack; 0 means the default of 4096.
+	MaxCallDepth int
+}
+
+// Result is the outcome of one execution.
+type Result struct {
+	// Blocks is the raw (untrimmed) basic-block trace, one entry per
+	// block execution, in execution order.
+	Blocks *trace.Trace
+	// Steps is the number of blocks executed.
+	Steps int
+	// DynamicBytes is the total instruction bytes fetched, i.e. the sum
+	// of executed block sizes (excluding layout-injected jumps, which
+	// depend on the layout and are accounted by the replayer).
+	DynamicBytes int64
+	// Completed reports whether the program reached Exit (rather than
+	// hitting MaxSteps).
+	Completed bool
+}
+
+const (
+	defaultMaxSteps     = 50_000_000
+	defaultMaxCallDepth = 4096
+)
+
+// Run executes p and records its block trace.
+func Run(p *ir.Program, opt Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("interp: %w", err)
+	}
+	maxSteps := opt.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultMaxSteps
+	}
+	maxDepth := opt.MaxCallDepth
+	if maxDepth == 0 {
+		maxDepth = defaultMaxCallDepth
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	globals := make([]int32, p.NumGlobals)
+	counters := make([]int32, p.NumBlocks())
+	callStack := make([]ir.BlockID, 0, 64)
+	syms := make([]int32, 0, 1<<16)
+
+	res := &Result{}
+	cur := p.Entry(0)
+	for {
+		if res.Steps >= maxSteps {
+			res.Blocks = trace.New(syms)
+			return res, nil
+		}
+		b := p.Blocks[cur]
+		syms = append(syms, int32(cur))
+		res.Steps++
+		res.DynamicBytes += int64(b.Size)
+
+		for _, e := range b.Effects {
+			applyEffect(globals, rng, e)
+		}
+
+		switch t := b.Term.(type) {
+		case ir.Jump:
+			cur = t.Target
+		case ir.Branch:
+			if evalCond(t.Cond, globals, counters, cur, rng) {
+				cur = t.Taken
+			} else {
+				cur = t.Fall
+			}
+		case ir.Call:
+			if len(callStack) >= maxDepth {
+				return nil, fmt.Errorf("interp: call depth exceeds %d at block %s", maxDepth, b)
+			}
+			callStack = append(callStack, t.Next)
+			cur = p.Entry(t.Callee)
+		case ir.Return:
+			if len(callStack) == 0 {
+				// Returning from the entry function ends the program.
+				res.Completed = true
+				res.Blocks = trace.New(syms)
+				return res, nil
+			}
+			cur = callStack[len(callStack)-1]
+			callStack = callStack[:len(callStack)-1]
+		case ir.Exit:
+			res.Completed = true
+			res.Blocks = trace.New(syms)
+			return res, nil
+		default:
+			return nil, fmt.Errorf("interp: block %s has unsupported terminator %T", b, b.Term)
+		}
+	}
+}
+
+func applyEffect(globals []int32, rng *rand.Rand, e ir.Effect) {
+	switch t := e.(type) {
+	case ir.SetGlobal:
+		globals[t.Reg] = t.Val
+	case ir.AddGlobal:
+		globals[t.Reg] += t.Delta
+	case ir.SetGlobalChoice:
+		globals[t.Reg] = t.Choices[rng.Intn(len(t.Choices))]
+	}
+}
+
+func evalCond(c ir.Cond, globals, counters []int32, cur ir.BlockID, rng *rand.Rand) bool {
+	switch t := c.(type) {
+	case ir.Always:
+		return true
+	case ir.Prob:
+		return rng.Float64() < t.P
+	case ir.GlobalEq:
+		return globals[t.Reg] == t.Val
+	case ir.GlobalLT:
+		return globals[t.Reg] < t.Val
+	case ir.Counter:
+		counters[cur]++
+		if counters[cur] < t.Trips {
+			return true
+		}
+		counters[cur] = 0
+		return false
+	default:
+		return false
+	}
+}

@@ -1,0 +1,288 @@
+package interp
+
+import (
+	"reflect"
+	"testing"
+
+	"codelayout/internal/ir"
+	"codelayout/internal/trace"
+)
+
+// straightLine builds main: entry -> mid -> exit.
+func straightLine(t *testing.T) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("line", 0)
+	f := b.Func("main")
+	e := f.Block("entry", 8)
+	m := f.Block("mid", 16)
+	x := f.Block("exit", 4)
+	e.Jump(m)
+	m.Jump(x)
+	x.Exit()
+	return b.MustBuild()
+}
+
+func TestStraightLineTrace(t *testing.T) {
+	p := straightLine(t)
+	res, err := Run(p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Error("not completed")
+	}
+	want := []int32{0, 1, 2}
+	if !reflect.DeepEqual(res.Blocks.Syms, want) {
+		t.Errorf("trace = %v, want %v", res.Blocks.Syms, want)
+	}
+	if res.Steps != 3 {
+		t.Errorf("Steps = %d, want 3", res.Steps)
+	}
+	if res.DynamicBytes != 28 {
+		t.Errorf("DynamicBytes = %d, want 28", res.DynamicBytes)
+	}
+}
+
+func TestCountedLoop(t *testing.T) {
+	b := ir.NewBuilder("loop", 0)
+	f := b.Func("main")
+	e := f.Block("entry", 8)
+	body := f.Block("body", 8)
+	x := f.Block("exit", 8)
+	e.Jump(body)
+	body.Loop(5, body, x)
+	x.Exit()
+	p := b.MustBuild()
+
+	res, err := Run(p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// entry + 5 body iterations + exit.
+	want := []int32{0, 1, 1, 1, 1, 1, 2}
+	if !reflect.DeepEqual(res.Blocks.Syms, want) {
+		t.Errorf("trace = %v, want %v", res.Blocks.Syms, want)
+	}
+}
+
+func TestNestedLoopCounterResets(t *testing.T) {
+	// outer runs 3 times; inner runs 2 times per outer iteration.
+	b := ir.NewBuilder("nest", 0)
+	f := b.Func("main")
+	e := f.Block("entry", 8)
+	inner := f.Block("inner", 8)
+	outer := f.Block("outerLatch", 8)
+	x := f.Block("exit", 8)
+	e.Jump(inner)
+	inner.Loop(2, inner, outer)
+	outer.Loop(3, inner, x)
+	x.Exit()
+	p := b.MustBuild()
+
+	res, err := Run(p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := res.Blocks.Counts()
+	if counts[1] != 6 { // 3 outer * 2 inner
+		t.Errorf("inner executed %d times, want 6", counts[1])
+	}
+	if counts[2] != 3 {
+		t.Errorf("outer latch executed %d times, want 3", counts[2])
+	}
+}
+
+func TestCallsAndReturns(t *testing.T) {
+	b := ir.NewBuilder("call", 0)
+	main := b.Func("main")
+	callee := b.Func("F")
+	m0 := main.Block("m0", 8)
+	m1 := main.Block("m1", 8)
+	f0 := callee.Block("f0", 8)
+	m0.Call(callee, m1)
+	m1.Exit()
+	f0.Return()
+	p := b.MustBuild()
+
+	res, err := Run(p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 2, 1}
+	if !reflect.DeepEqual(res.Blocks.Syms, want) {
+		t.Errorf("trace = %v, want %v", res.Blocks.Syms, want)
+	}
+}
+
+func TestReturnFromEntryEndsProgram(t *testing.T) {
+	b := ir.NewBuilder("ret", 0)
+	f := b.Func("main")
+	f.Block("only", 8).Return()
+	p := b.MustBuild()
+	res, err := Run(p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Steps != 1 {
+		t.Errorf("Completed=%v Steps=%d, want true/1", res.Completed, res.Steps)
+	}
+}
+
+func TestGlobalCorrelation(t *testing.T) {
+	// X sets g0 = 1 always; Y branches on g0 == 1. Y must always take Y2.
+	b := ir.NewBuilder("corr", 1)
+	main := b.Func("main")
+	x := b.Func("X")
+	y := b.Func("Y")
+
+	m0 := main.Block("m0", 8)
+	m1 := main.Block("m1", 8)
+	m2 := main.Block("m2", 8)
+	m0.Call(x, m1)
+	m1.Call(y, m2)
+	m2.Exit()
+
+	x0 := x.Block("x0", 8)
+	x0.Set(0, 1)
+	x0.Return()
+
+	y0 := y.Block("y0", 8)
+	y2 := y.Block("y2", 8)
+	y3 := y.Block("y3", 8)
+	y0.Branch(ir.GlobalEq{Reg: 0, Val: 1}, y2, y3)
+	y2.Return()
+	y3.Return()
+	p := b.MustBuild()
+
+	res, err := Run(p, Options{Seed: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := res.Blocks.Counts()
+	at := func(id ir.BlockID) int64 {
+		if int(id) >= len(counts) {
+			return 0
+		}
+		return counts[id]
+	}
+	if at(ir.BlockID(y2.ID())) != 1 || at(ir.BlockID(y3.ID())) != 0 {
+		t.Errorf("Y2=%d Y3=%d, want 1/0", at(ir.BlockID(y2.ID())), at(ir.BlockID(y3.ID())))
+	}
+}
+
+func probLoopProg(t *testing.T) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("prob", 0)
+	f := b.Func("main")
+	e := f.Block("entry", 8)
+	hot := f.Block("hot", 8)
+	cold := f.Block("cold", 8)
+	latch := f.Block("latch", 8)
+	x := f.Block("exit", 8)
+	e.Jump(hot)
+	hot.Branch(ir.Prob{P: 0.25}, cold, latch)
+	cold.Jump(latch)
+	latch.Loop(10000, hot, x)
+	x.Exit()
+	return b.MustBuild()
+}
+
+func TestProbBranchFrequency(t *testing.T) {
+	p := probLoopProg(t)
+	res, err := Run(p, Options{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := res.Blocks.Counts()
+	frac := float64(counts[2]) / float64(counts[1])
+	if frac < 0.2 || frac > 0.3 {
+		t.Errorf("cold fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	p := probLoopProg(t)
+	a, err := Run(p, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Blocks.Syms, b.Blocks.Syms) {
+		t.Error("same seed produced different traces")
+	}
+	c, err := Run(p, Options{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Blocks.Syms, c.Blocks.Syms) {
+		t.Error("different seeds produced identical traces (suspicious for a probabilistic program)")
+	}
+}
+
+func TestMaxStepsStopsRunaway(t *testing.T) {
+	b := ir.NewBuilder("spin", 0)
+	f := b.Func("main")
+	e := f.Block("spin", 8)
+	e.Jump(e)
+	p := b.MustBuild()
+
+	res, err := Run(p, Options{Seed: 1, MaxSteps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Error("runaway program reported completed")
+	}
+	if res.Steps != 100 {
+		t.Errorf("Steps = %d, want 100", res.Steps)
+	}
+}
+
+func TestCallDepthGuard(t *testing.T) {
+	b := ir.NewBuilder("recurse", 0)
+	f := b.Func("main")
+	e := f.Block("entry", 8)
+	n := f.Block("next", 8)
+	e.Call(f, n) // infinite recursion
+	n.Return()
+	p := b.MustBuild()
+	if _, err := Run(p, Options{Seed: 1, MaxCallDepth: 32}); err == nil {
+		t.Error("unbounded recursion not rejected")
+	}
+}
+
+func TestRunRejectsInvalidProgram(t *testing.T) {
+	p := straightLine(t)
+	p.Blocks[0].Size = 0
+	if _, err := Run(p, Options{Seed: 1}); err == nil {
+		t.Error("Run accepted invalid program")
+	}
+}
+
+func TestFuncTraceFromExecution(t *testing.T) {
+	b := ir.NewBuilder("ft", 0)
+	main := b.Func("main")
+	g := b.Func("G")
+	m0 := main.Block("m0", 8)
+	m1 := main.Block("m1", 8)
+	m2 := main.Block("m2", 8)
+	g0 := g.Block("g0", 8)
+	m0.Call(g, m1)
+	m1.Call(g, m2)
+	m2.Exit()
+	g0.Return()
+	p := b.MustBuild()
+
+	res, err := Run(p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := trace.FuncTrace(p, res.Blocks)
+	want := []int32{0, 1, 0, 1, 0}
+	if !reflect.DeepEqual(ft.Syms, want) {
+		t.Errorf("function trace = %v, want %v", ft.Syms, want)
+	}
+}

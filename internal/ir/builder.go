@@ -1,0 +1,150 @@
+package ir
+
+import "fmt"
+
+// Builder constructs a Program incrementally. It exists so that the
+// program generator, the examples and the tests can write program
+// construction code that reads like a control-flow sketch rather than
+// slice bookkeeping.
+//
+// Typical use:
+//
+//	b := ir.NewBuilder("demo", 1)
+//	f := b.Func("main")
+//	entry := f.Block("entry", 16)
+//	body := f.Block("body", 48)
+//	entry.Jump(body)
+//	body.Exit()
+//	prog, err := b.Build()
+type Builder struct {
+	prog *Program
+	fns  []*FuncBuilder
+}
+
+// NewBuilder creates a Builder for a program with the given number of
+// global registers.
+func NewBuilder(name string, numGlobals int) *Builder {
+	return &Builder{prog: &Program{Name: name, NumGlobals: numGlobals}}
+}
+
+// SetDataCPI sets the program's data-side stall contribution.
+func (b *Builder) SetDataCPI(cpi float64) { b.prog.DataCPI = cpi }
+
+// Func declares a new function. The first function declared is the
+// program entry.
+func (b *Builder) Func(name string) *FuncBuilder {
+	f := &Function{ID: FuncID(len(b.prog.Funcs)), Name: name}
+	b.prog.Funcs = append(b.prog.Funcs, f)
+	fb := &FuncBuilder{b: b, fn: f}
+	b.fns = append(b.fns, fb)
+	return fb
+}
+
+// Build validates and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	for _, fb := range b.fns {
+		if len(fb.fn.Blocks) == 0 {
+			return nil, fmt.Errorf("ir: function %q has no blocks", fb.fn.Name)
+		}
+		for _, bb := range fb.blocks {
+			if bb.blk.Term == nil {
+				return nil, fmt.Errorf("ir: block %s.%s has no terminator", fb.fn.Name, bb.blk.Name)
+			}
+		}
+	}
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustBuild is Build that panics on error; intended for tests and
+// generators whose programs are correct by construction.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FuncBuilder constructs the blocks of one function.
+type FuncBuilder struct {
+	b      *Builder
+	fn     *Function
+	blocks []*BlockBuilder
+}
+
+// ID returns the function's ID.
+func (fb *FuncBuilder) ID() FuncID { return fb.fn.ID }
+
+// Block appends a new basic block of the given size in bytes. The first
+// block of a function is its entry.
+func (fb *FuncBuilder) Block(name string, size int32) *BlockBuilder {
+	blk := &Block{
+		ID:   BlockID(len(fb.b.prog.Blocks)),
+		Fn:   fb.fn.ID,
+		Name: name,
+		Size: size,
+	}
+	fb.b.prog.Blocks = append(fb.b.prog.Blocks, blk)
+	fb.fn.Blocks = append(fb.fn.Blocks, blk.ID)
+	bb := &BlockBuilder{fb: fb, blk: blk}
+	fb.blocks = append(fb.blocks, bb)
+	return bb
+}
+
+// BlockBuilder sets the effects and terminator of one block.
+type BlockBuilder struct {
+	fb  *FuncBuilder
+	blk *Block
+}
+
+// ID returns the block's program-wide ID.
+func (bb *BlockBuilder) ID() BlockID { return bb.blk.ID }
+
+// Set adds a SetGlobal effect.
+func (bb *BlockBuilder) Set(reg, val int32) *BlockBuilder {
+	bb.blk.Effects = append(bb.blk.Effects, SetGlobal{Reg: reg, Val: val})
+	return bb
+}
+
+// Add adds an AddGlobal effect.
+func (bb *BlockBuilder) Add(reg, delta int32) *BlockBuilder {
+	bb.blk.Effects = append(bb.blk.Effects, AddGlobal{Reg: reg, Delta: delta})
+	return bb
+}
+
+// Choose adds a SetGlobalChoice effect.
+func (bb *BlockBuilder) Choose(reg int32, choices ...int32) *BlockBuilder {
+	bb.blk.Effects = append(bb.blk.Effects, SetGlobalChoice{Reg: reg, Choices: choices})
+	return bb
+}
+
+// Jump terminates the block with an unconditional jump.
+func (bb *BlockBuilder) Jump(target *BlockBuilder) {
+	bb.blk.Term = Jump{Target: target.ID()}
+}
+
+// Branch terminates the block with a conditional branch.
+func (bb *BlockBuilder) Branch(cond Cond, taken, fall *BlockBuilder) {
+	bb.blk.Term = Branch{Cond: cond, Taken: taken.ID(), Fall: fall.ID()}
+}
+
+// Loop terminates the block with a counted back-edge: control returns to
+// header trips-1 times, then falls through to fall.
+func (bb *BlockBuilder) Loop(trips int32, header, fall *BlockBuilder) {
+	bb.blk.Term = Branch{Cond: Counter{Trips: trips}, Taken: header.ID(), Fall: fall.ID()}
+}
+
+// Call terminates the block with a call; control continues at next after
+// the callee returns.
+func (bb *BlockBuilder) Call(callee *FuncBuilder, next *BlockBuilder) {
+	bb.blk.Term = Call{Callee: callee.ID(), Next: next.ID()}
+}
+
+// Return terminates the block with a return.
+func (bb *BlockBuilder) Return() { bb.blk.Term = Return{} }
+
+// Exit terminates the block by ending the program.
+func (bb *BlockBuilder) Exit() { bb.blk.Term = Exit{} }

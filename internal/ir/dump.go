@@ -1,0 +1,74 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the program in a readable assembly-like listing, mostly
+// for debugging generated programs and for the examples.
+func (p *Program) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s  (%d funcs, %d blocks, %d bytes, %d globals)\n",
+		p.Name, len(p.Funcs), len(p.Blocks), p.StaticBytes(), p.NumGlobals)
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&sb, "func %s:\n", f.Name)
+		for _, id := range f.Blocks {
+			b := p.Blocks[id]
+			fmt.Fprintf(&sb, "  %-12s #%-5d %4dB", b.Name, b.ID, b.Size)
+			for _, e := range b.Effects {
+				sb.WriteString(" " + effectString(e))
+			}
+			sb.WriteString("  " + p.termString(b.Term) + "\n")
+		}
+	}
+	return sb.String()
+}
+
+func effectString(e Effect) string {
+	switch t := e.(type) {
+	case SetGlobal:
+		return fmt.Sprintf("g%d=%d", t.Reg, t.Val)
+	case AddGlobal:
+		return fmt.Sprintf("g%d+=%d", t.Reg, t.Delta)
+	case SetGlobalChoice:
+		return fmt.Sprintf("g%d=choice%v", t.Reg, t.Choices)
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+func (p *Program) termString(t Terminator) string {
+	name := func(id BlockID) string { return p.Blocks[id].Name }
+	switch tt := t.(type) {
+	case Jump:
+		return "jmp " + name(tt.Target)
+	case Branch:
+		return fmt.Sprintf("br %s ? %s : %s", condString(tt.Cond), name(tt.Taken), name(tt.Fall))
+	case Call:
+		return fmt.Sprintf("call %s; -> %s", p.Funcs[tt.Callee].Name, name(tt.Next))
+	case Return:
+		return "ret"
+	case Exit:
+		return "exit"
+	default:
+		return fmt.Sprintf("%T", t)
+	}
+}
+
+func condString(c Cond) string {
+	switch t := c.(type) {
+	case Always:
+		return "true"
+	case Prob:
+		return fmt.Sprintf("p=%.2f", t.P)
+	case GlobalEq:
+		return fmt.Sprintf("g%d==%d", t.Reg, t.Val)
+	case GlobalLT:
+		return fmt.Sprintf("g%d<%d", t.Reg, t.Val)
+	case Counter:
+		return fmt.Sprintf("loop x%d", t.Trips)
+	default:
+		return fmt.Sprintf("%T", c)
+	}
+}

@@ -1,0 +1,234 @@
+// Package ir defines a compact whole-program intermediate representation
+// used throughout the repository as the stand-in for LLVM bytecode.
+//
+// A Program is a set of Functions; a Function is an ordered list of basic
+// Blocks; a Block has a byte size, optional side Effects on global
+// registers, and exactly one Terminator. The representation is rich enough
+// to express the trace properties that make code layout matter for the
+// instruction cache: hot/cold paths inside a function, loops with trip
+// counts, cross-function calls, and branches whose outcome is correlated
+// across functions through global registers (the pattern of Figure 3 in the
+// paper).
+//
+// Blocks carry global IDs (dense, program-wide) so that traces, layouts and
+// locality models can index plain slices instead of maps.
+package ir
+
+import "fmt"
+
+// FuncID identifies a function within a Program. IDs are dense: the
+// function with ID f is Program.Funcs[f].
+type FuncID int32
+
+// BlockID identifies a basic block within a Program. IDs are dense and
+// program-wide: the block with ID b is Program.Blocks[b].
+type BlockID int32
+
+// NoBlock marks the absence of a block reference (e.g. no fall-through).
+const NoBlock BlockID = -1
+
+// Program is a whole program: the unit the paper's optimizers operate on
+// ("first compiling all program code into a single byte-code file").
+type Program struct {
+	Name string
+	// Funcs holds every function; Funcs[0] is the entry function.
+	Funcs []*Function
+	// Blocks holds every basic block of every function, indexed by BlockID.
+	Blocks []*Block
+	// NumGlobals is the number of global integer registers. Globals model
+	// the cross-function branch correlation of the paper's Figure 3
+	// example (func X sets b, func Y branches on b).
+	NumGlobals int
+	// DataCPI is the per-instruction stall contribution of the data side
+	// (data cache and memory behaviour), in cycles per instruction. The
+	// paper notes SPEC CPU is data intensive; since this repository
+	// simulates only the instruction side in detail, the data side is a
+	// calibrated constant per program. See DESIGN.md §2.
+	DataCPI float64
+}
+
+// Function is an ordered list of basic blocks. Blocks[0] is the entry
+// block. The order of Blocks is the "source order" used by the original
+// (unoptimized) code layout.
+type Function struct {
+	ID     FuncID
+	Name   string
+	Blocks []BlockID
+}
+
+// Block is a basic block: Size bytes of straight-line code ending in a
+// single Terminator. Size includes the terminator instruction itself but
+// not any layout-injected jump (see the layout package).
+type Block struct {
+	ID   BlockID
+	Fn   FuncID
+	Name string
+	Size int32
+	// Effects run when the block executes, before the terminator.
+	Effects []Effect
+	Term    Terminator
+}
+
+// Effect is a side effect a block applies to the global registers.
+type Effect interface{ effect() }
+
+// SetGlobal assigns Val to global register Reg.
+type SetGlobal struct {
+	Reg int32
+	Val int32
+}
+
+// AddGlobal adds Delta to global register Reg.
+type AddGlobal struct {
+	Reg   int32
+	Delta int32
+}
+
+// SetGlobalChoice assigns a uniformly random element of Choices to Reg.
+// The randomness comes from the interpreter's seeded source, so execution
+// is deterministic for a given input seed.
+type SetGlobalChoice struct {
+	Reg     int32
+	Choices []int32
+}
+
+func (SetGlobal) effect()       {}
+func (AddGlobal) effect()       {}
+func (SetGlobalChoice) effect() {}
+
+// Terminator ends a basic block.
+type Terminator interface{ term() }
+
+// Jump transfers control unconditionally to Target (same function).
+type Jump struct{ Target BlockID }
+
+// Branch transfers control to Taken if Cond evaluates true, else to Fall.
+// Fall is the natural fall-through successor: in the original encoding it
+// needs no jump instruction when placed immediately after this block.
+type Branch struct {
+	Cond  Cond
+	Taken BlockID
+	Fall  BlockID
+}
+
+// Call invokes Callee; after Callee returns, control continues at Next
+// (same function as the caller). Next is the natural fall-through.
+type Call struct {
+	Callee FuncID
+	Next   BlockID
+}
+
+// Return returns from the current function.
+type Return struct{}
+
+// Exit terminates the program.
+type Exit struct{}
+
+func (Jump) term()   {}
+func (Branch) term() {}
+func (Call) term()   {}
+func (Return) term() {}
+func (Exit) term()   {}
+
+// Cond is a branch condition.
+type Cond interface{ cond() }
+
+// Always is a condition that is always true.
+type Always struct{}
+
+// Prob is true with probability P, drawn from the interpreter's seeded
+// random source.
+type Prob struct{ P float64 }
+
+// GlobalEq is true when global register Reg equals Val.
+type GlobalEq struct {
+	Reg int32
+	Val int32
+}
+
+// GlobalLT is true when global register Reg is less than Val.
+type GlobalLT struct {
+	Reg int32
+	Val int32
+}
+
+// Counter implements a loop back-edge: it is true (branch taken) the first
+// Trips-1 times it is evaluated, then false once, after which the counter
+// resets. A Branch{Cond: Counter{N}, Taken: header} therefore executes the
+// loop body N times per activation.
+type Counter struct{ Trips int32 }
+
+func (Always) cond()   {}
+func (Prob) cond()     {}
+func (GlobalEq) cond() {}
+func (GlobalLT) cond() {}
+func (Counter) cond()  {}
+
+// Func returns the function containing block b.
+func (p *Program) Func(f FuncID) *Function { return p.Funcs[f] }
+
+// Block returns the block with ID b.
+func (p *Program) Block(b BlockID) *Block { return p.Blocks[b] }
+
+// Entry returns the entry block of function f.
+func (p *Program) Entry(f FuncID) BlockID { return p.Funcs[f].Blocks[0] }
+
+// NumBlocks returns the total number of basic blocks in the program.
+func (p *Program) NumBlocks() int { return len(p.Blocks) }
+
+// NumFuncs returns the number of functions in the program.
+func (p *Program) NumFuncs() int { return len(p.Funcs) }
+
+// StaticBytes returns the total static code size in bytes, excluding any
+// layout-injected jumps.
+func (p *Program) StaticBytes() int64 {
+	var total int64
+	for _, b := range p.Blocks {
+		total += int64(b.Size)
+	}
+	return total
+}
+
+// FuncByName returns the function with the given name, or nil.
+func (p *Program) FuncByName(name string) *Function {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// BlockByName returns the block with the given name, or nil. Block names
+// are only unique within a function, so the function name is required.
+func (p *Program) BlockByName(fn, name string) *Block {
+	f := p.FuncByName(fn)
+	if f == nil {
+		return nil
+	}
+	for _, id := range f.Blocks {
+		if p.Blocks[id].Name == name {
+			return p.Blocks[id]
+		}
+	}
+	return nil
+}
+
+// NaturalNext returns the fall-through successor of b: the block that
+// executes next without an explicit jump instruction when it is placed
+// immediately after b. It returns NoBlock for blocks ending in Jump,
+// Return or Exit.
+func (b *Block) NaturalNext() BlockID {
+	switch t := b.Term.(type) {
+	case Branch:
+		return t.Fall
+	case Call:
+		return t.Next
+	default:
+		return NoBlock
+	}
+}
+
+func (b *Block) String() string {
+	return fmt.Sprintf("%s#%d", b.Name, b.ID)
+}

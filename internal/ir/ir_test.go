@@ -1,0 +1,234 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildLoopProg constructs main -> loop { call X; call Y } used by several
+// tests; it mirrors the shape of the paper's Figure 3 example.
+func buildLoopProg(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("fig3", 1)
+
+	main := b.Func("main")
+	x := b.Func("X")
+	y := b.Func("Y")
+
+	// main: loop 100 times { call X; call Y }
+	mEntry := main.Block("entry", 8)
+	mCallX := main.Block("callX", 8)
+	mCallY := main.Block("callY", 8)
+	mLatch := main.Block("latch", 8)
+	mExit := main.Block("exit", 8)
+	mEntry.Jump(mCallX)
+	mCallX.Call(x, mCallY)
+	mCallY.Call(y, mLatch)
+	mLatch.Loop(100, mCallX, mExit)
+	mExit.Exit()
+
+	// X: if (random) b=1 else b=2
+	x1 := x.Block("X1", 12)
+	x2 := x.Block("X2", 24)
+	x3 := x.Block("X3", 24)
+	xr := x.Block("Xret", 4)
+	x1.Branch(Prob{P: 0.5}, x2, x3)
+	x2.Set(0, 1)
+	x2.Jump(xr)
+	x3.Set(0, 2)
+	x3.Jump(xr)
+	xr.Return()
+
+	// Y: if (b == 1) Y2 else Y3
+	y1 := y.Block("Y1", 12)
+	y2 := y.Block("Y2", 24)
+	y3 := y.Block("Y3", 24)
+	yr := y.Block("Yret", 4)
+	y1.Branch(GlobalEq{Reg: 0, Val: 1}, y2, y3)
+	y2.Jump(yr)
+	y3.Jump(yr)
+	yr.Return()
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestBuilderProducesValidProgram(t *testing.T) {
+	p := buildLoopProg(t)
+	if got, want := p.NumFuncs(), 3; got != want {
+		t.Errorf("NumFuncs = %d, want %d", got, want)
+	}
+	if got, want := p.NumBlocks(), 13; got != want {
+		t.Errorf("NumBlocks = %d, want %d", got, want)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestBlockAndFuncLookup(t *testing.T) {
+	p := buildLoopProg(t)
+	f := p.FuncByName("X")
+	if f == nil {
+		t.Fatal("FuncByName(X) = nil")
+	}
+	if p.Entry(f.ID) != f.Blocks[0] {
+		t.Errorf("Entry(%d) = %d, want %d", f.ID, p.Entry(f.ID), f.Blocks[0])
+	}
+	blk := p.BlockByName("X", "X2")
+	if blk == nil {
+		t.Fatal("BlockByName(X, X2) = nil")
+	}
+	if blk.Fn != f.ID {
+		t.Errorf("X2 belongs to function %d, want %d", blk.Fn, f.ID)
+	}
+	if p.BlockByName("X", "nosuch") != nil {
+		t.Error("BlockByName(X, nosuch) != nil")
+	}
+	if p.BlockByName("nosuch", "X2") != nil {
+		t.Error("BlockByName(nosuch, X2) != nil")
+	}
+}
+
+func TestStaticBytes(t *testing.T) {
+	p := buildLoopProg(t)
+	var want int64
+	for _, b := range p.Blocks {
+		want += int64(b.Size)
+	}
+	if got := p.StaticBytes(); got != want {
+		t.Errorf("StaticBytes = %d, want %d", got, want)
+	}
+	if want == 0 {
+		t.Error("StaticBytes is zero for non-empty program")
+	}
+}
+
+func TestNaturalNext(t *testing.T) {
+	p := buildLoopProg(t)
+	x1 := p.BlockByName("X", "X1")
+	x3 := p.BlockByName("X", "X3")
+	if got := x1.NaturalNext(); got != x3.ID {
+		t.Errorf("NaturalNext(X1) = %d, want fall-through X3 %d", got, x3.ID)
+	}
+	x2 := p.BlockByName("X", "X2")
+	if got := x2.NaturalNext(); got != NoBlock {
+		t.Errorf("NaturalNext(X2 jump) = %d, want NoBlock", got)
+	}
+	callX := p.BlockByName("main", "callX")
+	callY := p.BlockByName("main", "callY")
+	if got := callX.NaturalNext(); got != callY.ID {
+		t.Errorf("NaturalNext(callX) = %d, want %d", got, callY.ID)
+	}
+	xr := p.BlockByName("X", "Xret")
+	if got := xr.NaturalNext(); got != NoBlock {
+		t.Errorf("NaturalNext(return) = %d, want NoBlock", got)
+	}
+}
+
+func TestValidateRejectsBrokenPrograms(t *testing.T) {
+	mk := func() *Program { return buildLoopProg(t) }
+
+	cases := []struct {
+		name   string
+		break_ func(*Program)
+		want   string
+	}{
+		{
+			"cross-function jump",
+			func(p *Program) {
+				x2 := p.BlockByName("X", "X2")
+				y1 := p.BlockByName("Y", "Y1")
+				x2.Term = Jump{Target: y1.ID}
+			},
+			"crosses function boundary",
+		},
+		{
+			"bad callee",
+			func(p *Program) {
+				c := p.BlockByName("main", "callX")
+				c.Term = Call{Callee: 99, Next: c.NaturalNext()}
+			},
+			"out of range",
+		},
+		{
+			"zero size",
+			func(p *Program) { p.BlockByName("X", "X2").Size = 0 },
+			"non-positive size",
+		},
+		{
+			"nil terminator",
+			func(p *Program) { p.BlockByName("X", "X2").Term = nil },
+			"no terminator",
+		},
+		{
+			"bad probability",
+			func(p *Program) {
+				x1 := p.BlockByName("X", "X1")
+				tm := x1.Term.(Branch)
+				tm.Cond = Prob{P: 1.5}
+				x1.Term = tm
+			},
+			"out of [0,1]",
+		},
+		{
+			"bad global in condition",
+			func(p *Program) {
+				y1 := p.BlockByName("Y", "Y1")
+				tm := y1.Term.(Branch)
+				tm.Cond = GlobalEq{Reg: 7, Val: 1}
+				y1.Term = tm
+			},
+			"out of range",
+		},
+		{
+			"bad global in effect",
+			func(p *Program) {
+				x2 := p.BlockByName("X", "X2")
+				x2.Effects = []Effect{SetGlobal{Reg: 9, Val: 1}}
+			},
+			"out of range",
+		},
+		{
+			"zero trip loop",
+			func(p *Program) {
+				l := p.BlockByName("main", "latch")
+				tm := l.Term.(Branch)
+				tm.Cond = Counter{Trips: 0}
+				l.Term = tm
+			},
+			"< 1",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := mk()
+			tc.break_(p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted broken program (%s)", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDumpMentionsEveryBlock(t *testing.T) {
+	p := buildLoopProg(t)
+	d := p.Dump()
+	for _, b := range p.Blocks {
+		if !strings.Contains(d, b.Name) {
+			t.Errorf("Dump missing block %s", b.Name)
+		}
+	}
+	for _, f := range p.Funcs {
+		if !strings.Contains(d, "func "+f.Name+":") {
+			t.Errorf("Dump missing function %s", f.Name)
+		}
+	}
+}

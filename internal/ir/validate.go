@@ -1,0 +1,160 @@
+package ir
+
+import "fmt"
+
+// Validate checks the structural invariants the rest of the repository
+// relies on:
+//
+//   - block and function IDs are dense and consistent,
+//   - every control transfer target exists,
+//   - intra-procedural targets (Jump, Branch, Call.Next) stay inside the
+//     block's own function,
+//   - every block has a terminator and a positive size,
+//   - effect and condition register indices are within NumGlobals.
+func (p *Program) Validate() error {
+	if len(p.Funcs) == 0 {
+		return fmt.Errorf("ir: program %q has no functions", p.Name)
+	}
+	for i, f := range p.Funcs {
+		if f == nil {
+			return fmt.Errorf("ir: nil function at index %d", i)
+		}
+		if f.ID != FuncID(i) {
+			return fmt.Errorf("ir: function %q has ID %d at index %d", f.Name, f.ID, i)
+		}
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("ir: function %q has no blocks", f.Name)
+		}
+		for _, id := range f.Blocks {
+			if id < 0 || int(id) >= len(p.Blocks) {
+				return fmt.Errorf("ir: function %q references block %d out of range", f.Name, id)
+			}
+			if p.Blocks[id].Fn != f.ID {
+				return fmt.Errorf("ir: block %d listed in function %q but belongs to function %d",
+					id, f.Name, p.Blocks[id].Fn)
+			}
+		}
+	}
+	seen := make(map[BlockID]bool, len(p.Blocks))
+	for _, f := range p.Funcs {
+		for _, id := range f.Blocks {
+			if seen[id] {
+				return fmt.Errorf("ir: block %d listed twice", id)
+			}
+			seen[id] = true
+		}
+	}
+	for i, b := range p.Blocks {
+		if b == nil {
+			return fmt.Errorf("ir: nil block at index %d", i)
+		}
+		if b.ID != BlockID(i) {
+			return fmt.Errorf("ir: block %q has ID %d at index %d", b.Name, b.ID, i)
+		}
+		if !seen[b.ID] {
+			return fmt.Errorf("ir: block %d not listed in any function", b.ID)
+		}
+		if b.Size <= 0 {
+			return fmt.Errorf("ir: block %s has non-positive size %d", b, b.Size)
+		}
+		if b.Term == nil {
+			return fmt.Errorf("ir: block %s has no terminator", b)
+		}
+		if err := p.validateTerm(b); err != nil {
+			return err
+		}
+		for _, e := range b.Effects {
+			if err := p.validateEffect(b, e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateTerm(b *Block) error {
+	local := func(id BlockID, what string) error {
+		if id < 0 || int(id) >= len(p.Blocks) {
+			return fmt.Errorf("ir: block %s %s target %d out of range", b, what, id)
+		}
+		if p.Blocks[id].Fn != b.Fn {
+			return fmt.Errorf("ir: block %s %s target %d crosses function boundary", b, what, id)
+		}
+		return nil
+	}
+	switch t := b.Term.(type) {
+	case Jump:
+		return local(t.Target, "jump")
+	case Branch:
+		if t.Cond == nil {
+			return fmt.Errorf("ir: block %s branch has nil condition", b)
+		}
+		if err := p.validateCond(b, t.Cond); err != nil {
+			return err
+		}
+		if err := local(t.Taken, "branch taken"); err != nil {
+			return err
+		}
+		return local(t.Fall, "branch fall")
+	case Call:
+		if t.Callee < 0 || int(t.Callee) >= len(p.Funcs) {
+			return fmt.Errorf("ir: block %s calls function %d out of range", b, t.Callee)
+		}
+		return local(t.Next, "call continuation")
+	case Return, Exit:
+		return nil
+	default:
+		return fmt.Errorf("ir: block %s has unknown terminator %T", b, b.Term)
+	}
+}
+
+func (p *Program) validateCond(b *Block, c Cond) error {
+	reg := func(r int32) error {
+		if r < 0 || int(r) >= p.NumGlobals {
+			return fmt.Errorf("ir: block %s condition uses global %d out of range", b, r)
+		}
+		return nil
+	}
+	switch t := c.(type) {
+	case Always:
+		return nil
+	case Prob:
+		if t.P < 0 || t.P > 1 {
+			return fmt.Errorf("ir: block %s branch probability %v out of [0,1]", b, t.P)
+		}
+		return nil
+	case GlobalEq:
+		return reg(t.Reg)
+	case GlobalLT:
+		return reg(t.Reg)
+	case Counter:
+		if t.Trips < 1 {
+			return fmt.Errorf("ir: block %s loop trip count %d < 1", b, t.Trips)
+		}
+		return nil
+	default:
+		return fmt.Errorf("ir: block %s has unknown condition %T", b, c)
+	}
+}
+
+func (p *Program) validateEffect(b *Block, e Effect) error {
+	reg := func(r int32) error {
+		if r < 0 || int(r) >= p.NumGlobals {
+			return fmt.Errorf("ir: block %s effect uses global %d out of range", b, r)
+		}
+		return nil
+	}
+	switch t := e.(type) {
+	case SetGlobal:
+		return reg(t.Reg)
+	case AddGlobal:
+		return reg(t.Reg)
+	case SetGlobalChoice:
+		if len(t.Choices) == 0 {
+			return fmt.Errorf("ir: block %s choice effect has no choices", b)
+		}
+		return reg(t.Reg)
+	default:
+		return fmt.Errorf("ir: block %s has unknown effect %T", b, e)
+	}
+}

@@ -1,0 +1,54 @@
+package layout
+
+import (
+	"sort"
+
+	"codelayout/internal/ir"
+)
+
+// ReorderBlocksIntra lays out basic blocks using the given model
+// sequence but only *within* each function — the intra-procedural
+// baseline the paper contrasts its inter-procedural transformation
+// against ("much of the literature in code layout optimization is
+// intra-procedural; compilers such as LLVM and GCC provide
+// profiling-based basic block reordering, also within a procedure").
+//
+// Functions stay in source order. Within a function, the entry block is
+// pinned first (so calls need no stubs), the remaining blocks are
+// ordered by their rank in the model sequence, and blocks absent from
+// the sequence follow in source order.
+func ReorderBlocksIntra(p *ir.Program, blockOrder []ir.BlockID) *Layout {
+	rank := make(map[ir.BlockID]int, len(blockOrder))
+	for i, b := range blockOrder {
+		if _, ok := rank[b]; !ok && b >= 0 && int(b) < p.NumBlocks() {
+			rank[b] = i
+		}
+	}
+	order := make([]ir.BlockID, 0, p.NumBlocks())
+	for _, f := range p.Funcs {
+		entry := f.Blocks[0]
+		rest := make([]ir.BlockID, len(f.Blocks)-1)
+		copy(rest, f.Blocks[1:])
+		srcPos := make(map[ir.BlockID]int, len(rest))
+		for i, b := range rest {
+			srcPos[b] = i
+		}
+		sort.SliceStable(rest, func(i, j int) bool {
+			ri, iok := rank[rest[i]]
+			rj, jok := rank[rest[j]]
+			switch {
+			case iok && jok:
+				return ri < rj
+			case iok:
+				return true
+			case jok:
+				return false
+			default:
+				return srcPos[rest[i]] < srcPos[rest[j]]
+			}
+		})
+		order = append(order, entry)
+		order = append(order, rest...)
+	}
+	return build(p, "bb-intra-reorder", order, false)
+}

@@ -1,0 +1,75 @@
+package layout
+
+import (
+	"testing"
+
+	"codelayout/internal/ir"
+)
+
+func TestReorderBlocksIntraKeepsFunctionRegions(t *testing.T) {
+	p := fig3Prog(t)
+	// A global order that would interleave functions if allowed.
+	x2 := p.BlockByName("X", "X2").ID
+	y2 := p.BlockByName("Y", "Y2").ID
+	x3 := p.BlockByName("X", "X3").ID
+	y3 := p.BlockByName("Y", "Y3").ID
+	l := ReorderBlocksIntra(p, []ir.BlockID{x2, y2, x3, y3})
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if l.HasStubs() {
+		t.Error("intra-procedural reorder must not need stubs")
+	}
+	// Functions must occupy contiguous, source-ordered regions.
+	var prevEnd int64
+	for _, f := range p.Funcs {
+		lo, hi := int64(1<<62), int64(-1)
+		for _, b := range f.Blocks {
+			if l.Addr[b] < lo {
+				lo = l.Addr[b]
+			}
+			if end := l.Addr[b] + int64(l.Size[b]); end > hi {
+				hi = end
+			}
+		}
+		if lo < prevEnd {
+			t.Errorf("function %s region [%d,%d) overlaps previous end %d", f.Name, lo, hi, prevEnd)
+		}
+		prevEnd = hi
+	}
+}
+
+func TestReorderBlocksIntraEntryPinned(t *testing.T) {
+	p := fig3Prog(t)
+	x1 := p.BlockByName("X", "X1").ID
+	x2 := p.BlockByName("X", "X2").ID
+	// Even if the model ranks X2 first, X1 (the entry) stays first.
+	l := ReorderBlocksIntra(p, []ir.BlockID{x2, x1})
+	if l.Addr[x1] > l.Addr[x2] {
+		t.Error("entry block displaced by intra-procedural reorder")
+	}
+}
+
+func TestReorderBlocksIntraRanksWithinFunction(t *testing.T) {
+	p := fig3Prog(t)
+	x2 := p.BlockByName("X", "X2").ID
+	x3 := p.BlockByName("X", "X3").ID
+	// Rank X3 hotter than X2: X3 must precede X2 in X's region.
+	l := ReorderBlocksIntra(p, []ir.BlockID{x3, x2})
+	if l.Addr[x3] > l.Addr[x2] {
+		t.Errorf("X3 (%d) not before X2 (%d)", l.Addr[x3], l.Addr[x2])
+	}
+	// Unranked blocks keep source order after ranked ones.
+	l2 := ReorderBlocksIntra(p, []ir.BlockID{x3})
+	if l2.Addr[x3] > l2.Addr[x2] {
+		t.Error("ranked block not ahead of unranked")
+	}
+}
+
+func TestReorderBlocksIntraIgnoresBadIDs(t *testing.T) {
+	p := fig3Prog(t)
+	l := ReorderBlocksIntra(p, []ir.BlockID{-1, 9999, 2, 2})
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package layout assigns code addresses to basic blocks and implements
+// the paper's two program transformations (§II-D, §II-E): global function
+// reordering and inter-procedural basic-block reordering.
+//
+// The paper's basic-block transformation works in three steps:
+// pre-processing adds a jump at the start of each function (to reach its
+// entry block wherever it lands) and appends explicit jumps to blocks
+// whose fall-through successor is moved away; reordering lays the blocks
+// out in the model's sequence; post-processing removes residual jumps to
+// the immediately following block. Here the pre/post pair collapses into
+// one uniform rule — a block pays JumpBytes exactly when its natural
+// fall-through successor is not placed immediately after it — plus an
+// entry-stub table for basic-block layouts.
+//
+// Since this repository evaluates layouts by replaying traces through a
+// cache simulator, assigning addresses is the whole transformation: the
+// address stream of the reordered binary is fully determined by the
+// block trace and the address map (see Replayer).
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"codelayout/internal/ir"
+)
+
+// JumpBytes is the size of an unconditional jump instruction appended by
+// pre-processing (rel32 jump on x86-64).
+const JumpBytes = 5
+
+// Layout maps every basic block of a program to an address.
+type Layout struct {
+	Prog *ir.Program
+	// Kind describes how the layout was produced (for reports).
+	Kind string
+	// Addr[b] is the start address of block b.
+	Addr []int64
+	// Size[b] is the effective size of block b in this layout: the
+	// block's code plus an appended jump when its fall-through
+	// successor is not adjacent.
+	Size []int32
+	// StubAddr[f] is the address of function f's entry stub, or -1 when
+	// calls jump straight to the entry block (original and
+	// function-reordered layouts).
+	StubAddr []int64
+	// TotalBytes is the end of the image.
+	TotalBytes int64
+	// order is the block placement order, kept for diagnostics.
+	order []ir.BlockID
+}
+
+// Original lays the program out as the unoptimized compiler would:
+// functions in source order, blocks in source order within each
+// function, no entry stubs.
+func Original(p *ir.Program) *Layout {
+	order := make([]ir.BlockID, 0, p.NumBlocks())
+	for _, f := range p.Funcs {
+		order = append(order, f.Blocks...)
+	}
+	return build(p, "original", order, false)
+}
+
+// ReorderFunctions lays functions out in the given order, keeping each
+// function's blocks in source order (§II-D). Functions missing from the
+// order are appended in source order; this lets the caller pass a model
+// sequence that covers only profiled functions.
+func ReorderFunctions(p *ir.Program, funcOrder []ir.FuncID) *Layout {
+	full := CompleteFuncOrder(p, funcOrder)
+	order := make([]ir.BlockID, 0, p.NumBlocks())
+	for _, f := range full {
+		order = append(order, p.Funcs[f].Blocks...)
+	}
+	return build(p, "func-reorder", order, false)
+}
+
+// ReorderBlocks lays basic blocks out in the given global order,
+// regardless of function boundaries (§II-E). Blocks missing from the
+// order are appended in source order. Every function receives an entry
+// stub so calls can reach its entry block (the paper's pre-processing).
+func ReorderBlocks(p *ir.Program, blockOrder []ir.BlockID) *Layout {
+	full := CompleteBlockOrder(p, blockOrder)
+	return build(p, "bb-reorder", full, true)
+}
+
+// CompleteFuncOrder appends to order every function of p not already in
+// it, in source order, and drops duplicates.
+func CompleteFuncOrder(p *ir.Program, order []ir.FuncID) []ir.FuncID {
+	seen := make(map[ir.FuncID]bool, len(order))
+	full := make([]ir.FuncID, 0, p.NumFuncs())
+	for _, f := range order {
+		if f >= 0 && int(f) < p.NumFuncs() && !seen[f] {
+			seen[f] = true
+			full = append(full, f)
+		}
+	}
+	for _, f := range p.Funcs {
+		if !seen[f.ID] {
+			full = append(full, f.ID)
+		}
+	}
+	return full
+}
+
+// CompleteBlockOrder appends to order every block of p not already in
+// it, in source order, and drops duplicates.
+func CompleteBlockOrder(p *ir.Program, order []ir.BlockID) []ir.BlockID {
+	seen := make(map[ir.BlockID]bool, len(order))
+	full := make([]ir.BlockID, 0, p.NumBlocks())
+	for _, b := range order {
+		if b >= 0 && int(b) < p.NumBlocks() && !seen[b] {
+			seen[b] = true
+			full = append(full, b)
+		}
+	}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if !seen[b] {
+				full = append(full, b)
+			}
+		}
+	}
+	return full
+}
+
+func build(p *ir.Program, kind string, order []ir.BlockID, stubs bool) *Layout {
+	l := &Layout{
+		Prog:     p,
+		Kind:     kind,
+		Addr:     make([]int64, p.NumBlocks()),
+		Size:     make([]int32, p.NumBlocks()),
+		StubAddr: make([]int64, p.NumFuncs()),
+		order:    order,
+	}
+	var addr int64
+	if stubs {
+		// Entry-stub table at the front of the image, one jump per
+		// function, in function order.
+		for f := range l.StubAddr {
+			l.StubAddr[f] = addr
+			addr += JumpBytes
+		}
+	} else {
+		for f := range l.StubAddr {
+			l.StubAddr[f] = -1
+		}
+	}
+	for i, b := range order {
+		blk := p.Blocks[b]
+		l.Addr[b] = addr
+		size := blk.Size
+		if needsExtraJump(blk, nextInOrder(order, i)) {
+			size += JumpBytes
+		}
+		l.Size[b] = size
+		addr += int64(size)
+	}
+	l.TotalBytes = addr
+	return l
+}
+
+func nextInOrder(order []ir.BlockID, i int) ir.BlockID {
+	if i+1 < len(order) {
+		return order[i+1]
+	}
+	return ir.NoBlock
+}
+
+// needsExtraJump decides whether the block must grow by one jump
+// instruction in a layout that places `next` immediately after it.
+// Blocks ending in Jump, Return or Exit are always position-independent
+// (their transfer is already part of Block.Size). A Call must fall
+// through to its continuation (the return address is the next
+// instruction), so moving the continuation away costs a jump. A Branch
+// can be *inverted* for free: if either successor is adjacent, the
+// condition is flipped so that successor becomes the fall-through and
+// the other keeps the embedded branch — only when neither successor is
+// adjacent does the block need an appended unconditional jump. This is
+// the standard retargeting every basic-block reordering compiler
+// performs and the reason the paper's post-processing can remove
+// "residual" jumps.
+func needsExtraJump(blk *ir.Block, next ir.BlockID) bool {
+	switch t := blk.Term.(type) {
+	case ir.Branch:
+		return next != t.Taken && next != t.Fall
+	case ir.Call:
+		return next != t.Next
+	default:
+		return false
+	}
+}
+
+// HasStubs reports whether calls go through the entry-stub table.
+func (l *Layout) HasStubs() bool { return len(l.StubAddr) > 0 && l.StubAddr[0] >= 0 }
+
+// Order returns the block placement order.
+func (l *Layout) Order() []ir.BlockID { return l.order }
+
+// JumpOverheadBytes returns the total bytes of injected jumps and stubs —
+// the code-size cost of the transformation.
+func (l *Layout) JumpOverheadBytes() int64 {
+	var overhead int64
+	if l.HasStubs() {
+		overhead += int64(len(l.StubAddr)) * JumpBytes
+	}
+	for b, blk := range l.Prog.Blocks {
+		overhead += int64(l.Size[b] - blk.Size)
+	}
+	return overhead
+}
+
+// Validate checks that the layout covers every block exactly once with
+// non-overlapping, contiguous address ranges.
+func (l *Layout) Validate() error {
+	if len(l.order) != l.Prog.NumBlocks() {
+		return fmt.Errorf("layout: order covers %d blocks, program has %d", len(l.order), l.Prog.NumBlocks())
+	}
+	type span struct {
+		start, end int64
+	}
+	spans := make([]span, 0, len(l.order)+len(l.StubAddr))
+	if l.HasStubs() {
+		for _, s := range l.StubAddr {
+			spans = append(spans, span{s, s + JumpBytes})
+		}
+	}
+	seen := make(map[ir.BlockID]bool, len(l.order))
+	for _, b := range l.order {
+		if seen[b] {
+			return fmt.Errorf("layout: block %d placed twice", b)
+		}
+		seen[b] = true
+		if l.Size[b] < l.Prog.Blocks[b].Size {
+			return fmt.Errorf("layout: block %d shrank from %d to %d bytes", b, l.Prog.Blocks[b].Size, l.Size[b])
+		}
+		spans = append(spans, span{l.Addr[b], l.Addr[b] + int64(l.Size[b])})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].start < spans[i-1].end {
+			return fmt.Errorf("layout: overlapping spans [%d,%d) and [%d,%d)",
+				spans[i-1].start, spans[i-1].end, spans[i].start, spans[i].end)
+		}
+	}
+	if n := spans[len(spans)-1].end; n != l.TotalBytes {
+		return fmt.Errorf("layout: total %d bytes but spans end at %d", l.TotalBytes, n)
+	}
+	return nil
+}
+
+// TouchedLines returns the number of distinct cache lines touched when
+// fetching all of the given blocks — the static footprint of a working
+// set under this layout. It is the quantity affinity packing shrinks.
+func (l *Layout) TouchedLines(blocks []ir.BlockID, lineBytes int) int {
+	lines := make(map[int64]struct{})
+	for _, b := range blocks {
+		first := l.Addr[b] / int64(lineBytes)
+		last := (l.Addr[b] + int64(l.Size[b]) - 1) / int64(lineBytes)
+		for ln := first; ln <= last; ln++ {
+			lines[ln] = struct{}{}
+		}
+	}
+	return len(lines)
+}

@@ -1,0 +1,331 @@
+package layout
+
+import (
+	"reflect"
+	"testing"
+
+	"codelayout/internal/ir"
+	"codelayout/internal/trace"
+)
+
+// fig3Prog builds the paper's Figure 3 program: main calls X and Y in a
+// loop; X sets a global that decides Y's branch.
+func fig3Prog(t testing.TB) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("fig3", 1)
+	main := b.Func("main")
+	x := b.Func("X")
+	y := b.Func("Y")
+
+	mEntry := main.Block("entry", 8)
+	mCallX := main.Block("callX", 8)
+	mCallY := main.Block("callY", 8)
+	mLatch := main.Block("latch", 8)
+	mExit := main.Block("exit", 8)
+	mEntry.Jump(mCallX)
+	mCallX.Call(x, mCallY)
+	mCallY.Call(y, mLatch)
+	mLatch.Loop(100, mCallX, mExit)
+	mExit.Exit()
+
+	x1 := x.Block("X1", 12)
+	x2 := x.Block("X2", 24)
+	x3 := x.Block("X3", 24)
+	x1.Branch(ir.Prob{P: 0.5}, x3, x2) // fall-through X2
+	x2.Set(0, 1)
+	x2.Return()
+	x3.Set(0, 2)
+	x3.Return()
+
+	y1 := y.Block("Y1", 12)
+	y2 := y.Block("Y2", 24)
+	y3 := y.Block("Y3", 24)
+	y1.Branch(ir.GlobalEq{Reg: 0, Val: 2}, y3, y2)
+	y2.Return()
+	y3.Return()
+
+	return b.MustBuild()
+}
+
+func TestOriginalLayoutContiguous(t *testing.T) {
+	p := fig3Prog(t)
+	l := Original(p)
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if l.HasStubs() {
+		t.Error("original layout has stubs")
+	}
+	// Source order: block 0 starts at 0; each next block follows.
+	var addr int64
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if l.Addr[b] != addr {
+				t.Fatalf("block %d at %d, want %d", b, l.Addr[b], addr)
+			}
+			addr += int64(l.Size[b])
+		}
+	}
+}
+
+func TestOriginalFallThroughNeedsNoJump(t *testing.T) {
+	p := fig3Prog(t)
+	l := Original(p)
+	// X1's fall-through X2 is adjacent in source order: no jump added.
+	x1 := p.BlockByName("X", "X1")
+	if l.Size[x1.ID] != x1.Size {
+		t.Errorf("X1 effective size %d, want %d (fall-through adjacent)", l.Size[x1.ID], x1.Size)
+	}
+	// callX's natural next is callY, adjacent: no jump.
+	c := p.BlockByName("main", "callX")
+	if l.Size[c.ID] != c.Size {
+		t.Errorf("callX effective size %d, want %d", l.Size[c.ID], c.Size)
+	}
+}
+
+func TestReorderFunctions(t *testing.T) {
+	p := fig3Prog(t)
+	// Place Y first, then main; X is appended automatically.
+	l := ReorderFunctions(p, []ir.FuncID{2, 0})
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	y1 := p.BlockByName("Y", "Y1")
+	if l.Addr[y1.ID] != 0 {
+		t.Errorf("Y entry at %d, want 0", l.Addr[y1.ID])
+	}
+	// X comes last.
+	x1 := p.BlockByName("X", "X1")
+	m := p.BlockByName("main", "exit")
+	if l.Addr[x1.ID] < l.Addr[m.ID] {
+		t.Errorf("X (%d) not after main (%d)", l.Addr[x1.ID], l.Addr[m.ID])
+	}
+	if l.HasStubs() {
+		t.Error("function reorder has stubs")
+	}
+	// Within a function, source order is preserved and contiguous.
+	x2 := p.BlockByName("X", "X2")
+	if l.Addr[x2.ID] != l.Addr[x1.ID]+int64(l.Size[x1.ID]) {
+		t.Error("X2 does not follow X1")
+	}
+}
+
+func TestReorderFunctionsDropsDuplicatesAndBadIDs(t *testing.T) {
+	p := fig3Prog(t)
+	full := CompleteFuncOrder(p, []ir.FuncID{2, 2, 99, -1, 0})
+	want := []ir.FuncID{2, 0, 1}
+	if !reflect.DeepEqual(full, want) {
+		t.Errorf("CompleteFuncOrder = %v, want %v", full, want)
+	}
+}
+
+func TestReorderBlocksInterprocedural(t *testing.T) {
+	p := fig3Prog(t)
+	// The paper's optimized layout: X2 Y2 X3 Y3 X1 Y1 (hot correlated
+	// pairs adjacent, headers after).
+	x1 := p.BlockByName("X", "X1").ID
+	x2 := p.BlockByName("X", "X2").ID
+	x3 := p.BlockByName("X", "X3").ID
+	y1 := p.BlockByName("Y", "Y1").ID
+	y2 := p.BlockByName("Y", "Y2").ID
+	y3 := p.BlockByName("Y", "Y3").ID
+	l := ReorderBlocks(p, []ir.BlockID{x2, y2, x3, y3, x1, y1})
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !l.HasStubs() {
+		t.Error("BB reorder must add entry stubs")
+	}
+	// X2 is the first block after the stub table.
+	stubEnd := int64(p.NumFuncs()) * JumpBytes
+	if l.Addr[x2] != stubEnd {
+		t.Errorf("X2 at %d, want %d (right after stubs)", l.Addr[x2], stubEnd)
+	}
+	// Blocks from different functions interleave.
+	if !(l.Addr[x2] < l.Addr[y2] && l.Addr[y2] < l.Addr[x3]) {
+		t.Error("cross-function interleaving not realized")
+	}
+	// X1's fall-through (X2) is not adjacent anymore: jump appended.
+	if l.Size[x1] != p.Blocks[x1].Size+JumpBytes {
+		t.Errorf("X1 size %d, want %d (explicit fall-through jump)", l.Size[x1], p.Blocks[x1].Size+JumpBytes)
+	}
+	// Main's blocks were appended in source order after the ordered ones.
+	mEntry := p.BlockByName("main", "entry").ID
+	if l.Addr[mEntry] < l.Addr[y1] {
+		t.Error("unordered blocks must follow ordered ones")
+	}
+}
+
+func TestJumpOverheadBytes(t *testing.T) {
+	p := fig3Prog(t)
+	orig := Original(p)
+	if got := orig.JumpOverheadBytes(); got != 0 {
+		t.Errorf("original overhead = %d, want 0", got)
+	}
+	// Reversing all blocks forces jumps for most fall-throughs.
+	var rev []ir.BlockID
+	for b := p.NumBlocks() - 1; b >= 0; b-- {
+		rev = append(rev, ir.BlockID(b))
+	}
+	l := ReorderBlocks(p, rev)
+	if got := l.JumpOverheadBytes(); got <= 0 {
+		t.Errorf("reversed overhead = %d, want > 0", got)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTouchedLinesPackingEffect(t *testing.T) {
+	// Two hot blocks in different functions, separated by large cold
+	// blocks in the original layout, share fewer lines when packed.
+	b := ir.NewBuilder("pack", 0)
+	f1 := b.Func("f1")
+	f2 := b.Func("f2")
+	h1 := f1.Block("hot1", 16)
+	c1 := f1.Block("cold1", 200)
+	h2 := f2.Block("hot2", 16)
+	c2 := f2.Block("cold2", 200)
+	h1.Jump(c1)
+	c1.Return()
+	h2.Jump(c2)
+	c2.Return()
+	p := b.MustBuild()
+
+	hot := []ir.BlockID{h1.ID(), h2.ID()}
+	orig := Original(p)
+	packed := ReorderBlocks(p, hot)
+	if got, want := packed.TouchedLines(hot, 64), orig.TouchedLines(hot, 64); got > want {
+		t.Errorf("packed layout touches %d lines, original %d", got, want)
+	}
+	// With 64-byte lines, two adjacent 16B blocks (plus their jumps)
+	// share a single line; scattered they need two.
+	if packed.TouchedLines(hot, 64) != 1 {
+		t.Errorf("packed hot lines = %d, want 1", packed.TouchedLines(hot, 64))
+	}
+	if orig.TouchedLines(hot, 64) != 2 {
+		t.Errorf("original hot lines = %d, want 2", orig.TouchedLines(hot, 64))
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	p := fig3Prog(t)
+	l := Original(p)
+	l.Addr[3] = l.Addr[2] // force overlap
+	if err := l.Validate(); err == nil {
+		t.Error("Validate accepted overlapping layout")
+	}
+}
+
+func TestReplayerEmitsLinesAndBytes(t *testing.T) {
+	p := fig3Prog(t)
+	l := Original(p)
+	// Execute blocks 0 and 1 (entry at addr 0 size 8, callX at 8 size 8).
+	tr := trace.New([]int32{0, 1})
+	r := NewReplayer(l, tr, 64, false)
+	var lines []int64
+	var total int32
+	for {
+		n, ok := r.Next(func(ln int64) { lines = append(lines, ln) })
+		if !ok {
+			break
+		}
+		total += n
+	}
+	if total != 16 {
+		t.Errorf("bytes = %d, want 16", total)
+	}
+	// Both blocks live in line 0.
+	if !reflect.DeepEqual(lines, []int64{0, 0}) {
+		t.Errorf("lines = %v, want [0 0]", lines)
+	}
+	if !r.Done() {
+		t.Error("replayer not done")
+	}
+}
+
+func TestReplayerStubAccessOnCalls(t *testing.T) {
+	p := fig3Prog(t)
+	x1 := p.BlockByName("X", "X1").ID
+	callX := p.BlockByName("main", "callX").ID
+	// BB layout placing X1 far away, so the stub line differs from X1's.
+	var rev []ir.BlockID
+	for b := p.NumBlocks() - 1; b >= 0; b-- {
+		rev = append(rev, ir.BlockID(b))
+	}
+	l := ReorderBlocks(p, rev)
+
+	tr := trace.New([]int32{int32(callX), int32(x1)})
+	r := NewReplayer(l, tr, 64, false)
+	var withStub int32
+	for {
+		n, ok := r.Next(func(int64) {})
+		if !ok {
+			break
+		}
+		withStub += n
+	}
+	// Stub adds JumpBytes to the fetch stream. callX's appended
+	// return-path jump executes (Call continuation moved); X1's appended
+	// fall-through jump does not (the trace ends, so the fall path is
+	// never taken).
+	plain := l.Size[callX] + p.Blocks[x1].Size
+	if withStub != plain+JumpBytes {
+		t.Errorf("fetched %d bytes, want %d (stub accounted)", withStub, plain+JumpBytes)
+	}
+
+	// The original layout has no stubs: fetch is exactly the block sizes.
+	lo := Original(p)
+	r = NewReplayer(lo, tr, 64, false)
+	var noStub int32
+	for {
+		n, ok := r.Next(func(int64) {})
+		if !ok {
+			break
+		}
+		noStub += n
+	}
+	if noStub != lo.Size[callX]+lo.Size[x1] {
+		t.Errorf("original fetched %d, want %d", noStub, lo.Size[callX]+lo.Size[x1])
+	}
+}
+
+func TestReplayerWrap(t *testing.T) {
+	p := fig3Prog(t)
+	l := Original(p)
+	tr := trace.New([]int32{0, 1, 2})
+	r := NewReplayer(l, tr, 64, true)
+	for i := 0; i < 10; i++ {
+		if _, ok := r.Next(func(int64) {}); !ok {
+			t.Fatal("wrapping replayer stopped")
+		}
+	}
+	if r.Laps() != 3 {
+		t.Errorf("laps = %d, want 3", r.Laps())
+	}
+}
+
+func TestReplayerEmptyTrace(t *testing.T) {
+	p := fig3Prog(t)
+	l := Original(p)
+	r := NewReplayer(l, trace.New(nil), 64, true)
+	if _, ok := r.Next(func(int64) {}); ok {
+		t.Error("empty trace must not replay")
+	}
+}
+
+func TestLargeBlockSpansMultipleLines(t *testing.T) {
+	b := ir.NewBuilder("big", 0)
+	f := b.Func("main")
+	big := f.Block("big", 200)
+	big.Exit()
+	p := b.MustBuild()
+	l := Original(p)
+	r := NewReplayer(l, trace.New([]int32{0}), 64, false)
+	var lines []int64
+	r.Next(func(ln int64) { lines = append(lines, ln) })
+	// 200 bytes from address 0 cover lines 0..3.
+	if !reflect.DeepEqual(lines, []int64{0, 1, 2, 3}) {
+		t.Errorf("lines = %v, want [0 1 2 3]", lines)
+	}
+}

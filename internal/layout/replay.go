@@ -1,0 +1,117 @@
+package layout
+
+import (
+	"codelayout/internal/ir"
+	"codelayout/internal/trace"
+)
+
+// Replayer turns an executed basic-block trace into the instruction
+// fetch stream of a concrete layout: for each block occurrence it emits
+// the cache lines covering the block's address range (plus the entry
+// stub's line on calls into stub-carrying layouts). Replaying the same
+// block trace through two layouts is exactly how the paper compares an
+// optimized binary against the original — the executed blocks are
+// identical, only their addresses differ.
+type Replayer struct {
+	l         *Layout
+	t         *trace.Trace
+	lineBytes int64
+	pos       int
+	// Wrap restarts the trace when exhausted, so a co-run peer keeps
+	// generating interference until the primary program finishes (the
+	// usual co-run measurement methodology).
+	wrap bool
+	laps int
+	// isCall[b] marks blocks that end in a call; the callee's entry
+	// fetch then goes through the stub.
+	prev ir.BlockID
+}
+
+// NewReplayer creates a replayer over the given block trace.
+func NewReplayer(l *Layout, t *trace.Trace, lineBytes int, wrap bool) *Replayer {
+	return &Replayer{l: l, t: t, lineBytes: int64(lineBytes), wrap: wrap, prev: ir.NoBlock}
+}
+
+// Done reports whether a non-wrapping replayer has exhausted its trace.
+func (r *Replayer) Done() bool { return !r.wrap && r.pos >= r.t.Len() }
+
+// Laps returns how many times a wrapping replayer restarted the trace.
+func (r *Replayer) Laps() int { return r.laps }
+
+// Pos returns the number of block occurrences consumed in the current
+// lap.
+func (r *Replayer) Pos() int { return r.pos }
+
+// Next replays one block occurrence: it calls emit for every cache line
+// fetched and returns the fetched instruction bytes. ok is false when a
+// non-wrapping replayer is exhausted.
+func (r *Replayer) Next(emit func(line int64)) (bytes int32, ok bool) {
+	if r.pos >= r.t.Len() {
+		if !r.wrap || r.t.Len() == 0 {
+			return 0, false
+		}
+		r.pos = 0
+		r.laps++
+		r.prev = ir.NoBlock
+	}
+	b := ir.BlockID(r.t.Syms[r.pos])
+	r.pos++
+
+	blk := r.l.Prog.Blocks[b]
+	// A call into a stub-carrying layout fetches the stub jump first.
+	if r.l.HasStubs() && r.prev != ir.NoBlock {
+		if c, isCall := r.l.Prog.Blocks[r.prev].Term.(ir.Call); isCall && c.Callee == blk.Fn && r.l.Prog.Entry(blk.Fn) == b {
+			stub := r.l.StubAddr[blk.Fn]
+			first := stub / r.lineBytes
+			last := (stub + JumpBytes - 1) / r.lineBytes
+			for ln := first; ln <= last; ln++ {
+				emit(ln)
+			}
+			bytes += JumpBytes
+		}
+	}
+	addr := r.l.Addr[b]
+	size := int64(r.effectiveSize(b))
+	first := addr / r.lineBytes
+	last := (addr + size - 1) / r.lineBytes
+	for ln := first; ln <= last; ln++ {
+		emit(ln)
+	}
+	bytes += int32(size)
+	r.prev = b
+	return bytes, true
+}
+
+// effectiveSize returns the bytes this occurrence of block b fetches and
+// executes. A layout-appended jump (Size[b] > Block.Size) only executes
+// on the path it patches: for a Branch it covers the displaced
+// fall-through, so it runs only when the trace actually goes to the
+// fall successor; for a Call it forwards the return point to the moved
+// continuation, so it runs on every execution.
+func (r *Replayer) effectiveSize(b ir.BlockID) int32 {
+	blk := r.l.Prog.Blocks[b]
+	full := r.l.Size[b]
+	if full == blk.Size {
+		return full
+	}
+	br, isBranch := blk.Term.(ir.Branch)
+	if !isBranch {
+		return full
+	}
+	if next := r.peek(); next == br.Fall {
+		return full
+	}
+	return blk.Size
+}
+
+// peek returns the next block in the trace (accounting for wrap), or
+// ir.NoBlock at a non-wrapping end.
+func (r *Replayer) peek() ir.BlockID {
+	if r.pos < r.t.Len() {
+		return ir.BlockID(r.t.Syms[r.pos])
+	}
+	if r.wrap && r.t.Len() > 0 {
+		return ir.BlockID(r.t.Syms[0])
+	}
+	return ir.NoBlock
+}

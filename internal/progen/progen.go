@@ -1,0 +1,369 @@
+// Package progen generates the synthetic benchmark programs that stand
+// in for SPEC CPU2006 (DESIGN.md §2). The generator reproduces the trace
+// and layout properties that make code layout matter for the instruction
+// cache:
+//
+//   - functions have a hot path interleaved (in source order) with cold
+//     error-handling blocks, so the original layout wastes cache lines on
+//     untouched bytes;
+//   - execution proceeds in phases, each repeatedly calling a working
+//     set of functions whose source order is shuffled, so temporally
+//     related code is spatially scattered;
+//   - some call-adjacent function pairs communicate through a global
+//     register, making one function's executed half determine the
+//     other's — the paper's Figure 3 pattern that only inter-procedural
+//     basic-block reordering can exploit;
+//   - shared helper functions are declared far from their callers.
+//
+// Everything is deterministic in Spec.Seed. The interpreter seed (the
+// program "input") is separate: training runs use one input, evaluation
+// runs another.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"codelayout/internal/ir"
+)
+
+// Spec parameterizes one synthetic benchmark.
+type Spec struct {
+	Name string
+	// Seed drives program structure generation (not execution).
+	Seed int64
+
+	// Funcs is the number of work functions (excluding main and
+	// helpers).
+	Funcs int
+	// HotChain is the [min,max] number of hot-path blocks per function.
+	HotChain [2]int
+	// HotBytes is the [min,max] size of a hot block.
+	HotBytes [2]int
+	// ColdBytes is the [min,max] size of a cold block; one cold block
+	// hangs off every hot block.
+	ColdBytes [2]int
+	// ColdProb is the probability a hot block's cold branch is taken.
+	ColdProb float64
+	// InnerTrips is the [min,max] iteration count of the loop inside
+	// each work function. Intra-function loops are what keep real
+	// programs' instruction miss ratios in the low percent range: most
+	// fetches re-hit the current function's lines, and only the sweep
+	// from function to function misses.
+	InnerTrips [2]int
+
+	// Phases is the number of execution phases.
+	Phases int
+	// FuncsPerPhase is the size of each phase's function working set.
+	FuncsPerPhase int
+	// PhaseLoops is the iteration count of each phase's outer loop.
+	PhaseLoops int
+	// CallsPerLoop is the number of calls per outer-loop iteration.
+	CallsPerLoop int
+
+	// CorrelatedFrac is the fraction of call-adjacent pairs coupled
+	// through a global register (Figure 3 pattern).
+	CorrelatedFrac float64
+	// Helpers is the number of shared helper functions; 0 disables.
+	Helpers int
+	// HelperProb is the probability a hot block calls a helper.
+	HelperProb float64
+
+	// DataCPI is the program's data-side stall contribution.
+	DataCPI float64
+}
+
+// Validate checks the spec for generability.
+func (s Spec) Validate() error {
+	switch {
+	case s.Funcs < 1:
+		return fmt.Errorf("progen %s: Funcs %d < 1", s.Name, s.Funcs)
+	case s.HotChain[0] < 1 || s.HotChain[1] < s.HotChain[0]:
+		return fmt.Errorf("progen %s: bad HotChain %v", s.Name, s.HotChain)
+	case s.HotBytes[0] < 4 || s.HotBytes[1] < s.HotBytes[0]:
+		return fmt.Errorf("progen %s: bad HotBytes %v", s.Name, s.HotBytes)
+	case s.ColdBytes[0] < 4 || s.ColdBytes[1] < s.ColdBytes[0]:
+		return fmt.Errorf("progen %s: bad ColdBytes %v", s.Name, s.ColdBytes)
+	case s.ColdProb < 0 || s.ColdProb > 1:
+		return fmt.Errorf("progen %s: bad ColdProb %v", s.Name, s.ColdProb)
+	case s.Phases < 1 || s.PhaseLoops < 1 || s.CallsPerLoop < 1:
+		return fmt.Errorf("progen %s: bad phase structure", s.Name)
+	case s.FuncsPerPhase < 1 || s.FuncsPerPhase > s.Funcs:
+		return fmt.Errorf("progen %s: FuncsPerPhase %d out of [1,%d]", s.Name, s.FuncsPerPhase, s.Funcs)
+	case s.InnerTrips[0] < 1 || s.InnerTrips[1] < s.InnerTrips[0]:
+		return fmt.Errorf("progen %s: bad InnerTrips %v", s.Name, s.InnerTrips)
+	}
+	return nil
+}
+
+// Generate builds the program for the spec.
+func Generate(s Spec) (*ir.Program, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	g := &gen{spec: s, rng: rng}
+	return g.build()
+}
+
+// MustGenerate is Generate that panics on invalid specs; the named
+// suites are valid by construction.
+func MustGenerate(s Spec) *ir.Program {
+	p, err := Generate(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type gen struct {
+	spec Spec
+	rng  *rand.Rand
+
+	b *ir.Builder
+	// workFB[i] is the FuncBuilder of logical work function i (call
+	// order); their declaration (source) order is shuffled.
+	workFB []*ir.FuncBuilder
+	// correlated[i] is true when logical functions i and i+1 are
+	// coupled through global register globalOf[i].
+	correlated []bool
+	globalOf   []int32
+	helpers    []*ir.FuncBuilder
+}
+
+func (g *gen) intIn(r [2]int) int32 {
+	if r[1] == r[0] {
+		return int32(r[0])
+	}
+	return int32(r[0] + g.rng.Intn(r[1]-r[0]+1))
+}
+
+func (g *gen) build() (*ir.Program, error) {
+	s := g.spec
+
+	// One global register per potentially correlated pair.
+	numGlobals := s.Funcs
+	g.b = ir.NewBuilder(s.Name, numGlobals)
+	g.b.SetDataCPI(s.DataCPI)
+
+	// main must be function 0 (the program entry).
+	mainFB := g.b.Func("main")
+
+	// Decide couplings in logical (call) order.
+	g.correlated = make([]bool, s.Funcs)
+	g.globalOf = make([]int32, s.Funcs)
+	for i := 0; i+1 < s.Funcs; i += 2 {
+		if g.rng.Float64() < s.CorrelatedFrac {
+			g.correlated[i] = true
+			g.globalOf[i] = int32(i)
+		}
+	}
+
+	// Declare work functions in shuffled source order.
+	order := g.rng.Perm(s.Funcs)
+	g.workFB = make([]*ir.FuncBuilder, s.Funcs)
+	for _, logical := range order {
+		g.workFB[logical] = g.b.Func(fmt.Sprintf("f%03d", logical))
+	}
+	// Helpers are declared last: far from every caller in source order.
+	for h := 0; h < s.Helpers; h++ {
+		g.helpers = append(g.helpers, g.b.Func(fmt.Sprintf("helper%02d", h)))
+	}
+
+	// Bodies.
+	for i := 0; i < s.Funcs; i++ {
+		switch {
+		case g.correlated[i]:
+			g.buildSetter(g.workFB[i], g.globalOf[i])
+		case i > 0 && g.correlated[i-1]:
+			g.buildReader(g.workFB[i], g.globalOf[i-1])
+		default:
+			g.buildPlain(g.workFB[i])
+		}
+	}
+	for _, h := range g.helpers {
+		g.buildHelper(h)
+	}
+
+	g.buildMain(mainFB)
+	return g.b.Build()
+}
+
+// buildChain emits a hot chain with attached cold blocks and returns the
+// entry of the chain. endRet decides whether the chain returns or jumps
+// to join.
+func (g *gen) buildChain(f *ir.FuncBuilder, tag string, length int, join *ir.BlockBuilder) *ir.BlockBuilder {
+	s := g.spec
+	hots := make([]*ir.BlockBuilder, length)
+	colds := make([]*ir.BlockBuilder, length)
+	// Declare in source order: hot0, cold0, hot1, cold1, ... — the
+	// interleaving that wastes cache lines in the original layout.
+	for i := 0; i < length; i++ {
+		hots[i] = f.Block(fmt.Sprintf("%s_h%d", tag, i), g.intIn(s.HotBytes))
+		colds[i] = f.Block(fmt.Sprintf("%s_c%d", tag, i), g.intIn(s.ColdBytes))
+	}
+	for i := 0; i < length; i++ {
+		var next *ir.BlockBuilder
+		if i+1 < length {
+			next = hots[i+1]
+		} else {
+			next = join
+		}
+		// Taken path (common): skip the cold block; fall-through (rare):
+		// the adjacent cold block — the source encoding of
+		// `if (unlikely) { ... }`.
+		if g.rng.Float64() < s.HelperProb && len(g.helpers) > 0 {
+			// A helper call replaces this block's cold branch.
+			helper := g.helpers[g.rng.Intn(len(g.helpers))]
+			hots[i].Call(helper, next)
+			colds[i].Jump(next)
+		} else {
+			hots[i].Branch(ir.Prob{P: 1 - s.ColdProb}, next, colds[i])
+			colds[i].Jump(next)
+		}
+	}
+	return hots[0]
+}
+
+// buildPlain builds an uncoupled work function:
+// entry -> [hot chain] x InnerTrips -> return.
+// The entry stub is declared first so it is the function's entry block.
+func (g *gen) buildPlain(f *ir.FuncBuilder) {
+	entry := f.Block("entry", 4)
+	ret := f.Block("ret", 4)
+	latch := f.Block("latch", 8)
+	chain := g.buildChain(f, "p", int(g.intIn(g.spec.HotChain)), latch)
+	entry.Jump(chain)
+	latch.Loop(g.intIn(g.spec.InnerTrips), chain, ret)
+	ret.Return()
+}
+
+// buildSetter builds the A side of a Figure 3 pair: it randomly picks a
+// mode, stores it in the pair's global, and executes the matching
+// variant chain.
+func (g *gen) buildSetter(f *ir.FuncBuilder, global int32) {
+	entry := f.Block("sel", 8)
+	entry.Choose(global, 1, 2)
+	g.buildVariants(f, entry, global)
+}
+
+// buildVariants emits the two looped variant chains selected by the
+// pair's global register, shared by setters and readers.
+func (g *gen) buildVariants(f *ir.FuncBuilder, entry *ir.BlockBuilder, global int32) {
+	length := int(g.intIn(g.spec.HotChain))
+	half := (length + 1) / 2
+	trips := g.intIn(g.spec.InnerTrips)
+	ret := f.Block("ret", 4)
+	ret.Return()
+	latch1 := f.Block("v1_latch", 8)
+	v1 := g.buildChain(f, "v1", half, latch1)
+	latch1.Loop(trips, v1, ret)
+	latch2 := f.Block("v2_latch", 8)
+	v2 := g.buildChain(f, "v2", half, latch2)
+	latch2.Loop(trips, v2, ret)
+	entry.Branch(ir.GlobalEq{Reg: global, Val: 2}, v2, v1)
+}
+
+// buildReader builds the B side: it branches on the global the previous
+// function set, so its executed variant always co-occurs with the
+// setter's.
+func (g *gen) buildReader(f *ir.FuncBuilder, global int32) {
+	entry := f.Block("sel", 8)
+	g.buildVariants(f, entry, global)
+}
+
+// buildHelper builds a small leaf function.
+func (g *gen) buildHelper(f *ir.FuncBuilder) {
+	entry := f.Block("entry", 4)
+	ret := f.Block("ret", 4)
+	chain := g.buildChainNoHelpers(f, "h", 2+g.rng.Intn(3), ret)
+	entry.Jump(chain)
+	ret.Return()
+}
+
+// buildChainNoHelpers is buildChain without helper calls (helpers must
+// not recurse).
+func (g *gen) buildChainNoHelpers(f *ir.FuncBuilder, tag string, length int, join *ir.BlockBuilder) *ir.BlockBuilder {
+	s := g.spec
+	hots := make([]*ir.BlockBuilder, length)
+	colds := make([]*ir.BlockBuilder, length)
+	for i := 0; i < length; i++ {
+		hots[i] = f.Block(fmt.Sprintf("%s_h%d", tag, i), g.intIn(s.HotBytes))
+		colds[i] = f.Block(fmt.Sprintf("%s_c%d", tag, i), g.intIn(s.ColdBytes))
+	}
+	for i := 0; i < length; i++ {
+		var next *ir.BlockBuilder
+		if i+1 < length {
+			next = hots[i+1]
+		} else {
+			next = join
+		}
+		hots[i].Branch(ir.Prob{P: 1 - s.ColdProb}, next, colds[i])
+		colds[i].Jump(next)
+	}
+	return hots[0]
+}
+
+// buildMain builds the phase-structured driver.
+func (g *gen) buildMain(f *ir.FuncBuilder) {
+	s := g.spec
+	entry := f.Block("entry", 8)
+	exit := f.Block("exit", 4)
+	exit.Exit()
+
+	// Phase working sets: overlapping windows over the logical function
+	// order.
+	step := 0
+	if s.Phases > 1 {
+		step = (s.Funcs - s.FuncsPerPhase) / (s.Phases - 1)
+	}
+
+	type phasePlan struct {
+		seq []int // logical function ids, length CallsPerLoop
+	}
+	plans := make([]phasePlan, s.Phases)
+	for p := 0; p < s.Phases; p++ {
+		start := p * step
+		if start+s.FuncsPerPhase > s.Funcs {
+			start = s.Funcs - s.FuncsPerPhase
+		}
+		var seq []int
+		for len(seq) < s.CallsPerLoop {
+			for k := 0; k < s.FuncsPerPhase && len(seq) < s.CallsPerLoop; k++ {
+				seq = append(seq, start+k)
+			}
+		}
+		plans[p] = phasePlan{seq: seq}
+	}
+
+	// Emit per-phase drivers. Each phase: head -> call blocks -> latch.
+	heads := make([]*ir.BlockBuilder, s.Phases)
+	latches := make([]*ir.BlockBuilder, s.Phases)
+	callFirst := make([]*ir.BlockBuilder, s.Phases)
+	for p := 0; p < s.Phases; p++ {
+		heads[p] = f.Block(fmt.Sprintf("ph%d", p), 8)
+		calls := make([]*ir.BlockBuilder, len(plans[p].seq))
+		for k := range plans[p].seq {
+			calls[k] = f.Block(fmt.Sprintf("ph%d_call%d", p, k), 8)
+		}
+		latches[p] = f.Block(fmt.Sprintf("ph%d_latch", p), 8)
+		callFirst[p] = calls[0]
+		for k, logical := range plans[p].seq {
+			next := latches[p]
+			if k+1 < len(calls) {
+				next = calls[k+1]
+			}
+			calls[k].Call(g.workFB[logical], next)
+		}
+	}
+	// Wire phases together.
+	entry.Jump(heads[0])
+	for p := 0; p < s.Phases; p++ {
+		heads[p].Jump(callFirst[p])
+		if p+1 < s.Phases {
+			latches[p].Loop(int32(s.PhaseLoops), callFirst[p], heads[p+1])
+		} else {
+			latches[p].Loop(int32(s.PhaseLoops), callFirst[p], exit)
+		}
+	}
+}

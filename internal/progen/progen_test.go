@@ -1,0 +1,244 @@
+package progen
+
+import (
+	"reflect"
+	"testing"
+
+	"codelayout/internal/interp"
+	"codelayout/internal/ir"
+	"codelayout/internal/trace"
+)
+
+func smallSpec() Spec {
+	return tunedSpec("test.small", 7, 12, 36, [2]int{0, 0}, 0.25)
+}
+
+func TestGenerateValidProgram(t *testing.T) {
+	p, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("generated program invalid: %v", err)
+	}
+	if p.NumFuncs() < 36 {
+		t.Errorf("NumFuncs = %d, want >= Funcs", p.NumFuncs())
+	}
+	if p.Funcs[0].Name != "main" {
+		t.Errorf("entry function %q, want main", p.Funcs[0].Name)
+	}
+	if p.DataCPI != 0.25 {
+		t.Errorf("DataCPI = %v", p.DataCPI)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(smallSpec())
+	b := MustGenerate(smallSpec())
+	if a.NumBlocks() != b.NumBlocks() || a.NumFuncs() != b.NumFuncs() {
+		t.Fatal("structure differs between identical specs")
+	}
+	if a.Dump() != b.Dump() {
+		t.Error("generated programs differ for the same seed")
+	}
+	s2 := smallSpec()
+	s2.Seed = 8
+	c := MustGenerate(s2)
+	if a.Dump() == c.Dump() {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestGeneratedProgramRunsToCompletion(t *testing.T) {
+	p := MustGenerate(smallSpec())
+	res, err := interp.Run(p, interp.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Errorf("program hit the step cap after %d steps", res.Steps)
+	}
+	if res.Steps < 50000 {
+		t.Errorf("only %d block executions; phases too short to measure", res.Steps)
+	}
+	if res.Steps > 5_000_000 {
+		t.Errorf("%d block executions; traces this long slow the harness", res.Steps)
+	}
+}
+
+func TestInputSeedChangesTraceNotStructure(t *testing.T) {
+	p := MustGenerate(smallSpec())
+	a, err := interp.Run(p, interp.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := interp.Run(p, interp.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Blocks.Syms, b.Blocks.Syms) {
+		t.Error("different inputs produced identical traces")
+	}
+}
+
+func TestShuffledSourceOrderScattersCallOrder(t *testing.T) {
+	// The source (declaration) order of work functions must differ from
+	// their call order — otherwise the original layout would already be
+	// optimized and the transformations would have nothing to do.
+	p := MustGenerate(smallSpec())
+	inOrder := true
+	prev := ""
+	for _, f := range p.Funcs[1:] {
+		if len(f.Name) == 4 && f.Name[0] == 'f' {
+			if prev != "" && f.Name < prev {
+				inOrder = false
+				break
+			}
+			prev = f.Name
+		}
+	}
+	if inOrder {
+		t.Error("work functions declared in logical order; source order must be shuffled")
+	}
+}
+
+func TestColdBlocksAreCold(t *testing.T) {
+	p := MustGenerate(smallSpec())
+	res, err := interp.Run(p, interp.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := res.Blocks.Counts()
+	at := func(id ir.BlockID) int64 {
+		if int(id) >= len(counts) {
+			return 0
+		}
+		return counts[id]
+	}
+	var hotTotal, coldTotal int64
+	for _, f := range p.Funcs {
+		for _, bid := range f.Blocks {
+			b := p.Blocks[bid]
+			if len(b.Name) > 2 && b.Name[len(b.Name)-2] == 'c' {
+				continue
+			}
+			switch {
+			case containsTag(b.Name, "_c"):
+				coldTotal += at(bid)
+			case containsTag(b.Name, "_h"):
+				hotTotal += at(bid)
+			}
+		}
+	}
+	if hotTotal == 0 {
+		t.Fatal("no hot block executions found")
+	}
+	frac := float64(coldTotal) / float64(hotTotal)
+	if frac > 0.15 {
+		t.Errorf("cold/hot execution ratio = %v, want << 1", frac)
+	}
+	if coldTotal == 0 {
+		t.Error("cold paths never executed; ColdProb not applied")
+	}
+}
+
+func containsTag(name, tag string) bool {
+	for i := 0; i+len(tag) <= len(name); i++ {
+		if name[i:i+len(tag)] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCorrelatedPairExists(t *testing.T) {
+	s := smallSpec()
+	s.CorrelatedFrac = 1.0
+	p := MustGenerate(s)
+	// Setter/reader pairs have "sel" entry blocks.
+	sel := 0
+	for _, b := range p.Blocks {
+		if b.Name == "sel" {
+			sel++
+		}
+	}
+	if sel < s.Funcs/2 {
+		t.Errorf("found %d sel blocks, want about %d (CorrelatedFrac=1)", sel, s.Funcs-1)
+	}
+}
+
+func TestFunctionTraceShowsPhases(t *testing.T) {
+	p := MustGenerate(smallSpec())
+	res, err := interp.Run(p, interp.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := trace.FuncTrace(p, res.Blocks)
+	if ft.NumDistinct() < 10 {
+		t.Errorf("function trace touches %d functions, want the working sets", ft.NumDistinct())
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Name: "noFuncs"},
+		func() Spec { s := smallSpec(); s.HotChain = [2]int{0, 3}; return s }(),
+		func() Spec { s := smallSpec(); s.HotBytes = [2]int{100, 50}; return s }(),
+		func() Spec { s := smallSpec(); s.ColdProb = 1.5; return s }(),
+		func() Spec { s := smallSpec(); s.FuncsPerPhase = s.Funcs + 1; return s }(),
+		func() Spec { s := smallSpec(); s.Phases = 0; return s }(),
+	}
+	for i, s := range bad {
+		if _, err := Generate(s); err == nil {
+			t.Errorf("case %d: bad spec accepted", i)
+		}
+	}
+}
+
+func TestSuites(t *testing.T) {
+	screening := ScreeningSuite()
+	if len(screening) != 29 {
+		t.Fatalf("screening suite has %d programs, want 29", len(screening))
+	}
+	seen := map[string]bool{}
+	for _, s := range screening {
+		if err := s.Validate(); err != nil {
+			t.Errorf("screening %s: %v", s.Name, err)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate name %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	main := MainSuite()
+	if len(main) != 8 {
+		t.Fatalf("main suite has %d programs, want 8", len(main))
+	}
+	for _, s := range main {
+		if !seen[s.Name] {
+			t.Errorf("main program %s not in screening suite", s.Name)
+		}
+	}
+	if _, err := SpecByName(ProbeGamess); err != nil {
+		t.Errorf("gamess probe missing: %v", err)
+	}
+	if _, err := SpecByName("no.such"); err == nil {
+		t.Error("SpecByName accepted unknown program")
+	}
+	if !BBReorderUnsupported["400.perlbench"] || !BBReorderUnsupported["453.povray"] {
+		t.Error("paper's N/A programs not flagged")
+	}
+}
+
+func TestMainSuiteProgramsGenerate(t *testing.T) {
+	for _, s := range MainSuite() {
+		p, err := Generate(s)
+		if err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: invalid: %v", s.Name, err)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package progen
+
+import "fmt"
+
+// The named suites mirror the paper's benchmark selection:
+//
+//   - ScreeningSuite corresponds to the 29 SPEC CPU2006 programs of
+//     Figure 4, with a spread of instruction footprints so that roughly
+//     9 of 29 show non-trivial solo I-cache miss ratios (the paper's
+//     "30% of the benchmark programs");
+//   - MainSuite corresponds to Table I's 8 programs (perlbench, gcc,
+//     mcf, gobmk, povray, sjeng, omnetpp, xalancbmk);
+//   - the probe programs of the co-run experiments are gcc (moderate
+//     contention, "co-run 1") and gamess (aggressive, "co-run 2").
+//
+// Every program here is a synthetic analogue: its absolute numbers are
+// calibrated against the paper's bands (Table I solo miss ratios of
+// 0-2.7%, probes higher), not copied, and only the relative shapes are
+// expected to match (DESIGN.md §2). The tuning knob is the per-phase
+// working-set size (funcsPerPhase): larger working sets sweep more code
+// through the 32 KB L1I per phase iteration and raise the miss ratio
+// smoothly (about 0.1% at 10 functions/phase to about 5% at 45).
+
+// tunedSpec builds a program spec from the per-program tuning values.
+// trips tunes the intra-function loop counts: fewer trips mean the
+// program sweeps code faster, which both raises its own miss ratio and
+// makes it a more aggressive cache-sharing peer; {0,0} selects the
+// default of {10,24}.
+func tunedSpec(name string, seed int64, funcsPerPhase, funcs int, trips [2]int, dataCPI float64) Spec {
+	if trips[0] == 0 {
+		trips = [2]int{8, 18}
+	}
+	// Keep total executed blocks roughly constant (~300k) across
+	// programs: the outer loop count compensates for working-set size
+	// and inner loop length.
+	avgTrips := (trips[0] + trips[1]) / 2
+	phaseLoops := 300 * 17 / (funcsPerPhase * avgTrips)
+	if phaseLoops < 6 {
+		phaseLoops = 6
+	}
+	return Spec{
+		Name:           name,
+		Seed:           seed,
+		Funcs:          funcs,
+		HotChain:       [2]int{12, 18},
+		HotBytes:       [2]int{40, 72},
+		ColdBytes:      [2]int{48, 96},
+		ColdProb:       0.004,
+		InnerTrips:     trips,
+		Phases:         4,
+		FuncsPerPhase:  funcsPerPhase,
+		PhaseLoops:     phaseLoops,
+		CallsPerLoop:   funcsPerPhase,
+		CorrelatedFrac: 0.5,
+		Helpers:        5,
+		HelperProb:     0.04,
+		DataCPI:        dataCPI,
+	}
+}
+
+// screeningTable lists the 29 Figure 4 programs. funcsPerPhase is tuned
+// so the solo miss-ratio spread resembles Figure 4 (nine programs at or
+// above sjeng's ratio, the rest near zero); funcs scales the static code
+// size to reflect Table I's ordering (mcf tiny, xalancbmk/gcc huge).
+var screeningTable = []struct {
+	name          string
+	funcsPerPhase int
+	funcs         int
+	trips         [2]int
+	dataCPI       float64
+}{
+	{"400.perlbench", 19, 70, [2]int{0, 0}, 0.22},
+	{"401.bzip2", 8, 20, [2]int{0, 0}, 0.30},
+	{"403.gcc", 18, 90, [2]int{0, 0}, 0.25},
+	{"410.bwaves", 8, 20, [2]int{0, 0}, 0.35},
+	{"416.gamess", 19, 80, [2]int{4, 9}, 0.20},
+	{"429.mcf", 10, 25, [2]int{12, 26}, 0.40},
+	{"433.milc", 11, 30, [2]int{0, 0}, 0.33},
+	{"434.zeusmp", 13, 35, [2]int{0, 0}, 0.28},
+	{"435.gromacs", 8, 22, [2]int{0, 0}, 0.26},
+	{"436.cactusADM", 10, 28, [2]int{0, 0}, 0.31},
+	{"437.leslie3d", 8, 20, [2]int{0, 0}, 0.34},
+	{"444.namd", 8, 22, [2]int{0, 0}, 0.24},
+	{"445.gobmk", 25, 60, [2]int{0, 0}, 0.18},
+	{"447.dealII", 10, 30, [2]int{0, 0}, 0.27},
+	{"450.soplex", 10, 28, [2]int{0, 0}, 0.32},
+	{"453.povray", 20, 45, [2]int{0, 0}, 0.17},
+	{"454.calculix", 8, 20, [2]int{0, 0}, 0.29},
+	{"456.hmmer", 8, 20, [2]int{0, 0}, 0.22},
+	{"458.sjeng", 12, 35, [2]int{0, 0}, 0.19},
+	{"459.GemsFDTD", 8, 20, [2]int{0, 0}, 0.36},
+	{"462.libquantum", 6, 15, [2]int{0, 0}, 0.38},
+	{"464.h264ref", 8, 22, [2]int{0, 0}, 0.21},
+	{"465.tonto", 22, 80, [2]int{6, 12}, 0.23},
+	{"470.lbm", 6, 15, [2]int{0, 0}, 0.37},
+	{"471.omnetpp", 11, 50, [2]int{0, 0}, 0.35},
+	{"473.astar", 8, 20, [2]int{0, 0}, 0.33},
+	{"481.wrf", 10, 28, [2]int{0, 0}, 0.30},
+	{"482.sphinx3", 10, 28, [2]int{0, 0}, 0.28},
+	{"483.xalancbmk", 18, 110, [2]int{0, 0}, 0.26},
+}
+
+// ScreeningSuite returns the 29-program Figure 4 suite.
+func ScreeningSuite() []Spec {
+	out := make([]Spec, len(screeningTable))
+	for i, e := range screeningTable {
+		out[i] = tunedSpec(e.name, 1000+int64(i)*17, e.funcsPerPhase, e.funcs, e.trips, e.dataCPI)
+	}
+	return out
+}
+
+// MainSuiteNames lists Table I's benchmarks in the paper's order.
+var MainSuiteNames = []string{
+	"400.perlbench", "403.gcc", "429.mcf", "445.gobmk",
+	"453.povray", "458.sjeng", "471.omnetpp", "483.xalancbmk",
+}
+
+// MainSuite returns the 8-program Table I suite.
+func MainSuite() []Spec {
+	out := make([]Spec, 0, len(MainSuiteNames))
+	for _, n := range MainSuiteNames {
+		s, err := SpecByName(n)
+		if err != nil {
+			panic(err) // MainSuiteNames ⊂ screeningTable by construction
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ProbeGCC and ProbeGamess name the two probe programs of the co-run
+// experiments ("we use gcc and gamess as peer programs").
+const (
+	ProbeGCC    = "403.gcc"
+	ProbeGamess = "416.gamess"
+)
+
+// BBReorderUnsupported lists the programs whose basic-block reordering
+// failed in the paper's compiler ("it had errors on two programs,
+// perlbench and povray. We show these as N/A"). The harness reproduces
+// the N/A cells by skipping them, although this repository's transform
+// handles them fine.
+var BBReorderUnsupported = map[string]bool{
+	"400.perlbench": true,
+	"453.povray":    true,
+}
+
+// SpecByName returns the spec of a screening-suite program.
+func SpecByName(name string) (Spec, error) {
+	for i, e := range screeningTable {
+		if e.name == name {
+			return tunedSpec(e.name, 1000+int64(i)*17, e.funcsPerPhase, e.funcs, e.trips, e.dataCPI), nil
+		}
+	}
+	return Spec{}, fmt.Errorf("progen: unknown program %q", name)
+}

@@ -1,0 +1,195 @@
+// Package search explores the Petrank-Rawitz wall (§III-D of the
+// paper): optimal code placement is NP-hard and inapproximable, so any
+// practical optimizer captures specific patterns — affinity and TRG are
+// two such patterns. This package adds a third reference point: direct
+// local search over function orders against an explicit conflict cost,
+// which quantifies how close the pattern-based one-pass models get to
+// what iterated search finds, and at what analysis cost.
+//
+// The cost of an order is the TRG-weighted cache-set overlap: for every
+// pair of functions with temporal conflicts (TRG edge weight w), the
+// pair contributes w times the number of cache sets both functions
+// occupy under the candidate layout. Minimizing it spreads temporally
+// conflicting code across different sets — the same objective
+// Gloy-Smith's placement greedily optimizes, here optimized by
+// first-improvement hill climbing with deterministic restarts.
+package search
+
+import (
+	"math/rand"
+
+	"codelayout/internal/cachesim"
+	"codelayout/internal/ir"
+	"codelayout/internal/trg"
+)
+
+// Cost evaluates a function order; lower is better.
+type Cost func(order []ir.FuncID) float64
+
+// ConflictCost builds the TRG-weighted set-overlap cost for a program
+// under the given cache geometry.
+func ConflictCost(p *ir.Program, g *trg.Graph, cfg cachesim.Config) Cost {
+	sets := cfg.Sets()
+	line := cfg.LineBytes
+	// Function sizes in lines (source order, no injected jumps — the
+	// cost is a placement proxy, not an exact simulation).
+	sizeLines := make([]int, p.NumFuncs())
+	for _, f := range p.Funcs {
+		var bytes int64
+		for _, b := range f.Blocks {
+			bytes += int64(p.Blocks[b].Size)
+		}
+		sizeLines[int(f.ID)] = int((bytes + int64(line) - 1) / int64(line))
+	}
+	edges := g.Edges()
+	return func(order []ir.FuncID) float64 {
+		// startSet[f] = first cache set of function f under the order.
+		startSet := make([]int, p.NumFuncs())
+		span := make([]int, p.NumFuncs())
+		pos := 0
+		for _, f := range order {
+			startSet[f] = pos % sets
+			span[f] = sizeLines[f]
+			pos += sizeLines[f]
+		}
+		var cost float64
+		for _, e := range edges {
+			a, b := e.A, e.B
+			cost += float64(e.Weight) * float64(setOverlap(
+				startSet[a], span[a], startSet[b], span[b], sets))
+		}
+		return cost
+	}
+}
+
+// setOverlap counts the cache sets covered by both circular intervals
+// [sa, sa+la) and [sb, sb+lb) modulo `sets`.
+func setOverlap(sa, la, sb, lb, sets int) int {
+	if la >= sets || lb >= sets {
+		// A function wrapping the whole cache overlaps everything the
+		// other touches.
+		if la >= sets && lb >= sets {
+			return sets
+		}
+		if la >= sets {
+			return lb
+		}
+		return la
+	}
+	overlap := 0
+	// Compare as at most two linear intervals each.
+	for _, ia := range splitCircular(sa, la, sets) {
+		for _, ib := range splitCircular(sb, lb, sets) {
+			lo := max(ia[0], ib[0])
+			hi := min(ia[1], ib[1])
+			if hi > lo {
+				overlap += hi - lo
+			}
+		}
+	}
+	return overlap
+}
+
+// splitCircular turns a circular interval into one or two linear ones.
+func splitCircular(start, length, sets int) [][2]int {
+	if start+length <= sets {
+		return [][2]int{{start, start + length}}
+	}
+	return [][2]int{{start, sets}, {0, start + length - sets}}
+}
+
+// Options configures the search.
+type Options struct {
+	// Seed drives the candidate move generator.
+	Seed int64
+	// Iterations is the move budget per restart; 0 means 4000.
+	Iterations int
+	// Restarts is the number of shuffled restarts beyond the initial
+	// order; 0 means 2.
+	Restarts int
+}
+
+// Result reports the search outcome.
+type Result struct {
+	Order []ir.FuncID
+	// InitialCost and FinalCost bracket the improvement.
+	InitialCost, FinalCost float64
+	// Evaluations counts cost evaluations (the search's work metric).
+	Evaluations int
+}
+
+// Improve hill-climbs from the initial order using swap and
+// segment-rotate moves, with deterministic shuffled restarts, and
+// returns the best order found.
+func Improve(initial []ir.FuncID, cost Cost, opt Options) Result {
+	iters := opt.Iterations
+	if iters == 0 {
+		iters = 4000
+	}
+	restarts := opt.Restarts
+	if restarts == 0 {
+		restarts = 2
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	best := append([]ir.FuncID(nil), initial...)
+	res := Result{InitialCost: cost(initial), Evaluations: 1}
+	bestCost := res.InitialCost
+
+	climb := func(start []ir.FuncID) {
+		cur := append([]ir.FuncID(nil), start...)
+		curCost := cost(cur)
+		res.Evaluations++
+		n := len(cur)
+		if n < 2 {
+			return
+		}
+		for it := 0; it < iters; it++ {
+			i := rng.Intn(n)
+			j := rng.Intn(n)
+			if i == j {
+				continue
+			}
+			var undo func()
+			if rng.Intn(3) == 0 {
+				// Segment move: take the function at i and insert at j.
+				moved := cur[i]
+				tmp := append([]ir.FuncID(nil), cur[:i]...)
+				tmp = append(tmp, cur[i+1:]...)
+				rest := append([]ir.FuncID(nil), tmp[:j*len(tmp)/n]...)
+				rest = append(rest, moved)
+				rest = append(rest, tmp[j*len(tmp)/n:]...)
+				old := cur
+				cur = rest
+				undo = func() { cur = old }
+			} else {
+				cur[i], cur[j] = cur[j], cur[i]
+				undo = func() { cur[i], cur[j] = cur[j], cur[i] }
+			}
+			c := cost(cur)
+			res.Evaluations++
+			if c < curCost {
+				curCost = c
+			} else {
+				undo()
+			}
+		}
+		if curCost < bestCost {
+			bestCost = curCost
+			best = append(best[:0:0], cur...)
+		}
+	}
+
+	climb(initial)
+	for r := 0; r < restarts; r++ {
+		shuffled := append([]ir.FuncID(nil), initial...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		climb(shuffled)
+	}
+
+	res.Order = best
+	res.FinalCost = bestCost
+	return res
+}

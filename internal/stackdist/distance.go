@@ -1,0 +1,152 @@
+package stackdist
+
+// Infinite marks a cold (first) access in a reuse-distance sequence.
+const Infinite = -1
+
+// Distances computes the LRU stack distance of every access in the trace:
+// the number of distinct symbols accessed since the previous access to
+// the same symbol, inclusive of the symbol itself (so an immediate reuse
+// has distance 1). First accesses yield Infinite.
+//
+// The implementation is Bennett-Kruskal style: a Fenwick tree over trace
+// positions holds a 1 at the position of each symbol's most recent
+// access; the distance of an access at time t whose symbol was last seen
+// at time p is the number of marked positions in (p, t] .
+func Distances(syms []int32) []int {
+	n := len(syms)
+	out := make([]int, n)
+	if n == 0 {
+		return out
+	}
+	maxSym := int32(0)
+	for _, s := range syms {
+		if s > maxSym {
+			maxSym = s
+		}
+	}
+	last := make([]int, maxSym+1)
+	for i := range last {
+		last[i] = -1
+	}
+	bit := newFenwick(n)
+	for t, s := range syms {
+		p := last[s]
+		if p < 0 {
+			out[t] = Infinite
+		} else {
+			// Marked positions in (p, t-1] are the distinct symbols seen
+			// strictly between the two accesses; +1 counts s itself.
+			out[t] = bit.rangeSum(p+1, t-1) + 1
+			bit.add(p, -1)
+		}
+		bit.add(t, 1)
+		last[s] = t
+	}
+	return out
+}
+
+// DistancesNaive is the quadratic reference implementation used to verify
+// Distances in tests.
+func DistancesNaive(syms []int32) []int {
+	out := make([]int, len(syms))
+	for t, s := range syms {
+		p := -1
+		for j := t - 1; j >= 0; j-- {
+			if syms[j] == s {
+				p = j
+				break
+			}
+		}
+		if p < 0 {
+			out[t] = Infinite
+			continue
+		}
+		seen := make(map[int32]struct{})
+		for j := p + 1; j <= t; j++ {
+			seen[syms[j]] = struct{}{}
+		}
+		out[t] = len(seen)
+	}
+	return out
+}
+
+// Histogram buckets a distance sequence into a histogram: hist[d] counts
+// accesses with distance d (d >= 1); the returned cold count is the
+// number of Infinite entries.
+func Histogram(dists []int) (hist []int64, cold int64) {
+	max := 0
+	for _, d := range dists {
+		if d > max {
+			max = d
+		}
+	}
+	hist = make([]int64, max+1)
+	for _, d := range dists {
+		if d == Infinite {
+			cold++
+		} else {
+			hist[d]++
+		}
+	}
+	return hist, cold
+}
+
+// MissRatioCurve converts a stack-distance histogram into the LRU miss
+// ratio as a function of cache capacity in symbols: mr[c] is the miss
+// ratio of a fully associative LRU cache holding c symbols. mr[0] is 1.
+func MissRatioCurve(hist []int64, cold int64, accesses int64) []float64 {
+	if accesses == 0 {
+		return []float64{1}
+	}
+	mr := make([]float64, len(hist))
+	// misses(c) = cold + sum of accesses with distance > c.
+	var tail int64
+	for _, h := range hist {
+		tail += h
+	}
+	for c := 0; c < len(hist); c++ {
+		if c > 0 {
+			tail -= hist[c]
+		}
+		miss := cold + tail
+		if c == 0 {
+			miss = accesses
+		}
+		mr[c] = float64(miss) / float64(accesses)
+	}
+	return mr
+}
+
+// fenwick is a Fenwick (binary indexed) tree over [0, n).
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+func (f *fenwick) add(i, delta int) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// prefixSum returns the sum over [0, i].
+func (f *fenwick) prefixSum(i int) int {
+	s := 0
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// rangeSum returns the sum over [lo, hi]; empty if lo > hi.
+func (f *fenwick) rangeSum(lo, hi int) int {
+	if lo > hi {
+		return 0
+	}
+	s := f.prefixSum(hi)
+	if lo > 0 {
+		s -= f.prefixSum(lo - 1)
+	}
+	return s
+}

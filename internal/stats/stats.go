@@ -1,0 +1,139 @@
+// Package stats provides the small numeric and formatting helpers the
+// experiment harness uses to aggregate and render results.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values, 0 for empty
+// input. Non-positive entries are skipped.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Min and Max return the extrema; 0 for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Pct formats a fraction as a percentage, e.g. 0.0432 -> "4.32%".
+func Pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }
+
+// SignedPct formats a fraction with an explicit sign, the convention the
+// paper's Table II uses (+7.22%, -0.57%).
+func SignedPct(x float64) string { return fmt.Sprintf("%+.2f%%", 100*x) }
+
+// RelChange returns (new-old)/old, 0 when old is 0.
+func RelChange(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old
+}
+
+// Reduction returns (old-new)/old, the "miss ratio reduction" convention
+// of the paper (positive is better), 0 when old is 0.
+func Reduction(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (old - new) / old
+}
+
+// Table renders rows of cells as a fixed-width text table with a header
+// row and a separator.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			// Left-align the first column, right-align the rest.
+			if i == 0 {
+				fmt.Fprintf(&sb, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&sb, "%*s", widths[i], c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

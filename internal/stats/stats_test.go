@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeans(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{0, -3}); got != 0 {
+		t.Errorf("GeoMean of non-positives = %v, want 0", got)
+	}
+	if Min([]float64{3, 1, 2}) != 1 || Max([]float64{3, 1, 2}) != 3 {
+		t.Error("Min/Max wrong")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("Min/Max of empty should be 0")
+	}
+}
+
+func TestChanges(t *testing.T) {
+	if got := RelChange(2, 3); got != 0.5 {
+		t.Errorf("RelChange = %v", got)
+	}
+	if got := Reduction(4, 3); got != 0.25 {
+		t.Errorf("Reduction = %v", got)
+	}
+	if RelChange(0, 5) != 0 || Reduction(0, 5) != 0 {
+		t.Error("zero-base changes should be 0")
+	}
+}
+
+func TestFormats(t *testing.T) {
+	if got := Pct(0.0432); got != "4.32%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := SignedPct(0.0722); got != "+7.22%" {
+		t.Errorf("SignedPct = %q", got)
+	}
+	if got := SignedPct(-0.0057); got != "-0.57%" {
+		t.Errorf("SignedPct = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"prog", "miss"}}
+	tb.Add("perlbench", "1.99%")
+	tb.Add("gcc", "1.56%")
+	out := tb.String()
+	if !strings.Contains(out, "perlbench") || !strings.Contains(out, "1.56%") {
+		t.Errorf("table missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	// Right-aligned numeric column: both rows end aligned.
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("rows not aligned:\n%s", out)
+	}
+}

@@ -1,0 +1,82 @@
+// Package textplot renders the paper's figures as ASCII bar charts so
+// the benchmark harness can regenerate every figure, not just the
+// tables, in a terminal.
+package textplot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bar is one labeled value.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Chart is a horizontal bar chart.
+type Chart struct {
+	Title string
+	Bars  []Bar
+	// Width is the maximum bar width in characters (default 50).
+	Width int
+	// Format formats the value shown after each bar; default "%.2f".
+	Format string
+	// Baseline, when non-zero (e.g. 1.0 for speedups), draws bars
+	// relative to the baseline: values above grow right from it,
+	// values below are marked with '<'.
+	Baseline float64
+}
+
+// Add appends a bar.
+func (c *Chart) Add(label string, v float64) { c.Bars = append(c.Bars, Bar{label, v}) }
+
+// String renders the chart.
+func (c *Chart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	format := c.Format
+	if format == "" {
+		format = "%.2f"
+	}
+	labelW := 0
+	maxDev := 0.0
+	for _, b := range c.Bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+		dev := b.Value - c.Baseline
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > maxDev {
+			maxDev = dev
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title + "\n")
+	}
+	for _, b := range c.Bars {
+		dev := b.Value - c.Baseline
+		n := 0
+		if maxDev > 0 {
+			n = int(float64(width)*abs(dev)/maxDev + 0.5)
+		}
+		mark := strings.Repeat("#", n)
+		if dev < 0 {
+			mark = strings.Repeat("<", n)
+		}
+		fmt.Fprintf(&sb, "%-*s | %-*s "+format+"\n", labelW, b.Label, width, mark, b.Value)
+	}
+	return sb.String()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,52 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasic(t *testing.T) {
+	c := &Chart{Title: "misses", Width: 10, Format: "%.1f"}
+	c.Add("a", 10)
+	c.Add("bb", 5)
+	c.Add("ccc", 0)
+	out := c.String()
+	if !strings.HasPrefix(out, "misses\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 10)) {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	if strings.Count(lines[2], "#") != 5 {
+		t.Errorf("half bar wrong:\n%s", out)
+	}
+	if strings.Contains(lines[3], "#") {
+		t.Errorf("zero bar should be empty:\n%s", out)
+	}
+}
+
+func TestChartBaseline(t *testing.T) {
+	c := &Chart{Baseline: 1, Width: 10}
+	c.Add("faster", 1.10)
+	c.Add("slower", 0.95)
+	out := c.String()
+	if !strings.Contains(out, "#") {
+		t.Errorf("above-baseline bar missing:\n%s", out)
+	}
+	if !strings.Contains(out, "<") {
+		t.Errorf("below-baseline marker missing:\n%s", out)
+	}
+}
+
+func TestChartDefaults(t *testing.T) {
+	c := &Chart{}
+	c.Add("x", 1)
+	out := c.String()
+	if !strings.Contains(out, "1.00") {
+		t.Errorf("default format not applied:\n%s", out)
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// File format: the instrumentation phase of the paper's system records
+// the block/function trace "in a file" together with a mapping file. The
+// format here is a small self-describing binary container:
+//
+//	magic "CLTR" | version u8 | count uvarint | deltas (zig-zag varint)
+//
+// Symbols are delta-encoded because consecutive block IDs in real traces
+// are strongly clustered, which makes the common case one byte per
+// occurrence.
+
+const (
+	fileMagic   = "CLTR"
+	fileVersion = 1
+)
+
+// WriteTo writes the trace in the binary container format.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	n, err := bw.WriteString(fileMagic)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	if err := bw.WriteByte(fileVersion); err != nil {
+		return written, err
+	}
+	written++
+	var buf [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(buf[:], uint64(len(t.Syms)))
+	n, err = bw.Write(buf[:k])
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	prev := int64(0)
+	for _, s := range t.Syms {
+		k := binary.PutVarint(buf[:], int64(s)-prev)
+		n, err = bw.Write(buf[:k])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+		prev = int64(s)
+	}
+	return written, bw.Flush()
+}
+
+// ReadFrom parses a trace written by WriteTo.
+func ReadFrom(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if ver != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	const maxCount = 1 << 31
+	if count > maxCount {
+		return nil, fmt.Errorf("trace: count %d too large", count)
+	}
+	syms := make([]int32, count)
+	prev := int64(0)
+	for i := range syms {
+		d, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading occurrence %d: %w", i, err)
+		}
+		prev += d
+		if prev < 0 || prev > 1<<30 {
+			return nil, fmt.Errorf("trace: occurrence %d decodes to invalid symbol %d", i, prev)
+		}
+		syms[i] = int32(prev)
+	}
+	return &Trace{Syms: syms}, nil
+}

@@ -1,0 +1,25 @@
+package trace
+
+import (
+	"testing"
+
+	"codelayout/internal/ir"
+)
+
+// buildTwoFuncProg builds a minimal two-function program whose block IDs
+// are 0,1 (main) and 2,3 (F), used by FuncTrace tests.
+func buildTwoFuncProg(t *testing.T) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("two", 0)
+	main := b.Func("main")
+	f := b.Func("F")
+	m0 := main.Block("m0", 8)
+	m1 := main.Block("m1", 8)
+	f0 := f.Block("f0", 8)
+	f1 := f.Block("f1", 8)
+	m0.Call(f, m1)
+	m1.Exit()
+	f0.Jump(f1)
+	f1.Return()
+	return b.MustBuild()
+}

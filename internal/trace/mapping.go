@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"codelayout/internal/ir"
+)
+
+// Mapping is the paper's instrumentation "mapping file": it assigns
+// each basic block or function an index and remembers its name and
+// size, so that a recorded trace can be interpreted away from the
+// program that produced it (§II-F: "we record a mapping file to assign
+// each basic block or function an index, which is used in representing
+// the trace and in locality analysis").
+type Mapping struct {
+	// Names[i] is the human-readable name of symbol i.
+	Names []string
+	// Sizes[i] is the code size of symbol i in bytes.
+	Sizes []int32
+}
+
+// BlockMapping builds the mapping of a program's basic blocks
+// (symbol = ir.BlockID).
+func BlockMapping(p *ir.Program) *Mapping {
+	m := &Mapping{
+		Names: make([]string, p.NumBlocks()),
+		Sizes: make([]int32, p.NumBlocks()),
+	}
+	for _, f := range p.Funcs {
+		for _, id := range f.Blocks {
+			b := p.Blocks[id]
+			m.Names[id] = f.Name + "." + b.Name
+			m.Sizes[id] = b.Size
+		}
+	}
+	return m
+}
+
+// FuncMapping builds the mapping of a program's functions
+// (symbol = ir.FuncID).
+func FuncMapping(p *ir.Program) *Mapping {
+	m := &Mapping{
+		Names: make([]string, p.NumFuncs()),
+		Sizes: make([]int32, p.NumFuncs()),
+	}
+	for _, f := range p.Funcs {
+		var bytes int64
+		for _, id := range f.Blocks {
+			bytes += int64(p.Blocks[id].Size)
+		}
+		m.Names[f.ID] = f.Name
+		m.Sizes[f.ID] = int32(bytes)
+	}
+	return m
+}
+
+// Len returns the number of mapped symbols.
+func (m *Mapping) Len() int { return len(m.Names) }
+
+// Name returns the name of a symbol, or a placeholder when out of
+// range (a pruned trace can reference fewer symbols than the mapping).
+func (m *Mapping) Name(sym int32) string {
+	if sym < 0 || int(sym) >= len(m.Names) {
+		return fmt.Sprintf("sym%d", sym)
+	}
+	return m.Names[sym]
+}
+
+const (
+	mappingMagic   = "CLMP"
+	mappingVersion = 1
+	maxNameLen     = 4096
+	maxSymbols     = 1 << 26
+)
+
+// WriteTo serializes the mapping:
+//
+//	magic "CLMP" | version u8 | count uvarint |
+//	per symbol: size varint, name length uvarint, name bytes
+func (m *Mapping) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	n, err := bw.WriteString(mappingMagic)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	if err := bw.WriteByte(mappingVersion); err != nil {
+		return written, err
+	}
+	written++
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		n, err := bw.Write(buf[:k])
+		written += int64(n)
+		return err
+	}
+	if err := put(uint64(len(m.Names))); err != nil {
+		return written, err
+	}
+	for i, name := range m.Names {
+		if err := put(uint64(uint32(m.Sizes[i]))); err != nil {
+			return written, err
+		}
+		if err := put(uint64(len(name))); err != nil {
+			return written, err
+		}
+		n, err := bw.WriteString(name)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadMappingFrom parses a mapping written by WriteTo.
+func ReadMappingFrom(r io.Reader) (*Mapping, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(mappingMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading mapping magic: %w", err)
+	}
+	if string(magic) != mappingMagic {
+		return nil, fmt.Errorf("trace: bad mapping magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != mappingVersion {
+		return nil, fmt.Errorf("trace: unsupported mapping version %d", ver)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if count > maxSymbols {
+		return nil, fmt.Errorf("trace: mapping count %d too large", count)
+	}
+	m := &Mapping{Names: make([]string, count), Sizes: make([]int32, count)}
+	for i := uint64(0); i < count; i++ {
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: mapping entry %d size: %w", i, err)
+		}
+		m.Sizes[i] = int32(uint32(size))
+		nameLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: mapping entry %d name length: %w", i, err)
+		}
+		if nameLen > maxNameLen {
+			return nil, fmt.Errorf("trace: mapping entry %d name too long (%d)", i, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("trace: mapping entry %d name: %w", i, err)
+		}
+		m.Names[i] = string(name)
+	}
+	return m, nil
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestBlockAndFuncMapping(t *testing.T) {
+	p := buildTwoFuncProg(t)
+	bm := BlockMapping(p)
+	if bm.Len() != p.NumBlocks() {
+		t.Fatalf("block mapping has %d entries, want %d", bm.Len(), p.NumBlocks())
+	}
+	if bm.Name(0) != "main.m0" {
+		t.Errorf("Name(0) = %q", bm.Name(0))
+	}
+	if bm.Sizes[0] != 8 {
+		t.Errorf("Sizes[0] = %d", bm.Sizes[0])
+	}
+	fm := FuncMapping(p)
+	if fm.Len() != p.NumFuncs() {
+		t.Fatalf("func mapping has %d entries", fm.Len())
+	}
+	if fm.Name(1) != "F" {
+		t.Errorf("func Name(1) = %q", fm.Name(1))
+	}
+	if fm.Sizes[0] != 16 { // main has two 8-byte blocks
+		t.Errorf("func Sizes[0] = %d, want 16", fm.Sizes[0])
+	}
+	// Out-of-range symbols get placeholders instead of panics.
+	if bm.Name(-1) != "sym-1" || bm.Name(9999) != "sym9999" {
+		t.Error("out-of-range names wrong")
+	}
+}
+
+func TestMappingRoundTrip(t *testing.T) {
+	p := buildTwoFuncProg(t)
+	for _, m := range []*Mapping{BlockMapping(p), FuncMapping(p), {}} {
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadMappingFrom(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Len() == 0 {
+			if got.Len() != 0 {
+				t.Error("empty mapping round trip grew")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got.Names, m.Names) || !reflect.DeepEqual(got.Sizes, m.Sizes) {
+			t.Error("mapping round trip mismatch")
+		}
+	}
+}
+
+func TestMappingRejectsGarbage(t *testing.T) {
+	if _, err := ReadMappingFrom(bytes.NewReader([]byte("XXXX\x01\x00"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadMappingFrom(bytes.NewReader([]byte("CLMP\x09\x00"))); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := ReadMappingFrom(bytes.NewReader([]byte("CLMP\x01\x05"))); err == nil {
+		t.Error("truncated body accepted")
+	}
+}

@@ -1,0 +1,145 @@
+// Package trg implements the temporal relationship graph model of §II-C:
+// Gloy & Smith's TRG construction adapted by the paper, and the paper's
+// own TRG reduction (Algorithm 2) that produces a new code order instead
+// of inserting inter-function space.
+//
+// In the TRG (Definition 6), nodes are code blocks and an edge's weight
+// counts potential cache conflicts: the times two successive occurrences
+// of one endpoint are interleaved with at least one occurrence of the
+// other, and vice versa. Construction only examines interleavings inside
+// a bounded footprint window (the paper follows Gloy & Smith's advice of
+// twice the cache size).
+package trg
+
+import (
+	"sort"
+
+	"codelayout/internal/stackdist"
+	"codelayout/internal/trace"
+)
+
+// Graph is a weighted undirected temporal relationship graph.
+type Graph struct {
+	weights map[int64]int64
+	// nodes lists the distinct symbols in first-occurrence order; the
+	// order makes every downstream step deterministic.
+	nodes []int32
+	seen  map[int32]bool
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{weights: make(map[int64]int64), seen: make(map[int32]bool)}
+}
+
+func pairKey(a, b int32) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	return int64(a)<<32 | int64(int32(b))&0xffffffff
+}
+
+// AddNode registers a node even if it never gains an edge, so that the
+// reduction's output remains a permutation of all code blocks.
+func (g *Graph) AddNode(s int32) {
+	if !g.seen[s] {
+		g.seen[s] = true
+		g.nodes = append(g.nodes, s)
+	}
+}
+
+// AddWeight adds delta to the weight of edge (a, b).
+func (g *Graph) AddWeight(a, b int32, delta int64) {
+	if a == b {
+		return
+	}
+	g.AddNode(a)
+	g.AddNode(b)
+	g.weights[pairKey(a, b)] += delta
+}
+
+// Weight returns the weight of edge (a, b), 0 if absent.
+func (g *Graph) Weight(a, b int32) int64 { return g.weights[pairKey(a, b)] }
+
+// Nodes returns the node list in first-occurrence order.
+func (g *Graph) Nodes() []int32 { return g.nodes }
+
+// NumEdges returns the number of edges with non-zero weight.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, w := range g.weights {
+		if w != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Edge is one weighted edge, used by tests and diagnostics.
+type Edge struct {
+	A, B   int32
+	Weight int64
+}
+
+// Edges returns all edges sorted by descending weight, then by node IDs.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.weights))
+	for k, w := range g.weights {
+		if w == 0 {
+			continue
+		}
+		out = append(out, Edge{A: int32(k >> 32), B: int32(k & 0xffffffff), Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Build constructs the TRG of a code trace. windowBlocks bounds the
+// examined interleaving window in distinct code blocks (the footprint
+// window "2C" of §II-C divided by the uniform block size); 0 means
+// unbounded. At each access, if the block's previous occurrence lies
+// within the window, every distinct block interleaved between the two
+// occurrences receives one conflict count — the hash-table-plus-list
+// stack makes the search O(1) per step as the paper describes.
+func Build(t *trace.Trace, windowBlocks int) *Graph {
+	tt := t.Trimmed()
+	g := NewGraph()
+	if len(tt.Syms) == 0 {
+		return g
+	}
+	maxSym := tt.MaxSym()
+	limit := windowBlocks
+	if limit <= 0 {
+		limit = int(maxSym) + 1
+	}
+	stack := stackdist.NewLRUStack(maxSym)
+	between := make([]int32, 0, limit)
+	for _, cur := range tt.Syms {
+		g.AddNode(cur)
+		between = between[:0]
+		found := false
+		stack.TopK(limit, func(x int32) bool {
+			if x == cur {
+				found = true
+				return false
+			}
+			between = append(between, x)
+			return true
+		})
+		if found {
+			for _, x := range between {
+				g.AddWeight(cur, x, 1)
+			}
+		}
+		stack.Access(cur)
+	}
+	return g
+}
