@@ -1,0 +1,36 @@
+# Mirrors .github/workflows/ci.yml: `make ci` runs what CI runs.
+
+GO ?= go
+
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark run (slow: regenerates every table and figure).
+bench:
+	$(GO) test -run='^$$' -bench=. ./...
+
+# One iteration of every benchmark — catches bit-rot cheaply.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+ci: build vet fmt-check test race bench-smoke

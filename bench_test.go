@@ -9,6 +9,7 @@ package codelayout
 // cmd/benchtables.
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"codelayout/internal/experiments"
 	"codelayout/internal/footprint"
 	"codelayout/internal/layout"
+	"codelayout/internal/trace"
 	"codelayout/internal/trg"
 )
 
@@ -364,6 +366,95 @@ func BenchmarkFootprintClosedForm(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		footprint.NewCurve(syms, nil)
+	}
+}
+
+// --- Parallel analysis benches (internal/parallel fan-out) ----------------
+
+// phasedBenchTrace draws a 100k-occurrence phased random trace — the
+// working-set shape the suite programs produce, large enough for the
+// shard warm-up replays to amortize.
+func phasedBenchTrace() *trace.Trace {
+	rng := rand.New(rand.NewSource(20140814))
+	syms := make([]int32, 100000)
+	for i := range syms {
+		phase := (i / 2000) % 8
+		syms[i] = int32(phase*24 + rng.Intn(64))
+	}
+	return trace.New(syms)
+}
+
+// BenchmarkBuildHierarchyWorkers measures the per-window affinity
+// analysis (wmax=20, the paper's bound) across worker counts; 1 is the
+// serial reference path.
+func BenchmarkBuildHierarchyWorkers(b *testing.B) {
+	tt := phasedBenchTrace()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(sprint("workers=", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				affinity.BuildHierarchy(tt, affinity.Options{WMax: 20, Workers: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkTRGBuildWorkers measures sharded TRG construction across
+// worker counts.
+func BenchmarkTRGBuildWorkers(b *testing.B) {
+	tt := phasedBenchTrace()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(sprint("workers=", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				trg.BuildWorkers(tt, 128, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkFootprintCurveWorkers measures the fp(w) evaluation fan-out.
+func BenchmarkFootprintCurveWorkers(b *testing.B) {
+	syms := phasedBenchTrace().Syms
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(sprint("workers=", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				footprint.NewCurveWorkers(syms, nil, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkCorunBatchWorkers measures the independent co-run pair
+// fan-out through cachesim.SimulateCorunBatch.
+func BenchmarkCorunBatchWorkers(b *testing.B) {
+	sj, err := ws().Bench("458.sjeng")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mcf, err := ws().Bench("429.mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkJobs := func() []cachesim.CorunJob {
+		var jobs []cachesim.CorunJob
+		for _, pair := range [][2]*Bench{{sj, mcf}, {mcf, sj}, {sj, sj}, {mcf, mcf}} {
+			pr, err := pair[0].Replayer(experiments.Baseline, 64, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			er, err := pair[1].Replayer(experiments.Baseline, 64, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			jobs = append(jobs, cachesim.CorunJob{Primary: pr, Peer: er})
+		}
+		return jobs
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(sprint("workers=", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cachesim.SimulateCorunBatch(cachesim.L1IDefault, mkJobs(), workers)
+			}
+		})
 	}
 }
 

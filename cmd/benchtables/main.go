@@ -23,9 +23,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchtables: ")
 	exp := flag.String("exp", "all", "experiment to run (intro, table1, fig1..fig7, table2, optopt, compare, all)")
+	workers := flag.Int("workers", 0, "experiment and analysis concurrency: 0 = all cores, 1 = serial")
 	flag.Parse()
 
 	w := experiments.NewWorkspace()
+	w.SetWorkers(*workers)
 	run := func(name string, f func() (fmt.Stringer, error)) {
 		if *exp != "all" && *exp != name {
 			return

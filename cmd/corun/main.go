@@ -25,9 +25,11 @@ func main() {
 	primaryName := flag.String("primary", "458.sjeng", "program being measured")
 	peerName := flag.String("peer", "403.gcc", "co-running peer (wraps)")
 	optName := flag.String("opt", "bb-affinity", "optimizer applied to the primary")
+	workers := flag.Int("workers", 0, "analysis concurrency: 0 = all cores, 1 = serial")
 	flag.Parse()
 
 	w := experiments.NewWorkspace()
+	w.SetWorkers(*workers)
 	primary, err := w.Bench(*primaryName)
 	if err != nil {
 		log.Fatal(err)

@@ -24,9 +24,11 @@ func main() {
 	log.SetPrefix("layoutopt: ")
 	prog := flag.String("prog", "445.gobmk", "suite program name (e.g. 445.gobmk)")
 	optName := flag.String("opt", "all", "optimizer: func-affinity, bb-affinity, func-trg, bb-trg, func-callgraph, func-cmg, bb-affinity-intra, or all")
+	workers := flag.Int("workers", 0, "analysis concurrency: 0 = all cores, 1 = serial")
 	flag.Parse()
 
 	w := experiments.NewWorkspace()
+	w.SetWorkers(*workers)
 	b, err := w.Bench(*prog)
 	if err != nil {
 		log.Fatal(err)
@@ -52,6 +54,7 @@ func main() {
 		if *optName != "all" && o.Name() != *optName {
 			continue
 		}
+		o.Workers = *workers
 		l, rep, err := o.Optimize(b.Train)
 		if err != nil {
 			log.Fatalf("%s: %v", o.Name(), err)

@@ -22,6 +22,7 @@ package affinity
 import (
 	"sort"
 
+	"codelayout/internal/parallel"
 	"codelayout/internal/stackdist"
 	"codelayout/internal/trace"
 )
@@ -32,6 +33,12 @@ type Options struct {
 	// between 2 and 20 ("to improve efficiency, we choose w between 2
 	// and 20"); 0 means the default of 20.
 	WMax int
+	// Workers bounds the analysis concurrency: 0 means every available
+	// core, 1 pins the serial reference path. The built hierarchy is
+	// byte-identical for every setting — the stack passes shard the
+	// trace with exact LRU warm-up and the per-shard histograms merge
+	// by commutative addition (DESIGN.md §7).
+	Workers int
 }
 
 // DefaultWMax matches the paper's upper end of the analyzed window range.
@@ -147,44 +154,106 @@ func BuildHierarchy(t *trace.Trace, opt Options) *Hierarchy {
 	if len(tt.Syms) == 0 {
 		return h
 	}
-	minW := pairMinWindowsStack(tt, wmax)
-	buildLevels(h, wmax, minW)
+	minW := pairMinWindowsStack(tt, wmax, opt.Workers)
+	buildLevels(h, wmax, minW, opt.Workers)
 	return h
 }
 
 // buildLevels fills hierarchy levels 2..wmax from the per-pair minimal
-// affinity windows.
-func buildLevels(h *Hierarchy, wmax int, minW map[int64]int) {
-	prev := h.Levels[0]
-	for w := 2; w <= wmax; w++ {
+// affinity windows. The per-level affine pair sets are independent
+// projections of minW and are built concurrently; the merge chain itself
+// is sequential because level w merges whole groups of level w-1
+// (lower-level precedence), but it is cheap next to the stack passes.
+func buildLevels(h *Hierarchy, wmax int, minW map[int64]int, workers int) {
+	affines := make([]map[int64]bool, wmax+1)
+	_ = parallel.ForEach(workers, wmax-1, func(idx int) error {
+		w := idx + 2
 		affine := make(map[int64]bool, len(minW))
 		for k, mw := range minW {
 			if mw <= w {
 				affine[k] = true
 			}
 		}
-		prev = mergeLevel(prev, w, affine, h.firstOcc)
+		affines[w] = affine
+		return nil
+	})
+	prev := h.Levels[0]
+	for w := 2; w <= wmax; w++ {
+		prev = mergeLevel(prev, w, affines[w], h.firstOcc)
 		h.Levels[w-1] = prev
 	}
 }
 
+// minShardSpan is the smallest shard the sharded stack passes accept, in
+// multiples of wmax: warm-up replays up to wmax distinct symbols, so a
+// shard must cover several times that to amortize the duplicated work.
+const minShardSpan = 4
+
 // pairMinWindowsStack computes, for every symbol pair that becomes affine
 // at some w <= wmax, that minimal w, using the two stack passes described
-// on BuildHierarchy.
-func pairMinWindowsStack(tt *trace.Trace, wmax int) map[int64]int {
+// on BuildHierarchy. The trace is split into contiguous shards, one
+// independent pair of passes per shard; each shard warms its LRU stack
+// by replaying just enough of the neighboring trace that its TopK views
+// equal the full-trace simulation, so the per-shard histograms sum to
+// exactly the serial result.
+func pairMinWindowsStack(tt *trace.Trace, wmax, workers int) map[int64]int {
 	n := len(tt.Syms)
 	maxSym := tt.MaxSym()
+	occCount := tt.Counts()
 
+	chunks := parallel.Chunks(n, parallel.Workers(workers), minShardSpan*wmax)
+	hists := make([]map[int64][]uint32, len(chunks))
+	_ = parallel.ForEach(workers, len(chunks), func(i int) error {
+		hists[i] = shardPairHists(tt.Syms, maxSym, wmax, chunks[i][0], chunks[i][1])
+		return nil
+	})
+	pairs := hists[0]
+	for _, m := range hists[1:] {
+		for k, counts := range m {
+			if dst := pairs[k]; dst != nil {
+				for d, c := range counts {
+					dst[d] += c
+				}
+			} else {
+				pairs[k] = counts
+			}
+		}
+	}
+
+	minW := make(map[int64]int, len(pairs))
+	for key, counts := range pairs {
+		x := int32(key >> 32)
+		y := int32(key & 0xffffffff)
+		wx := fullCoverageW(counts[:wmax+1], occCount[x])
+		wy := fullCoverageW(counts[wmax+1:], occCount[y])
+		if wx < 0 || wy < 0 {
+			continue // some occurrence is never covered within wmax
+		}
+		minW[key] = max(wx, wy)
+	}
+	return minW
+}
+
+// shardPairHists runs the two stack passes over positions [lo, hi) and
+// returns the shard's per-pair coverage histograms:
+// counts[dir*(wmax+1)+d] counts occurrences of the dir-side symbol whose
+// minimal coverage footprint is d.
+func shardPairHists(syms []int32, maxSym int32, wmax, lo, hi int) map[int64][]uint32 {
 	// Pass 1 (forward): record for each position the partners within the
 	// top wmax of the LRU stack and their depths (backward coverage).
-	partnerSym := make([]int32, 0, n*2)
-	partnerDepth := make([]uint8, 0, n*2)
-	offsets := make([]int32, n+1)
+	// The warm-up replays the span holding the last wmax distinct
+	// symbols before lo, which fully determines the stack's top wmax.
+	partnerSym := make([]int32, 0, (hi-lo)*2)
+	partnerDepth := make([]uint8, 0, (hi-lo)*2)
+	offsets := make([]int32, hi-lo+1)
 	{
 		stack := stackdist.NewLRUStack(maxSym)
-		for i, cur := range tt.Syms {
-			stack.Access(cur)
-			offsets[i] = int32(len(partnerSym))
+		for i := warmBefore(syms, lo, wmax); i < lo; i++ {
+			stack.Access(syms[i])
+		}
+		for i := lo; i < hi; i++ {
+			stack.Access(syms[i])
+			offsets[i-lo] = int32(len(partnerSym))
 			depth := 0
 			stack.TopK(wmax, func(x int32) bool {
 				depth++
@@ -196,18 +265,15 @@ func pairMinWindowsStack(tt *trace.Trace, wmax int) map[int64]int {
 				return true
 			})
 		}
-		offsets[n] = int32(len(partnerSym))
+		offsets[hi-lo] = int32(len(partnerSym))
 	}
 
-	// Pass 2 (backward): merge forward coverage with pass 1's backward
-	// coverage per occurrence, and fold minima into per-pair histograms.
-	type hist struct {
-		// counts[dir*(wmax+1)+d] = occurrences of the dir-side symbol
-		// whose minimal coverage footprint is d.
-		counts []uint32
-	}
-	pairs := make(map[int64]*hist)
-	occCount := tt.Counts()
+	// Pass 2 (backward, over the reversed trace): merge forward coverage
+	// with pass 1's backward coverage per occurrence, and fold minima
+	// into the per-pair histograms. The warm-up replays, in reverse
+	// order, the span holding the first wmax distinct symbols at or
+	// after hi.
+	pairs := make(map[int64][]uint32)
 
 	// scratch holds the merged (partner, minDepth) set of one occurrence.
 	scratchSym := make([]int32, 0, 2*wmax)
@@ -226,12 +292,15 @@ func pairMinWindowsStack(tt *trace.Trace, wmax int) map[int64]int {
 	}
 
 	stack := stackdist.NewLRUStack(maxSym)
-	for i := n - 1; i >= 0; i-- {
-		cur := tt.Syms[i]
+	for i := warmAfter(syms, hi, wmax) - 1; i >= hi; i-- {
+		stack.Access(syms[i])
+	}
+	for i := hi - 1; i >= lo; i-- {
+		cur := syms[i]
 		stack.Access(cur)
 		scratchSym = scratchSym[:0]
 		scratchDepth = scratchDepth[:0]
-		for k := offsets[i]; k < offsets[i+1]; k++ {
+		for k := offsets[i-lo]; k < offsets[i-lo+1]; k++ {
 			addScratch(partnerSym[k], partnerDepth[k])
 		}
 		depth := 0
@@ -245,31 +314,48 @@ func pairMinWindowsStack(tt *trace.Trace, wmax int) map[int64]int {
 		})
 		for k, y := range scratchSym {
 			key := pairKey(cur, y)
-			ph := pairs[key]
-			if ph == nil {
-				ph = &hist{counts: make([]uint32, 2*(wmax+1))}
-				pairs[key] = ph
+			counts := pairs[key]
+			if counts == nil {
+				counts = make([]uint32, 2*(wmax+1))
+				pairs[key] = counts
 			}
 			dir := 0
 			if cur > y {
 				dir = 1
 			}
-			ph.counts[dir*(wmax+1)+int(scratchDepth[k])]++
+			counts[dir*(wmax+1)+int(scratchDepth[k])]++
 		}
 	}
+	return pairs
+}
 
-	minW := make(map[int64]int, len(pairs))
-	for key, ph := range pairs {
-		x := int32(key >> 32)
-		y := int32(key & 0xffffffff)
-		wx := fullCoverageW(ph.counts[:wmax+1], occCount[x])
-		wy := fullCoverageW(ph.counts[wmax+1:], occCount[y])
-		if wx < 0 || wy < 0 {
-			continue // some occurrence is never covered within wmax
-		}
-		minW[key] = max(wx, wy)
+// warmBefore returns the largest p <= lo such that syms[p:lo] contains
+// need distinct symbols (or 0 if the prefix holds fewer). Replaying
+// syms[p:lo] into an empty LRU stack reproduces the full simulation's
+// top-need stack prefix at position lo: the need most recent distinct
+// symbols all have their last pre-lo occurrence in [p, lo), and their
+// relative recency order is preserved.
+func warmBefore(syms []int32, lo, need int) int {
+	seen := make(map[int32]struct{}, need)
+	p := lo
+	for p > 0 && len(seen) < need {
+		p--
+		seen[syms[p]] = struct{}{}
 	}
-	return minW
+	return p
+}
+
+// warmAfter is warmBefore on the reversed trace: the smallest q >= hi
+// such that syms[hi:q] contains need distinct symbols (or len(syms) if
+// the suffix holds fewer).
+func warmAfter(syms []int32, hi, need int) int {
+	seen := make(map[int32]struct{}, need)
+	q := hi
+	for q < len(syms) && len(seen) < need {
+		seen[syms[q]] = struct{}{}
+		q++
+	}
+	return q
 }
 
 // fullCoverageW returns the smallest w such that the cumulative count of

@@ -20,7 +20,10 @@ func BuildHierarchyNaive(t *trace.Trace, opt Options) *Hierarchy {
 	if len(tt.Syms) == 0 {
 		return h
 	}
-	buildLevels(h, wmax, pairMinWindows(tt.Syms))
+	// The naive path stays strictly serial (Workers is ignored): it is
+	// the oracle the parallel analysis is validated against, so it must
+	// remain the obviously-correct transcription of the definitions.
+	buildLevels(h, wmax, pairMinWindows(tt.Syms), 1)
 	return h
 }
 

@@ -1,0 +1,45 @@
+package cachesim
+
+import (
+	"reflect"
+	"testing"
+
+	"codelayout/internal/layout"
+)
+
+// TestSimulateCorunBatchMatchesIndividual: the batched concurrent co-run
+// fan-out must return exactly what running each job through
+// SimulateCorun one by one would, in job order, for any worker count.
+func TestSimulateCorunBatchMatchesIndividual(t *testing.T) {
+	pa := loopProgram(t, 320, 64, 30)
+	pb := loopProgram(t, 64, 64, 200)
+	pc := loopProgram(t, 16, 64, 100)
+	la, lb, lc := layout.Original(pa), layout.Original(pb), layout.Original(pc)
+	ta, tb, tc := runTrace(t, pa), runTrace(t, pb), runTrace(t, pc)
+
+	// Each job needs its own replayer pair (replayers are stateful), so
+	// build a fresh job list per simulation run.
+	mkJobs := func() []CorunJob {
+		return []CorunJob{
+			{layout.NewReplayer(la, ta, 64, false), layout.NewReplayer(lb, tb, 64, true)},
+			{layout.NewReplayer(lb, tb, 64, false), layout.NewReplayer(la, ta, 64, true)},
+			{layout.NewReplayer(la, ta, 64, false), layout.NewReplayer(lc, tc, 64, true)},
+			{layout.NewReplayer(lc, tc, 64, false), layout.NewReplayer(lc, tc, 64, true)},
+			{layout.NewReplayer(lb, tb, 64, false), layout.NewReplayer(lc, tc, 64, true)},
+		}
+	}
+
+	var want []CorunResult
+	for _, j := range mkJobs() {
+		want = append(want, SimulateCorun(L1IDefault, j.Primary, j.Peer))
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		got := SimulateCorunBatch(L1IDefault, mkJobs(), workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: batch results differ from individual runs", workers)
+		}
+	}
+	if out := SimulateCorunBatch(L1IDefault, nil, 8); len(out) != 0 {
+		t.Fatalf("empty batch returned %d results", len(out))
+	}
+}

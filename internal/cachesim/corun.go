@@ -2,6 +2,7 @@ package cachesim
 
 import (
 	"codelayout/internal/layout"
+	"codelayout/internal/parallel"
 )
 
 // This file implements the paper's Pin-style instruction cache
@@ -78,4 +79,23 @@ func SimulateCorun(cfg Config, primary, peer *layout.Replayer) CorunResult {
 	}
 	res.PeerLaps = peer.Laps()
 	return res
+}
+
+// CorunJob is one independent co-run simulation: a primary replayer run
+// to completion against a wrapping peer. Replayers are stateful, so each
+// job must hold its own pair.
+type CorunJob struct {
+	Primary, Peer *layout.Replayer
+}
+
+// SimulateCorunBatch runs independent co-run simulations concurrently
+// and returns their results in job order. Each simulation owns its cache
+// and replayers, so results are identical to running the jobs one by one
+// (workers = 1 pins that serial reference path; 0 means every available
+// core).
+func SimulateCorunBatch(cfg Config, jobs []CorunJob, workers int) []CorunResult {
+	out, _ := parallel.Map(workers, len(jobs), func(i int) (CorunResult, error) {
+		return SimulateCorun(cfg, jobs[i].Primary, jobs[i].Peer), nil
+	})
+	return out
 }

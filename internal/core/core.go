@@ -121,6 +121,12 @@ type Optimizer struct {
 	// PruneTopN bounds the trace alphabet before analysis; 0 means
 	// DefaultPruneTopN.
 	PruneTopN int
+
+	// Workers bounds the concurrency of the analysis phase (affinity
+	// stack passes, TRG sharding): 0 means every available core, 1 pins
+	// the serial reference path. It is an execution knob, not a model
+	// parameter — the layout is identical for every setting.
+	Workers int
 }
 
 // The four optimizers evaluated in the paper.
@@ -227,10 +233,11 @@ func (o Optimizer) Optimize(prof *Profile) (*layout.Layout, Report, error) {
 	var seq []int32
 	switch o.Model {
 	case ModelAffinity:
-		seq = affinity.BuildHierarchy(pruned, affinity.Options{WMax: o.WMax}).Sequence()
+		seq = affinity.BuildHierarchy(pruned, affinity.Options{WMax: o.WMax, Workers: o.Workers}).Sequence()
 	case ModelTRG:
 		params := trg.DefaultParams(o.trgBlockBytes())
 		params.WindowScale = o.TRGWindowScale
+		params.Workers = o.Workers
 		seq = trg.Sequence(pruned, params)
 	case ModelCMG:
 		params := trg.DefaultParams(o.trgBlockBytes())
@@ -283,11 +290,11 @@ func (o Optimizer) Optimize(prof *Profile) (*layout.Layout, Report, error) {
 func searchSequence(o Optimizer, prof *Profile, pruned *trace.Trace) []int32 {
 	params := trg.DefaultParams(o.trgBlockBytes())
 	params.WindowScale = o.TRGWindowScale
-	g := trg.Build(pruned, params.WindowBlocks())
+	g := trg.BuildWorkers(pruned, params.WindowBlocks(), o.Workers)
 	cost := search.ConflictCost(prof.Prog, g, cachesim.Config{
 		SizeBytes: params.CacheBytes, Assoc: params.Assoc, LineBytes: params.LineBytes,
 	})
-	seed := affinity.BuildHierarchy(pruned, affinity.Options{WMax: o.WMax}).Sequence()
+	seed := affinity.BuildHierarchy(pruned, affinity.Options{WMax: o.WMax, Workers: o.Workers}).Sequence()
 	initial := make([]ir.FuncID, 0, prof.Prog.NumFuncs())
 	for _, s := range seed {
 		initial = append(initial, ir.FuncID(s))

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"codelayout/internal/progen"
+)
+
+// TestOptimizeWorkersDeterministic: the Workers knob is an execution
+// detail — for random programs, every optimizer must emit the exact same
+// layout and report whether the analysis runs serially or across 8
+// workers (the parallel affinity and TRG paths are byte-identical by
+// construction; this is the end-to-end check).
+func TestOptimizeWorkersDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 3; i++ {
+		spec := randomSpec(rng, i)
+		p, err := progen.Generate(spec)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		prof, err := ProfileProgram(p, TrainSeed)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		for _, o := range AllWithBaselines() {
+			o.Workers = 1
+			serialL, serialRep, err := o.Optimize(prof)
+			if err != nil {
+				t.Fatalf("case %d %s: %v", i, o.Name(), err)
+			}
+			for _, workers := range []int{0, 8} {
+				o.Workers = workers
+				l, rep, err := o.Optimize(prof)
+				if err != nil {
+					t.Fatalf("case %d %s workers=%d: %v", i, o.Name(), workers, err)
+				}
+				if rep != serialRep {
+					t.Fatalf("case %d %s workers=%d: report %+v != serial %+v",
+						i, o.Name(), workers, rep, serialRep)
+				}
+				if !reflect.DeepEqual(l.Addr, serialL.Addr) {
+					t.Fatalf("case %d %s workers=%d: block addresses differ", i, o.Name(), workers)
+				}
+				if !reflect.DeepEqual(l.Order(), serialL.Order()) {
+					t.Fatalf("case %d %s workers=%d: block order differs", i, o.Name(), workers)
+				}
+				if !reflect.DeepEqual(l.StubAddr, serialL.StubAddr) {
+					t.Fatalf("case %d %s workers=%d: stub table differs", i, o.Name(), workers)
+				}
+				if l.TotalBytes != serialL.TotalBytes {
+					t.Fatalf("case %d %s workers=%d: total size %d != %d",
+						i, o.Name(), workers, l.TotalBytes, serialL.TotalBytes)
+				}
+			}
+		}
+	}
+}

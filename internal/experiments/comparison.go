@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"codelayout/internal/core"
+	"codelayout/internal/parallel"
 	"codelayout/internal/progen"
 	"codelayout/internal/stats"
 )
@@ -37,7 +38,9 @@ type ComparisonResult struct {
 }
 
 // Comparison measures all optimizers and baselines on a subset of the
-// main suite (or the full suite when names is nil).
+// main suite (or the full suite when names is nil). It fans out in two
+// stages: baseline solo/co-run measurements per program, then one job
+// per (program, optimizer) cell; rows assemble in the serial order.
 func Comparison(w *Workspace, names []string) (ComparisonResult, error) {
 	var res ComparisonResult
 	if names == nil {
@@ -47,48 +50,62 @@ func Comparison(w *Workspace, names []string) (ComparisonResult, error) {
 	if err != nil {
 		return res, err
 	}
-	for _, name := range names {
-		b, err := w.Bench(name)
-		if err != nil {
-			return res, err
-		}
-		baseSolo, err := b.HWSolo(Baseline)
-		if err != nil {
-			return res, err
-		}
-		baseCorun, err := HWCorunTimed(b, Baseline, gcc, Baseline)
-		if err != nil {
-			return res, err
-		}
-		for _, o := range core.AllWithBaselines() {
-			row := ComparisonRow{Name: name, Optimizer: o.Name()}
-			if o.Gran == core.GranBasicBlock && !o.Intra && progen.BBReorderUnsupported[name] {
-				row.NA = true
-				res.Rows = append(res.Rows, row)
-				continue
-			}
-			l, err := b.Layout(o.Name())
-			if err != nil {
-				return res, err
-			}
-			row.OverheadBytes = l.JumpOverheadBytes()
-			solo, err := b.HWSolo(o.Name())
-			if err != nil {
-				return res, err
-			}
-			corun, err := HWCorunTimed(b, o.Name(), gcc, Baseline)
-			if err != nil {
-				return res, err
-			}
-			row.SoloMissReduction = stats.Reduction(
-				baseSolo.Counters.ICacheMissRatio(), solo.Counters.ICacheMissRatio())
-			row.SoloSpeedup = float64(baseSolo.Thread.Cycles) / float64(solo.Thread.Cycles)
-			row.CorunMissReduction = stats.Reduction(
-				baseCorun.Counters.ICacheMissRatio(), corun.Counters.ICacheMissRatio())
-			row.CorunSpeedup = float64(baseCorun.Primary.Cycles) / float64(corun.Primary.Cycles)
-			res.Rows = append(res.Rows, row)
-		}
+	suite, err := w.resolve(names)
+	if err != nil {
+		return res, err
 	}
+	type baseMeas struct {
+		solo  HWSoloResult
+		corun HWCorunResult
+	}
+	bases, err := parallel.Map(w.Workers(), len(suite), func(i int) (baseMeas, error) {
+		solo, err := suite[i].HWSolo(Baseline)
+		if err != nil {
+			return baseMeas{}, err
+		}
+		corun, err := HWCorunTimed(suite[i], Baseline, gcc, Baseline)
+		if err != nil {
+			return baseMeas{}, err
+		}
+		return baseMeas{solo, corun}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	opts := core.AllWithBaselines()
+	rows, err := parallel.Map(w.Workers(), len(suite)*len(opts), func(k int) (ComparisonRow, error) {
+		b, o := suite[k/len(opts)], opts[k%len(opts)]
+		row := ComparisonRow{Name: b.Name(), Optimizer: o.Name()}
+		if o.Gran == core.GranBasicBlock && !o.Intra && progen.BBReorderUnsupported[b.Name()] {
+			row.NA = true
+			return row, nil
+		}
+		l, err := b.Layout(o.Name())
+		if err != nil {
+			return row, err
+		}
+		row.OverheadBytes = l.JumpOverheadBytes()
+		solo, err := b.HWSolo(o.Name())
+		if err != nil {
+			return row, err
+		}
+		corun, err := HWCorunTimed(b, o.Name(), gcc, Baseline)
+		if err != nil {
+			return row, err
+		}
+		base := bases[k/len(opts)]
+		row.SoloMissReduction = stats.Reduction(
+			base.solo.Counters.ICacheMissRatio(), solo.Counters.ICacheMissRatio())
+		row.SoloSpeedup = float64(base.solo.Thread.Cycles) / float64(solo.Thread.Cycles)
+		row.CorunMissReduction = stats.Reduction(
+			base.corun.Counters.ICacheMissRatio(), corun.Counters.ICacheMissRatio())
+		row.CorunSpeedup = float64(base.corun.Primary.Cycles) / float64(corun.Primary.Cycles)
+		return row, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Rows = rows
 	return res, nil
 }
 

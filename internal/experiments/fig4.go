@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"codelayout/internal/parallel"
 	"codelayout/internal/progen"
 	"codelayout/internal/textplot"
 )
@@ -38,26 +39,33 @@ func Figure4On(w *Workspace, names []string) (Figure4Result, error) {
 	if err != nil {
 		return res, err
 	}
-	for _, b := range suite {
+	// Each program's three runs are independent of every other program's;
+	// fan out per program and collect rows in suite order.
+	rows, err := parallel.Map(w.Workers(), len(suite), func(i int) (Figure4Row, error) {
+		b := suite[i]
 		solo, err := b.HWSolo(Baseline)
 		if err != nil {
-			return res, err
+			return Figure4Row{}, err
 		}
 		c1, err := HWCorunTimed(b, Baseline, gcc, Baseline)
 		if err != nil {
-			return res, err
+			return Figure4Row{}, err
 		}
 		c2, err := HWCorunTimed(b, Baseline, gamess, Baseline)
 		if err != nil {
-			return res, err
+			return Figure4Row{}, err
 		}
-		res.Rows = append(res.Rows, Figure4Row{
+		return Figure4Row{
 			Name:       b.Name(),
 			MissSolo:   solo.Counters.ICacheMissRatio(),
 			MissGCC:    c1.Counters.ICacheMissRatio(),
 			MissGamess: c2.Counters.ICacheMissRatio(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

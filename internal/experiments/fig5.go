@@ -3,6 +3,7 @@ package experiments
 import (
 	"math"
 
+	"codelayout/internal/parallel"
 	"codelayout/internal/progen"
 	"codelayout/internal/stats"
 	"codelayout/internal/textplot"
@@ -34,45 +35,52 @@ func Figure5(w *Workspace) (Figure5Result, error) {
 	return Figure5On(w, progen.MainSuiteNames)
 }
 
-// Figure5On measures the solo-run effect on a subset of the suite.
+// Figure5On measures the solo-run effect on a subset of the suite. The
+// per-program measurements are independent; they run concurrently and
+// the two panels assemble in suite order.
 func Figure5On(w *Workspace, names []string) (Figure5Result, error) {
 	var res Figure5Result
-	suite := make([]*Bench, 0, len(names))
-	for _, n := range names {
-		b, err := w.Bench(n)
-		if err != nil {
-			return res, err
-		}
-		suite = append(suite, b)
+	suite, err := w.resolve(names)
+	if err != nil {
+		return res, err
 	}
-	for _, b := range suite {
+	rows, err := parallel.Map(w.Workers(), len(suite), func(i int) ([2]Figure5Row, error) {
+		b := suite[i]
+		var out [2]Figure5Row
 		base, err := b.HWSolo(Baseline)
 		if err != nil {
-			return res, err
+			return out, err
 		}
-		for _, opt := range []struct {
+		for oi, opt := range []struct {
 			name string
-			dst  *[]Figure5Row
 			na   bool
 		}{
-			{"func-affinity", &res.FuncAffinity, false},
-			{"bb-affinity", &res.BBAffinity, progen.BBReorderUnsupported[b.Name()]},
+			{"func-affinity", false},
+			{"bb-affinity", progen.BBReorderUnsupported[b.Name()]},
 		} {
 			if opt.na {
-				*opt.dst = append(*opt.dst, Figure5Row{Name: b.Name(), NA: true})
+				out[oi] = Figure5Row{Name: b.Name(), NA: true}
 				continue
 			}
 			o, err := b.HWSolo(opt.name)
 			if err != nil {
-				return res, err
+				return out, err
 			}
-			*opt.dst = append(*opt.dst, Figure5Row{
+			out[oi] = Figure5Row{
 				Name:    b.Name(),
 				Speedup: float64(base.Thread.Cycles) / float64(o.Thread.Cycles),
 				MissReduction: stats.Reduction(
 					base.Counters.ICacheMissRatio(), o.Counters.ICacheMissRatio()),
-			})
+			}
 		}
+		return out, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, pair := range rows {
+		res.FuncAffinity = append(res.FuncAffinity, pair[0])
+		res.BBAffinity = append(res.BBAffinity, pair[1])
 	}
 	return res, nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"codelayout/internal/parallel"
 	"codelayout/internal/stats"
 	"codelayout/internal/textplot"
 )
@@ -46,50 +47,61 @@ func Figure7(w *Workspace) (Figure7Result, error) {
 	return Figure7On(w, Figure7Programs)
 }
 
-// Figure7On measures the co-run pairs of a subset of programs.
+// Figure7On measures the co-run pairs of a subset of programs: solo
+// timings fan out per program, then the unordered pair co-runs fan out
+// per pair, with results in the serial (i, j>=i) order.
 func Figure7On(w *Workspace, programs []string) (Figure7Result, error) {
 	var res Figure7Result
-	benches := make([]*Bench, 0, len(programs))
-	solo := make(map[string]int64)
-	for _, name := range programs {
-		b, err := w.Bench(name)
-		if err != nil {
-			return res, err
-		}
-		benches = append(benches, b)
-		s, err := b.HWSolo(Baseline)
-		if err != nil {
-			return res, err
-		}
-		solo[name] = s.Thread.Cycles
+	benches, err := w.resolve(programs)
+	if err != nil {
+		return res, err
 	}
-	for i, a := range benches {
+	soloCycles, err := parallel.Map(w.Workers(), len(benches), func(i int) (int64, error) {
+		s, err := benches[i].HWSolo(Baseline)
+		if err != nil {
+			return 0, err
+		}
+		return s.Thread.Cycles, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	type pairJob struct{ i, j int }
+	var jobs []pairJob
+	for i := range benches {
 		for j := i; j < len(benches); j++ {
-			b := benches[j]
-			seq := float64(solo[a.Name()] + solo[b.Name()])
-			base, err := HWCorunBoth(a, Baseline, b, Baseline)
-			if err != nil {
-				return res, err
-			}
-			// Optimize the longer-running program of the pair: the
-			// paper optimizes one of the two, and only the program that
-			// dominates the makespan can move the finish-both time.
-			aLay, bLay := "func-affinity", Baseline
-			if solo[b.Name()] > solo[a.Name()] {
-				aLay, bLay = Baseline, "func-affinity"
-			}
-			opt, err := HWCorunBoth(a, aLay, b, bLay)
-			if err != nil {
-				return res, err
-			}
-			res.Pairs = append(res.Pairs, Figure7Pair{
-				A:        a.Name(),
-				B:        b.Name(),
-				BaseGain: seq/float64(base.MakespanCycles) - 1,
-				OptGain:  seq/float64(opt.MakespanCycles) - 1,
-			})
+			jobs = append(jobs, pairJob{i, j})
 		}
 	}
+	pairs, err := parallel.Map(w.Workers(), len(jobs), func(k int) (Figure7Pair, error) {
+		a, b := benches[jobs[k].i], benches[jobs[k].j]
+		seq := float64(soloCycles[jobs[k].i] + soloCycles[jobs[k].j])
+		base, err := HWCorunBoth(a, Baseline, b, Baseline)
+		if err != nil {
+			return Figure7Pair{}, err
+		}
+		// Optimize the longer-running program of the pair: the
+		// paper optimizes one of the two, and only the program that
+		// dominates the makespan can move the finish-both time.
+		aLay, bLay := "func-affinity", Baseline
+		if soloCycles[jobs[k].j] > soloCycles[jobs[k].i] {
+			aLay, bLay = Baseline, "func-affinity"
+		}
+		opt, err := HWCorunBoth(a, aLay, b, bLay)
+		if err != nil {
+			return Figure7Pair{}, err
+		}
+		return Figure7Pair{
+			A:        a.Name(),
+			B:        b.Name(),
+			BaseGain: seq/float64(base.MakespanCycles) - 1,
+			OptGain:  seq/float64(opt.MakespanCycles) - 1,
+		}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Pairs = pairs
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"codelayout/internal/parallel"
 	"codelayout/internal/progen"
 	"codelayout/internal/stats"
 )
@@ -51,28 +52,50 @@ func IntroTableOn(w *Workspace, names []string) (IntroResult, error) {
 	}
 
 	var res IntroResult
-	var solo, co1, co2 []float64
-	for _, b := range suite {
+	// Per-program jobs run concurrently; each decides its own
+	// non-triviality (skipping the co-runs when below threshold), and the
+	// filtered averages assemble in suite order.
+	type meas struct {
+		keep           bool
+		solo, co1, co2 float64
+	}
+	ms, err := parallel.Map(w.Workers(), len(suite), func(i int) (meas, error) {
+		b := suite[i]
 		s, err := b.HWSolo(Baseline)
 		if err != nil {
-			return res, err
+			return meas{}, err
 		}
 		mr := s.Counters.ICacheMissRatio()
 		if mr < NonTrivialMiss {
-			continue
+			return meas{}, nil
 		}
 		c1, err := HWCorunTimed(b, Baseline, gcc, Baseline)
 		if err != nil {
-			return res, err
+			return meas{}, err
 		}
 		c2, err := HWCorunTimed(b, Baseline, gamess, Baseline)
 		if err != nil {
-			return res, err
+			return meas{}, err
 		}
-		res.Programs = append(res.Programs, b.Name())
-		solo = append(solo, mr)
-		co1 = append(co1, c1.Counters.ICacheMissRatio())
-		co2 = append(co2, c2.Counters.ICacheMissRatio())
+		return meas{
+			keep: true,
+			solo: mr,
+			co1:  c1.Counters.ICacheMissRatio(),
+			co2:  c2.Counters.ICacheMissRatio(),
+		}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	var solo, co1, co2 []float64
+	for i, m := range ms {
+		if !m.keep {
+			continue
+		}
+		res.Programs = append(res.Programs, suite[i].Name())
+		solo = append(solo, m.solo)
+		co1 = append(co1, m.co1)
+		co2 = append(co2, m.co2)
 	}
 	res.AvgSolo = stats.Mean(solo)
 	res.AvgCorun1 = stats.Mean(co1)

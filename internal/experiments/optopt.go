@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"codelayout/internal/parallel"
 	"codelayout/internal/stats"
 )
 
@@ -58,36 +59,44 @@ func OptOpt(w *Workspace, t2 Table2Result) (OptOptResult, error) {
 	}
 
 	const opt = "func-affinity"
-	for _, primName := range res.Selected {
-		prim, err := w.Bench(primName)
-		if err != nil {
-			return res, err
-		}
-		for _, peerName := range res.Selected {
-			peer, err := w.Bench(peerName)
-			if err != nil {
-				return res, err
-			}
-			base, err := HWCorunTimed(prim, Baseline, peer, Baseline)
-			if err != nil {
-				return res, err
-			}
-			ob, err := HWCorunTimed(prim, opt, peer, Baseline)
-			if err != nil {
-				return res, err
-			}
-			oo, err := HWCorunTimed(prim, opt, peer, opt)
-			if err != nil {
-				return res, err
-			}
-			res.Rows = append(res.Rows, OptOptRow{
-				Name:    primName,
-				Peer:    peerName,
-				OptBase: float64(base.Primary.Cycles) / float64(ob.Primary.Cycles),
-				OptOpt:  float64(base.Primary.Cycles) / float64(oo.Primary.Cycles),
-			})
+	selected, err := w.resolve(res.Selected)
+	if err != nil {
+		return res, err
+	}
+	// The (primary, peer) pairings are independent co-run triples; fan
+	// them out and keep the serial row order.
+	type pairJob struct{ pi, qi int }
+	var jobs []pairJob
+	for pi := range selected {
+		for qi := range selected {
+			jobs = append(jobs, pairJob{pi, qi})
 		}
 	}
+	rows, err := parallel.Map(w.Workers(), len(jobs), func(k int) (OptOptRow, error) {
+		prim, peer := selected[jobs[k].pi], selected[jobs[k].qi]
+		base, err := HWCorunTimed(prim, Baseline, peer, Baseline)
+		if err != nil {
+			return OptOptRow{}, err
+		}
+		ob, err := HWCorunTimed(prim, opt, peer, Baseline)
+		if err != nil {
+			return OptOptRow{}, err
+		}
+		oo, err := HWCorunTimed(prim, opt, peer, opt)
+		if err != nil {
+			return OptOptRow{}, err
+		}
+		return OptOptRow{
+			Name:    prim.Name(),
+			Peer:    peer.Name(),
+			OptBase: float64(base.Primary.Cycles) / float64(ob.Primary.Cycles),
+			OptOpt:  float64(base.Primary.Cycles) / float64(oo.Primary.Cycles),
+		}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Rows = rows
 	return res, nil
 }
 

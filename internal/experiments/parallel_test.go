@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestExperimentsWorkersDeterministic: every experiment driver fans its
+// measurement jobs out across workers but must assemble results in the
+// serial loop order — a workspace pinned to Workers=1 and one running 8
+// workers must produce deeply equal results. Uses separate workspaces so
+// caching cannot mask an ordering bug in the fan-out itself.
+func TestExperimentsWorkersDeterministic(t *testing.T) {
+	names := []string{"445.gobmk", "429.mcf"}
+	serialWS := NewWorkspace()
+	serialWS.SetWorkers(1)
+	parWS := NewWorkspace()
+	parWS.SetWorkers(8)
+
+	t2s, err := Table2On(serialWS, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2p, err := Table2On(parWS, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t2s, t2p) {
+		t.Errorf("Table II differs between workers=1 and workers=8:\n%s\nvs\n%s", t2s, t2p)
+	}
+
+	f4s, err := Figure4On(serialWS, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4p, err := Figure4On(parWS, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f4s, f4p) {
+		t.Errorf("Figure 4 differs between workers=1 and workers=8")
+	}
+
+	f5s, err := Figure5On(serialWS, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5p, err := Figure5On(parWS, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f5s, f5p) {
+		t.Errorf("Figure 5 differs between workers=1 and workers=8")
+	}
+
+	f7s, err := Figure7On(serialWS, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7p, err := Figure7On(parWS, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f7s, f7p) {
+		t.Errorf("Figure 7 differs between workers=1 and workers=8")
+	}
+
+	is, err := IntroTableOn(serialWS, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := IntroTableOn(parWS, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(is, ip) {
+		t.Errorf("intro table differs between workers=1 and workers=8")
+	}
+}
+
+// TestWorkspaceConcurrentBenchSharing: concurrent fetches of the same
+// bench must share one generation, and concurrent layout builds of the
+// same name must share one optimization.
+func TestWorkspaceConcurrentBenchSharing(t *testing.T) {
+	w := NewWorkspace()
+	w.SetWorkers(8)
+	const n = 8
+	benches := make([]*Bench, n)
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			b, err := w.Bench("429.mcf")
+			benches[i] = b
+			done <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if benches[i] != benches[0] {
+			t.Fatal("concurrent Bench calls returned distinct instances")
+		}
+	}
+	layouts := make([]interface{}, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			l, err := benches[0].Layout("func-affinity")
+			layouts[i] = l
+			done <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if layouts[i] != layouts[0] {
+			t.Fatal("concurrent Layout calls returned distinct instances")
+		}
+	}
+	if _, ok := benches[0].Report("func-affinity"); !ok {
+		t.Error("optimizer report not recorded")
+	}
+	if _, ok := benches[0].Report(Baseline); ok {
+		t.Error("baseline must not have an optimizer report")
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"codelayout/internal/parallel"
 	"codelayout/internal/progen"
 	"codelayout/internal/stats"
 )
@@ -41,28 +42,34 @@ func Table1(w *Workspace) (Table1Result, error) {
 	if err != nil {
 		return res, err
 	}
-	for _, b := range suite {
+	// One independent job per program, rows in suite order.
+	rows, err := parallel.Map(w.Workers(), len(suite), func(i int) (Table1Row, error) {
+		b := suite[i]
 		solo, err := b.HWSolo(Baseline)
 		if err != nil {
-			return res, err
+			return Table1Row{}, err
 		}
 		c1, err := HWCorunTimed(b, Baseline, gcc, Baseline)
 		if err != nil {
-			return res, err
+			return Table1Row{}, err
 		}
 		c2, err := HWCorunTimed(b, Baseline, gamess, Baseline)
 		if err != nil {
-			return res, err
+			return Table1Row{}, err
 		}
-		res.Rows = append(res.Rows, Table1Row{
+		return Table1Row{
 			Name:          b.Name(),
 			DynamicInstrs: solo.Thread.Instrs,
 			StaticBytes:   b.Prog.StaticBytes(),
 			MissSolo:      solo.Counters.ICacheMissRatio(),
 			MissGCC:       c1.Counters.ICacheMissRatio(),
 			MissGamess:    c2.Counters.ICacheMissRatio(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

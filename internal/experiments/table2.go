@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"fmt"
+
+	"codelayout/internal/parallel"
 	"codelayout/internal/progen"
 	"codelayout/internal/stats"
 )
@@ -48,19 +51,38 @@ func Table2(w *Workspace) (Table2Result, error) {
 
 // Table2On runs the co-run matrix on a subset of the suite (each
 // program is both a primary and a probe). The tests use small subsets;
-// the benchmark harness runs the full suite.
+// the benchmark harness runs the full suite. The (primary, optimizer,
+// probe) cells are independent measurements; they run concurrently and
+// assemble into rows in the serial order, so the result is identical
+// for any workspace worker count.
 func Table2On(w *Workspace, names []string) (Table2Result, error) {
 	var res Table2Result
-	suite := make([]*Bench, 0, len(names))
-	for _, n := range names {
-		b, err := w.Bench(n)
-		if err != nil {
-			return res, err
-		}
-		suite = append(suite, b)
+	suite, err := w.resolve(names)
+	if err != nil {
+		return res, err
 	}
-	for _, primary := range suite {
-		for _, optName := range Table2Optimizers {
+	type cellJob struct{ pi, oi, qi int }
+	var jobs []cellJob
+	for pi := range suite {
+		for oi, optName := range Table2Optimizers {
+			if optName == "bb-affinity" && progen.BBReorderUnsupported[suite[pi].Name()] {
+				continue
+			}
+			for qi := range suite {
+				jobs = append(jobs, cellJob{pi, oi, qi})
+			}
+		}
+	}
+	cells, err := parallel.Map(w.Workers(), len(jobs), func(k int) (CorunCell, error) {
+		j := jobs[k]
+		return corunCell(suite[j.pi], Table2Optimizers[j.oi], suite[j.qi])
+	})
+	if err != nil {
+		return res, err
+	}
+	k := 0
+	for pi, primary := range suite {
+		for oi, optName := range Table2Optimizers {
 			row := Table2Row{Name: primary.Name(), Optimizer: optName}
 			if optName == "bb-affinity" && progen.BBReorderUnsupported[primary.Name()] {
 				row.NA = true
@@ -68,11 +90,12 @@ func Table2On(w *Workspace, names []string) (Table2Result, error) {
 				continue
 			}
 			var sp, mhw, msim []float64
-			for _, probe := range suite {
-				cell, err := corunCell(primary, optName, probe)
-				if err != nil {
-					return res, err
+			for range suite {
+				j, cell := jobs[k], cells[k]
+				if j.pi != pi || j.oi != oi {
+					return res, fmt.Errorf("experiments: table II cell order out of sync")
 				}
+				k++
 				row.Cells = append(row.Cells, cell)
 				sp = append(sp, cell.Speedup)
 				mhw = append(mhw, cell.MissReductionHW)

@@ -6,6 +6,13 @@
 // the §III-F optimized+optimized co-run study. Each experiment returns a
 // structured result with a String() rendering; cmd/benchtables prints
 // them and bench_test.go wraps each in a testing.B benchmark.
+//
+// The harness fans independent measurements out across cores (see
+// Workspace.SetWorkers): the jobs of an experiment — one per program,
+// probe pairing, or optimizer cell — share no mutable state beyond the
+// workspace's once-guarded caches, and results are assembled in the
+// serial loop order, so every experiment's output is identical for any
+// worker count.
 package experiments
 
 import (
@@ -15,6 +22,7 @@ import (
 	"codelayout/internal/core"
 	"codelayout/internal/ir"
 	"codelayout/internal/layout"
+	"codelayout/internal/parallel"
 	"codelayout/internal/progen"
 )
 
@@ -32,39 +40,73 @@ type Bench struct {
 	// Eval is the measurement run (core.EvalSeed).
 	Eval *core.Profile
 
+	// workers is copied from the workspace at creation and threaded into
+	// the optimizers' analysis phase.
+	workers int
+
 	mu      sync.Mutex
-	layouts map[string]*layout.Layout
-	reports map[string]core.Report
+	layouts map[string]*layoutEntry
+}
+
+// layoutEntry is the once-guarded slot for one named layout, so that
+// concurrent measurements needing the same layout build it exactly once
+// without serializing unrelated builds behind one bench-wide lock.
+type layoutEntry struct {
+	once sync.Once
+	l    *layout.Layout
+	rep  core.Report
+	rept bool
+	err  error
 }
 
 // Name returns the program name.
 func (b *Bench) Name() string { return b.Spec.Name }
 
 // Layout returns (building and caching on first use) the named layout:
-// Baseline or an optimizer name from core.AllOptimizers.
+// Baseline or an optimizer name from core.AllOptimizers. It is safe for
+// concurrent use; concurrent callers of the same name share one build.
 func (b *Bench) Layout(name string) (*layout.Layout, error) {
+	e := b.layoutEntry(name)
+	e.once.Do(func() { e.build(b, name) })
+	return e.l, e.err
+}
+
+// Report returns the optimizer report recorded when the named layout was
+// built (zero Report and false for Baseline or unbuilt layouts).
+func (b *Bench) Report(name string) (core.Report, bool) {
+	e := b.layoutEntry(name)
+	e.once.Do(func() { e.build(b, name) })
+	return e.rep, e.rept
+}
+
+func (b *Bench) layoutEntry(name string) *layoutEntry {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if l, ok := b.layouts[name]; ok {
-		return l, nil
+	e, ok := b.layouts[name]
+	if !ok {
+		e = &layoutEntry{}
+		b.layouts[name] = e
 	}
-	var l *layout.Layout
+	return e
+}
+
+func (e *layoutEntry) build(b *Bench, name string) {
 	if name == Baseline {
-		l = layout.Original(b.Prog)
-	} else {
-		opt, err := optimizerByName(name)
-		if err != nil {
-			return nil, err
-		}
-		var rep core.Report
-		l, rep, err = opt.Optimize(b.Train)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s on %s: %w", name, b.Name(), err)
-		}
-		b.reports[name] = rep
+		e.l = layout.Original(b.Prog)
+		return
 	}
-	b.layouts[name] = l
-	return l, nil
+	opt, err := optimizerByName(name)
+	if err != nil {
+		e.err = err
+		return
+	}
+	opt.Workers = b.workers
+	l, rep, err := opt.Optimize(b.Train)
+	if err != nil {
+		e.err = fmt.Errorf("experiments: %s on %s: %w", name, b.Name(), err)
+		return
+	}
+	e.l, e.rep, e.rept = l, rep, true
 }
 
 // Replayer returns a replayer of the evaluation trace through the named
@@ -88,25 +130,62 @@ func optimizerByName(name string) (core.Optimizer, error) {
 
 // Workspace lazily generates, profiles and optimizes suite programs and
 // caches everything, so that a sequence of experiments (or benchmark
-// iterations) pays each cost once.
+// iterations) pays each cost once. It is safe for concurrent use.
 type Workspace struct {
 	mu      sync.Mutex
-	benches map[string]*Bench
+	workers int
+	benches map[string]*benchEntry
+}
+
+// benchEntry is the once-guarded slot for one suite program, so that
+// concurrent experiments can generate distinct programs in parallel
+// while sharing the generation of the same one.
+type benchEntry struct {
+	once sync.Once
+	b    *Bench
+	err  error
 }
 
 // NewWorkspace creates an empty workspace.
 func NewWorkspace() *Workspace {
-	return &Workspace{benches: make(map[string]*Bench)}
+	return &Workspace{benches: make(map[string]*benchEntry)}
+}
+
+// SetWorkers bounds the concurrency of the workspace's experiments and
+// of the optimizers' analysis phase: 0 means every available core, 1
+// pins the serial reference path. Results are identical for every
+// setting. Set it before running experiments; benches already generated
+// keep the worker count they were created with.
+func (w *Workspace) SetWorkers(n int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.workers = n
+}
+
+// Workers returns the configured worker bound (0 = every core).
+func (w *Workspace) Workers() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.workers
 }
 
 // Bench returns the named suite program, generating and profiling it on
-// first use.
+// first use. Safe for concurrent use; concurrent callers of the same
+// name share one generation.
 func (w *Workspace) Bench(name string) (*Bench, error) {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if b, ok := w.benches[name]; ok {
-		return b, nil
+	e, ok := w.benches[name]
+	if !ok {
+		e = &benchEntry{}
+		w.benches[name] = e
 	}
+	workers := w.workers
+	w.mu.Unlock()
+	e.once.Do(func() { e.b, e.err = generateBench(name, workers) })
+	return e.b, e.err
+}
+
+func generateBench(name string, workers int) (*Bench, error) {
 	spec, err := progen.SpecByName(name)
 	if err != nil {
 		return nil, err
@@ -123,43 +202,31 @@ func (w *Workspace) Bench(name string) (*Bench, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &Bench{
+	return &Bench{
 		Spec:    spec,
 		Prog:    prog,
 		Train:   train,
 		Eval:    eval,
-		layouts: make(map[string]*layout.Layout),
-		reports: make(map[string]core.Report),
-	}
-	w.benches[name] = b
-	return b, nil
+		workers: workers,
+		layouts: make(map[string]*layoutEntry),
+	}, nil
 }
 
-// MainSuite returns the 8 Table I benches.
+// MainSuite returns the 8 Table I benches, generating missing ones in
+// parallel.
 func (w *Workspace) MainSuite() ([]*Bench, error) {
-	out := make([]*Bench, 0, len(progen.MainSuiteNames))
-	for _, n := range progen.MainSuiteNames {
-		b, err := w.Bench(n)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, b)
-	}
-	return out, nil
+	return w.resolve(progen.MainSuiteNames)
 }
 
-// ScreeningSuite returns the 29 Figure 4 benches.
+// ScreeningSuite returns the 29 Figure 4 benches, generating missing
+// ones in parallel.
 func (w *Workspace) ScreeningSuite() ([]*Bench, error) {
 	suite := progen.ScreeningSuite()
-	out := make([]*Bench, 0, len(suite))
-	for _, s := range suite {
-		b, err := w.Bench(s.Name)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, b)
+	names := make([]string, len(suite))
+	for i, s := range suite {
+		names[i] = s.Name
 	}
-	return out, nil
+	return w.resolve(names)
 }
 
 // benchSubset resolves a list of program names to benches; nil means
@@ -168,13 +235,24 @@ func (w *Workspace) benchSubset(names []string) ([]*Bench, error) {
 	if names == nil {
 		return w.ScreeningSuite()
 	}
-	out := make([]*Bench, 0, len(names))
-	for _, n := range names {
-		b, err := w.Bench(n)
+	return w.resolve(names)
+}
+
+// resolve fetches the named benches concurrently (generation dominates
+// first use) and returns them in name order; the first error by index
+// wins, matching the serial loop.
+func (w *Workspace) resolve(names []string) ([]*Bench, error) {
+	out := make([]*Bench, len(names))
+	err := parallel.ForEach(w.Workers(), len(names), func(i int) error {
+		b, err := w.Bench(names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, b)
+		out[i] = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -13,22 +13,45 @@
 // block sizes are supplied.
 package footprint
 
+import "codelayout/internal/parallel"
+
+// Scratch is a reusable distinct-symbol marker for window footprint
+// queries. The naive analyses ask for the footprint of many overlapping
+// windows; a per-call map allocation dominated that hot path, so Scratch
+// keeps one epoch-stamped buffer indexed by symbol ID: marking is a
+// single store, and "clearing" is an epoch bump — no allocation after
+// the buffer reaches the alphabet size. The zero value is ready to use;
+// a Scratch is not safe for concurrent use (give each worker its own).
+type Scratch struct {
+	mark  []int32
+	epoch int32
+}
+
 // WindowFootprint returns the number of distinct symbols in syms[i..j]
 // inclusive — the footprint fp<a,b> of Definition 2 for the window formed
 // by the occurrences at positions i and j. If weights is non-nil, the
 // footprint is the total weight (e.g. code bytes) of the distinct symbols.
-func WindowFootprint(syms []int32, i, j int, weights []int32) int64 {
+func (sc *Scratch) WindowFootprint(syms []int32, i, j int, weights []int32) int64 {
 	if i > j {
 		i, j = j, i
 	}
-	seen := make(map[int32]struct{})
+	sc.epoch++
+	if sc.epoch <= 0 { // epoch wrapped: re-zero once every ~2^31 calls
+		sc.epoch = 1
+		for k := range sc.mark {
+			sc.mark[k] = 0
+		}
+	}
 	var total int64
 	for k := i; k <= j; k++ {
 		s := syms[k]
-		if _, ok := seen[s]; ok {
+		if int(s) >= len(sc.mark) {
+			sc.grow(int(s) + 1)
+		}
+		if sc.mark[s] == sc.epoch {
 			continue
 		}
-		seen[s] = struct{}{}
+		sc.mark[s] = sc.epoch
 		if weights != nil {
 			total += int64(weights[s])
 		} else {
@@ -36,6 +59,23 @@ func WindowFootprint(syms []int32, i, j int, weights []int32) int64 {
 		}
 	}
 	return total
+}
+
+func (sc *Scratch) grow(n int) {
+	if n < 2*len(sc.mark) {
+		n = 2 * len(sc.mark)
+	}
+	grown := make([]int32, n)
+	copy(grown, sc.mark)
+	sc.mark = grown
+}
+
+// WindowFootprint is the convenience form for one-off queries; repeated
+// callers should hold a Scratch and use its method to avoid the per-call
+// buffer allocation.
+func WindowFootprint(syms []int32, i, j int, weights []int32) int64 {
+	var sc Scratch
+	return sc.WindowFootprint(syms, i, j, weights)
 }
 
 // Curve is the all-window average footprint function of a trace:
@@ -66,7 +106,22 @@ type Curve struct {
 //
 // weights may be nil for unit (symbol-count) footprints; otherwise
 // weights[s] is the weight of symbol s.
+//
+// NewCurve uses every available core for the per-window evaluation; the
+// curve is bit-identical to the serial computation (see NewCurveWorkers).
 func NewCurve(syms []int32, weights []int32) *Curve {
+	return NewCurveWorkers(syms, weights, 0)
+}
+
+// NewCurveWorkers is NewCurve with bounded concurrency: 0 workers means
+// every available core, 1 pins the serial reference path. The single
+// trace pass and the deficit sweep stay sequential (they are O(n) with
+// loop-carried state); the fp(w) evaluation over the n window lengths —
+// each an independent read of the shared deficit table — fans out in
+// contiguous chunks. Every FP[w] slot is written by exactly one worker
+// with the same float operations the serial loop performs, so the curve
+// is bit-identical for any worker count.
+func NewCurveWorkers(syms []int32, weights []int32, workers int) *Curve {
 	n := len(syms)
 	c := &Curve{FP: make([]float64, n+1), N: n}
 	if n == 0 {
@@ -131,16 +186,20 @@ func NewCurve(syms []int32, weights []int32) *Curve {
 		deficit[v] = tailDeficit
 	}
 
-	for win := 1; win <= n; win++ {
-		windows := float64(n - win + 1)
-		c.FP[win] = m - deficit[win]/windows
-		if c.FP[win] < 0 {
-			c.FP[win] = 0
+	chunks := parallel.Chunks(n, parallel.Workers(workers), 4096)
+	_ = parallel.ForEach(workers, len(chunks), func(ci int) error {
+		for win := chunks[ci][0] + 1; win <= chunks[ci][1]; win++ {
+			windows := float64(n - win + 1)
+			c.FP[win] = m - deficit[win]/windows
+			if c.FP[win] < 0 {
+				c.FP[win] = 0
+			}
+			if c.FP[win] > m {
+				c.FP[win] = m
+			}
 		}
-		if c.FP[win] > m {
-			c.FP[win] = m
-		}
-	}
+		return nil
+	})
 	return c
 }
 

@@ -1,0 +1,152 @@
+package footprint
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mapWindowFootprint is the pre-optimization reference implementation
+// (per-call map), kept in the tests as the oracle for Scratch and as the
+// baseline of the micro-benchmark.
+func mapWindowFootprint(syms []int32, i, j int, weights []int32) int64 {
+	if i > j {
+		i, j = j, i
+	}
+	seen := make(map[int32]struct{})
+	var total int64
+	for k := i; k <= j; k++ {
+		s := syms[k]
+		if _, ok := seen[s]; ok {
+			continue
+		}
+		seen[s] = struct{}{}
+		if weights != nil {
+			total += int64(weights[s])
+		} else {
+			total++
+		}
+	}
+	return total
+}
+
+func TestScratchMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	syms := make([]int32, 500)
+	for i := range syms {
+		syms[i] = int32(rng.Intn(40))
+	}
+	weights := make([]int32, 40)
+	for i := range weights {
+		weights[i] = int32(1 + rng.Intn(100))
+	}
+	var sc Scratch // reused across all queries: epochs must isolate them
+	for trial := 0; trial < 300; trial++ {
+		i := rng.Intn(len(syms))
+		j := rng.Intn(len(syms))
+		var ws []int32
+		if trial%2 == 0 {
+			ws = weights
+		}
+		want := mapWindowFootprint(syms, i, j, ws)
+		if got := sc.WindowFootprint(syms, i, j, ws); got != want {
+			t.Fatalf("trial %d [%d,%d] weighted=%v: got %d, want %d", trial, i, j, ws != nil, got, want)
+		}
+		if got := WindowFootprint(syms, i, j, ws); got != want {
+			t.Fatalf("trial %d [%d,%d]: free function got %d, want %d", trial, i, j, got, want)
+		}
+	}
+}
+
+func TestScratchEpochWrap(t *testing.T) {
+	syms := []int32{0, 1, 2, 1, 0}
+	sc := Scratch{epoch: 1<<31 - 2} // two calls from wrapping
+	for call := 0; call < 5; call++ {
+		if got := sc.WindowFootprint(syms, 0, 4, nil); got != 3 {
+			t.Fatalf("call %d across epoch wrap: got %d, want 3", call, got)
+		}
+	}
+}
+
+func TestScratchGrowsForLargeSymbols(t *testing.T) {
+	var sc Scratch
+	syms := []int32{100000, 5, 100000}
+	if got := sc.WindowFootprint(syms, 0, 2, nil); got != 2 {
+		t.Fatalf("got %d, want 2", got)
+	}
+}
+
+func TestNewCurveWorkersDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 997, 20000} {
+		syms := make([]int32, n)
+		for i := range syms {
+			syms[i] = int32(rng.Intn(50))
+		}
+		weights := make([]int32, 50)
+		for i := range weights {
+			weights[i] = int32(1 + rng.Intn(64))
+		}
+		for _, ws := range [][]int32{nil, weights} {
+			serial := NewCurveWorkers(syms, ws, 1)
+			for _, workers := range []int{2, 3, 8} {
+				par := NewCurveWorkers(syms, ws, workers)
+				if par.Total != serial.Total || par.N != serial.N {
+					t.Fatalf("n=%d workers=%d: header differs", n, workers)
+				}
+				for w := range serial.FP {
+					if par.FP[w] != serial.FP[w] {
+						t.Fatalf("n=%d workers=%d: FP[%d]=%v != serial %v", n, workers, w, par.FP[w], serial.FP[w])
+					}
+				}
+			}
+		}
+	}
+}
+
+// benchWindow draws the micro-benchmark workload: a phased trace and a
+// mid-sized window, the shape the naive affinity validation queries.
+func benchWindow() ([]int32, int, int) {
+	rng := rand.New(rand.NewSource(7))
+	syms := make([]int32, 4096)
+	for i := range syms {
+		syms[i] = int32((i/256)%8*32 + rng.Intn(32))
+	}
+	return syms, 1000, 1400
+}
+
+// BenchmarkWindowFootprintScratch vs BenchmarkWindowFootprintMap is the
+// ISSUE's micro-benchmark: the epoch-stamped scratch buffer removes the
+// per-call map allocation from the hot path.
+func BenchmarkWindowFootprintScratch(b *testing.B) {
+	syms, i, j := benchWindow()
+	var sc Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		sc.WindowFootprint(syms, i, j, nil)
+	}
+}
+
+func BenchmarkWindowFootprintMap(b *testing.B) {
+	syms, i, j := benchWindow()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		mapWindowFootprint(syms, i, j, nil)
+	}
+}
+
+func BenchmarkCurveWorkers(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	syms := make([]int32, 200000)
+	for i := range syms {
+		syms[i] = int32(rng.Intn(4000))
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(map[bool]string{true: "serial", false: "workers=8"}[workers == 1], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				NewCurveWorkers(syms, nil, workers)
+			}
+		})
+	}
+}

@@ -1,0 +1,166 @@
+// Package parallel is the repository's worker-pool substrate: a small,
+// dependency-free fan-out primitive used by the analysis hot paths
+// (per-window affinity simulation, TRG shard accumulation, co-run
+// matrices) and the experiment harness.
+//
+// The design contract, which every caller relies on for the
+// Workers=1-vs-N determinism guarantee (DESIGN.md §7):
+//
+//   - bounded concurrency: at most Workers goroutines run the body, with
+//     Workers <= 0 resolving to runtime.GOMAXPROCS(0) and Workers == 1
+//     executing inline on the calling goroutine (no goroutines at all,
+//     so serial validation runs are exactly the pre-parallel code path);
+//   - deterministic ordered collection: Map writes result i into slot i,
+//     so the assembled output is independent of scheduling;
+//   - deterministic first-error propagation: when several items fail,
+//     the error of the lowest index wins — the same error a serial loop
+//     would have returned first;
+//   - context cancellation: a cancelled context (or a failed item) stops
+//     the pool from starting new items; items already running finish.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves the conventional Workers option: n <= 0 means
+// runtime.GOMAXPROCS(0) (use every available core), any other value is
+// returned unchanged. 1 therefore pins a serial run.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most Workers(workers)
+// goroutines and returns the deterministic first error (lowest index).
+func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, func(_ context.Context, i int) error {
+		return fn(i)
+	})
+}
+
+// ForEachCtx is ForEach with cancellation: no new items start once ctx
+// is done, and the context passed to fn is cancelled as soon as any item
+// fails. If the parent context was cancelled before all items ran,
+// ForEachCtx returns the context's error (unless an item error with a
+// lower index is available, which takes precedence).
+func ForEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Inline serial path: identical to the pre-parallel loops, and
+		// the reference behavior the concurrent path must reproduce.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		done     atomic.Int64
+		mu       sync.Mutex
+		errIdx   = n // lowest failing index seen so far
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					record(i, err)
+					return
+				}
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	// Every item completed: success regardless of a late cancellation.
+	if int(done.Load()) == n {
+		return nil
+	}
+	// The parent context stopped the pool before draining the items.
+	return ctx.Err()
+}
+
+// Chunks splits [0, n) into at most parts contiguous half-open ranges
+// of near-equal size, never producing a chunk smaller than minSize
+// (except when n itself is smaller, which yields a single chunk). The
+// shard-and-merge analyses use minSize to keep each shard's warm-up
+// replay a small fraction of its real work.
+func Chunks(n, parts, minSize int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if minSize < 1 {
+		minSize = 1
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if maxParts := n / minSize; parts > maxParts {
+		parts = maxParts
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	out := make([][2]int, parts)
+	for i := 0; i < parts; i++ {
+		out[i] = [2]int{i * n / parts, (i + 1) * n / parts}
+	}
+	return out
+}
+
+// Map runs fn(i) for every i in [0, n), collecting results in index
+// order. On error the partial results are discarded and the
+// deterministic first error is returned.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

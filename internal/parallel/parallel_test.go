@@ -1,0 +1,159 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, n := range []int{1, 2, 8, 64} {
+		if got := Workers(n); got != n {
+			t.Errorf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestForEachRunsEveryItem(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 57
+		var hits [n]atomic.Int32
+		if err := ForEach(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		out, err := Map(workers, 40, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestFirstErrorIsLowestIndex: when several items fail, the reported
+// error must be the one a serial loop would have hit first, regardless
+// of scheduling.
+func TestFirstErrorIsLowestIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for trial := 0; trial < 10; trial++ {
+			err := ForEach(workers, 20, func(i int) error {
+				if i%2 == 1 { // items 1, 3, 5, ... fail
+					return fmt.Errorf("item %d", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "item 1" {
+				t.Fatalf("workers=%d: err = %v, want item 1", workers, err)
+			}
+		}
+	}
+}
+
+func TestErrorStopsSchedulingNewItems(t *testing.T) {
+	var started atomic.Int32
+	boom := errors.New("boom")
+	err := ForEach(2, 1000, func(i int) error {
+		started.Add(1)
+		if i == 0 {
+			return boom
+		}
+		// Give the pool a moment so cancellation is observable.
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if s := started.Load(); s == 1000 {
+		t.Fatalf("all %d items started despite early error", s)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEachCtx(ctx, 2, 1000, func(ctx context.Context, i int) error {
+		if i == 0 {
+			cancel()
+		}
+		ran.Add(1)
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if r := ran.Load(); r == 1000 {
+		t.Fatal("cancellation did not stop the pool")
+	}
+}
+
+func TestCompletedRunIgnoresLateCancel(t *testing.T) {
+	// A context cancelled after every item completed must not turn a
+	// successful run into an error (matching the serial path).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := ForEachCtx(ctx, 4, 16, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerialPathIsInline(t *testing.T) {
+	// Workers == 1 must execute on the calling goroutine in index order.
+	var order []int
+	if err := ForEach(1, 10, func(i int) error {
+		order = append(order, i) // no synchronization: must be same goroutine
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v not sequential", order)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	_, err := Map(4, 10, func(i int) (string, error) {
+		if i >= 3 {
+			return "", fmt.Errorf("fail %d", i)
+		}
+		return "ok", nil
+	})
+	if err == nil || err.Error() != "fail 3" {
+		t.Fatalf("err = %v, want fail 3", err)
+	}
+}

@@ -1,0 +1,72 @@
+package trg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"codelayout/internal/trace"
+)
+
+// TestBuildWorkersDeterministic: the sharded concurrent TRG construction
+// must produce a graph identical to the serial one — same node order
+// (global first occurrence), same edge weights, and therefore the same
+// sorted edge list and reduction output.
+func TestBuildWorkersDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(20140814))
+	mkTrace := func(n, alpha int) *trace.Trace {
+		syms := make([]int32, n)
+		for i := range syms {
+			phase := (i / 400) % 4
+			syms[i] = int32(phase*alpha/2 + rng.Intn(alpha))
+		}
+		return trace.New(syms)
+	}
+	traces := []*trace.Trace{
+		mkTrace(3000, 16),
+		mkTrace(1013, 7), // prime length: uneven shards
+		trace.New([]int32{0, 1, 0, 1, 2, 0}),
+		trace.New([]int32{5}),
+		trace.New(nil),
+	}
+	for ti, tr := range traces {
+		for _, window := range []int{0, 2, 8, 64} {
+			serial := BuildWorkers(tr, window, 1)
+			for _, workers := range []int{2, 3, 8} {
+				par := BuildWorkers(tr, window, workers)
+				if !reflect.DeepEqual(par.Nodes(), serial.Nodes()) {
+					t.Fatalf("trace %d window=%d workers=%d: node order differs", ti, window, workers)
+				}
+				if !reflect.DeepEqual(par.Edges(), serial.Edges()) {
+					t.Fatalf("trace %d window=%d workers=%d: edges differ", ti, window, workers)
+				}
+				if len(serial.Nodes()) > 0 {
+					slots := 1 + len(serial.Nodes())/2
+					if !reflect.DeepEqual(Reduce(par, slots), Reduce(serial, slots)) {
+						t.Fatalf("trace %d window=%d workers=%d: reduction differs", ti, window, workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSequenceWorkersDeterministic checks the full §II-C pipeline
+// (build + reduce) through the Params.Workers knob.
+func TestSequenceWorkersDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	syms := make([]int32, 2500)
+	for i := range syms {
+		syms[i] = int32(rng.Intn(20))
+	}
+	tr := trace.New(syms)
+	p := DefaultParams(512)
+	p.Workers = 1
+	serial := Sequence(tr, p)
+	for _, workers := range []int{2, 8} {
+		p.Workers = workers
+		if got := Sequence(tr, p); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d: sequence %v != serial %v", workers, got, serial)
+		}
+	}
+}

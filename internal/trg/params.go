@@ -26,6 +26,11 @@ type Params struct {
 	// WindowScale multiplies the actual cache size to form the model's
 	// window; 0 means the recommended factor 2.
 	WindowScale int
+	// Workers bounds the construction's concurrency: 0 means every
+	// available core, 1 pins the serial reference path. It is an
+	// execution knob, not a model parameter — the graph is identical
+	// for every setting.
+	Workers int
 }
 
 // DefaultParams returns the evaluation configuration of the paper: a
@@ -73,5 +78,5 @@ func (p Params) WindowBlocks() int {
 // the parameter-derived window, reduce it with the parameter-derived
 // slot count, and return the optimized code sequence.
 func Sequence(t *trace.Trace, p Params) []int32 {
-	return Reduce(Build(t, p.WindowBlocks()), p.Slots())
+	return Reduce(BuildWorkers(t, p.WindowBlocks(), p.Workers), p.Slots())
 }

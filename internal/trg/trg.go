@@ -14,6 +14,7 @@ package trg
 import (
 	"sort"
 
+	"codelayout/internal/parallel"
 	"codelayout/internal/stackdist"
 	"codelayout/internal/trace"
 )
@@ -109,7 +110,22 @@ func (g *Graph) Edges() []Edge {
 // within the window, every distinct block interleaved between the two
 // occurrences receives one conflict count — the hash-table-plus-list
 // stack makes the search O(1) per step as the paper describes.
+//
+// Build uses every available core; the graph is identical to the serial
+// construction (see BuildWorkers).
 func Build(t *trace.Trace, windowBlocks int) *Graph {
+	return BuildWorkers(t, windowBlocks, 0)
+}
+
+// BuildWorkers is Build with bounded concurrency: 0 workers means every
+// available core, 1 pins the serial reference path. The trace is split
+// into contiguous shards; each shard warms a private LRU stack by
+// replaying the span holding the last windowBlocks distinct symbols
+// before it, so its per-access interleaving views equal the full-trace
+// simulation, and the per-shard partial graphs merge deterministically:
+// edge weights sum (addition commutes) and shard node lists concatenate
+// in trace order, reproducing the global first-occurrence node order.
+func BuildWorkers(t *trace.Trace, windowBlocks, workers int) *Graph {
 	tt := t.Trimmed()
 	g := NewGraph()
 	if len(tt.Syms) == 0 {
@@ -120,9 +136,43 @@ func Build(t *trace.Trace, windowBlocks int) *Graph {
 	if limit <= 0 {
 		limit = int(maxSym) + 1
 	}
+	// A shard must dwarf its warm-up replay (up to `limit` distinct
+	// symbols) for sharding to pay; Chunks collapses to one shard when
+	// the trace is too short to split.
+	chunks := parallel.Chunks(len(tt.Syms), parallel.Workers(workers), 4*limit)
+	if len(chunks) == 1 {
+		buildShard(g, tt.Syms, maxSym, limit, 0, len(tt.Syms))
+		return g
+	}
+	partials := make([]*Graph, len(chunks))
+	_ = parallel.ForEach(workers, len(chunks), func(i int) error {
+		p := NewGraph()
+		buildShard(p, tt.Syms, maxSym, limit, chunks[i][0], chunks[i][1])
+		partials[i] = p
+		return nil
+	})
+	for _, p := range partials {
+		for _, s := range p.nodes {
+			g.AddNode(s)
+		}
+		for k, w := range p.weights {
+			g.weights[k] += w
+		}
+	}
+	return g
+}
+
+// buildShard accumulates the conflict counts of accesses [lo, hi) into
+// g, warming the LRU stack so the shard sees exactly the stack prefix
+// the full simulation would.
+func buildShard(g *Graph, syms []int32, maxSym int32, limit, lo, hi int) {
 	stack := stackdist.NewLRUStack(maxSym)
-	between := make([]int32, 0, limit)
-	for _, cur := range tt.Syms {
+	for i := warmStart(syms, lo, limit); i < lo; i++ {
+		stack.Access(syms[i])
+	}
+	between := make([]int32, 0, min(limit, hi-lo))
+	for i := lo; i < hi; i++ {
+		cur := syms[i]
 		g.AddNode(cur)
 		between = between[:0]
 		found := false
@@ -141,5 +191,18 @@ func Build(t *trace.Trace, windowBlocks int) *Graph {
 		}
 		stack.Access(cur)
 	}
-	return g
+}
+
+// warmStart returns the largest p <= lo such that syms[p:lo] contains
+// need distinct symbols (or 0 if the prefix holds fewer): replaying
+// syms[p:lo] reproduces the full simulation's top-need stack prefix,
+// which is all TopK(limit) ever examines.
+func warmStart(syms []int32, lo, need int) int {
+	seen := make(map[int32]struct{}, need)
+	p := lo
+	for p > 0 && len(seen) < need {
+		p--
+		seen[syms[p]] = struct{}{}
+	}
+	return p
 }
