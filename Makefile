@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke smoke-serve ci
 
 all: build
 
@@ -33,4 +33,10 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-ci: build vet fmt-check test race bench-smoke
+# End-to-end service smoke: start layoutd, submit a recorded trace via
+# layoutctl, assert a completed result and a cache hit on resubmission,
+# then drain with SIGTERM.
+smoke-serve:
+	sh scripts/smoke_serve.sh
+
+ci: build vet fmt-check test race bench-smoke smoke-serve

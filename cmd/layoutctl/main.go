@@ -1,0 +1,156 @@
+// Command layoutctl is the client for layoutd: it submits recorded
+// CLTR traces as optimization jobs, polls them, and fetches cached
+// layouts by content address.
+//
+// Usage:
+//
+//	layoutctl -addr http://127.0.0.1:8080 -submit /tmp/s.trace -prog 458.sjeng -opt func-affinity -wait
+//	layoutctl -addr http://127.0.0.1:8080 -job job-1
+//	layoutctl -addr http://127.0.0.1:8080 -layout <digest>
+//	layoutctl -addr http://127.0.0.1:8080 -optimizers
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("layoutctl: ")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "layoutd base URL")
+	submit := flag.String("submit", "", "path of a CLTR trace to submit as a job")
+	prog := flag.String("prog", "", "suite program the trace was recorded from (with -submit)")
+	opt := flag.String("opt", "", "optimizer name (with -submit; see -optimizers)")
+	prune := flag.Int("prune", 0, "PruneTopN override, 0 = server default (with -submit)")
+	wait := flag.Bool("wait", false, "poll the submitted job until it finishes")
+	timeout := flag.Duration("timeout", 5*time.Minute, "bound on -wait polling")
+	job := flag.String("job", "", "job ID to fetch")
+	layoutDigest := flag.String("layout", "", "layout digest to fetch")
+	optimizers := flag.Bool("optimizers", false, "list the server's optimizer registry")
+	flag.Parse()
+
+	base := strings.TrimRight(*addr, "/")
+	var err error
+	switch {
+	case *submit != "":
+		err = doSubmit(base, *submit, *prog, *opt, *prune, *wait, *timeout)
+	case *job != "":
+		err = printGET(base + "/v1/jobs/" + url.PathEscape(*job))
+	case *layoutDigest != "":
+		err = printGET(base + "/v1/layouts/" + url.PathEscape(*layoutDigest))
+	case *optimizers:
+		err = printGET(base + "/v1/optimizers")
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// jobView mirrors the server's wire format, loosely (unknown fields are
+// ignored, so the client tolerates additive server changes).
+type jobView struct {
+	ID     string          `json:"id"`
+	Status string          `json:"status"`
+	Digest string          `json:"digest"`
+	Cached bool            `json:"cached"`
+	Error  string          `json:"error"`
+	Result json.RawMessage `json:"result"`
+}
+
+func doSubmit(base, path, prog, opt string, prune int, wait bool, timeout time.Duration) error {
+	if prog == "" || opt == "" {
+		return fmt.Errorf("-submit requires -prog and -opt")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	q := url.Values{"prog": {prog}, "opt": {opt}}
+	if prune > 0 {
+		q.Set("prune", fmt.Sprint(prune))
+	}
+	resp, err := http.Post(base+"/v1/jobs?"+q.Encode(), "application/octet-stream", f)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var v jobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		return fmt.Errorf("submit: bad response %q: %w", body, err)
+	}
+	fmt.Printf("job %s %s digest %s cached=%v\n", v.ID, v.Status, v.Digest, v.Cached)
+	if !wait || v.Status == "done" || v.Status == "failed" {
+		if v.Status == "done" {
+			os.Stdout.Write(append(body, '\n'))
+		}
+		if v.Status == "failed" {
+			return fmt.Errorf("job failed: %s", v.Error)
+		}
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		time.Sleep(200 * time.Millisecond)
+		got, raw, err := getJob(base, v.ID)
+		if err != nil {
+			return err
+		}
+		switch got.Status {
+		case "done":
+			os.Stdout.Write(append(raw, '\n'))
+			return nil
+		case "failed":
+			return fmt.Errorf("job %s failed: %s", got.ID, got.Error)
+		}
+	}
+	return fmt.Errorf("job %s still not finished after %s", v.ID, timeout)
+}
+
+func getJob(base, id string) (jobView, []byte, error) {
+	resp, err := http.Get(base + "/v1/jobs/" + url.PathEscape(id))
+	if err != nil {
+		return jobView{}, nil, err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return jobView{}, nil, fmt.Errorf("GET job %s: %s: %s", id, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	var v jobView
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return jobView{}, nil, err
+	}
+	return v, raw, nil
+}
+
+func printGET(u string) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s", u, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	os.Stdout.Write(raw)
+	return nil
+}

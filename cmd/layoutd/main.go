@@ -1,0 +1,96 @@
+// Command layoutd serves the layout-optimization pipeline over HTTP:
+// clients stream CLTR traces to it, it queues optimization jobs on a
+// bounded worker pool, caches results by content address, and exposes
+// plain-text metrics. See internal/server for the API surface and
+// cmd/layoutctl for a client.
+//
+// Usage:
+//
+//	layoutd -addr 127.0.0.1:8080 -jobs 4 -queue 64
+//	layoutd -addr 127.0.0.1:0 -ready-file /tmp/layoutd.addr
+//
+// On SIGTERM/SIGINT the daemon stops accepting work and drains queued
+// and in-flight jobs, bounded by -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"codelayout/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("layoutd: ")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	jobs := flag.Int("jobs", 0, "concurrent optimization jobs: 0 = all cores")
+	queue := flag.Int("queue", server.DefaultQueueDepth, "queued-job limit before submissions get 429")
+	optWorkers := flag.Int("opt-workers", 1, "analysis concurrency inside one job: 0 = all cores")
+	jobTimeout := flag.Duration("job-timeout", server.DefaultJobTimeout, "per-job deadline, queue wait included")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on draining in-flight jobs at shutdown")
+	maxTrace := flag.Int64("max-trace-bytes", server.DefaultMaxTraceBytes, "upload size cap")
+	readyFile := flag.String("ready-file", "", "write the bound address to this file once listening")
+	flag.Parse()
+
+	if err := run(*addr, *readyFile, *drainTimeout, server.Config{
+		JobWorkers:    *jobs,
+		QueueDepth:    *queue,
+		JobTimeout:    *jobTimeout,
+		OptWorkers:    *optWorkers,
+		MaxTraceBytes: *maxTrace,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, readyFile string, drainTimeout time.Duration, cfg server.Config) error {
+	s := server.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("listening on %s", ln.Addr())
+	if readyFile != "" {
+		if err := os.WriteFile(readyFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			return err
+		}
+	}
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("signal received; draining (bound %s)", drainTimeout)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := s.Shutdown(drainCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	} else {
+		log.Printf("drained cleanly")
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

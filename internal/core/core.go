@@ -154,6 +154,29 @@ func AllWithBaselines() []Optimizer {
 	return append(AllOptimizers(), FuncCallGraph(), FuncCMG(), BBAffinityIntra(), FuncSearch())
 }
 
+// OptimizerNames returns the names of AllWithBaselines in their
+// canonical order — the registry layoutd advertises.
+func OptimizerNames() []string {
+	all := AllWithBaselines()
+	names := make([]string, len(all))
+	for i, o := range all {
+		names[i] = o.Name()
+	}
+	return names
+}
+
+// OptimizerByName resolves a short name from OptimizerNames to its
+// optimizer configuration. It is the lookup the serving layer and the
+// experiment harness use to map request parameters to a pipeline.
+func OptimizerByName(name string) (Optimizer, error) {
+	for _, o := range AllWithBaselines() {
+		if o.Name() == name {
+			return o, nil
+		}
+	}
+	return Optimizer{}, fmt.Errorf("core: unknown optimizer %q (known: %v)", name, OptimizerNames())
+}
+
 // Name returns the optimizer's short name, e.g. "bb-affinity".
 func (o Optimizer) Name() string {
 	n := o.Gran.String() + "-" + o.Model.String()
@@ -196,6 +219,10 @@ type Report struct {
 	Retention float64
 	// SeqLen is the number of code units the model ordered.
 	SeqLen int
+	// Sequence is the model's code-unit order (function IDs at
+	// GranFunction, block IDs at GranBasicBlock) that produced the
+	// layout — the artifact layoutd serves back to clients.
+	Sequence []int32 `json:",omitempty"`
 	// JumpOverheadBytes is the code-size cost of the transformation.
 	JumpOverheadBytes int64
 }
@@ -257,6 +284,7 @@ func (o Optimizer) Optimize(prof *Profile) (*layout.Layout, Report, error) {
 		return nil, rep, fmt.Errorf("core: unknown model %v", o.Model)
 	}
 	rep.SeqLen = len(seq)
+	rep.Sequence = seq
 
 	// 4. Transformation.
 	var l *layout.Layout

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
 	"codelayout/internal/cachesim"
@@ -161,6 +163,59 @@ func TestPruningBoundsAlphabet(t *testing.T) {
 	// Layout still covers the whole program (unprofiled blocks appended).
 	if err := l.Validate(); err != nil {
 		t.Errorf("pruned layout invalid: %v", err)
+	}
+}
+
+// TestOptimizerByName: the registry layoutd resolves request names
+// through. Every advertised name must round-trip to an optimizer whose
+// Name() matches, and unknown names must error cleanly (no panic, a
+// message naming the request).
+func TestOptimizerByName(t *testing.T) {
+	for _, name := range OptimizerNames() {
+		o, err := OptimizerByName(name)
+		if err != nil {
+			t.Errorf("OptimizerByName(%q): %v", name, err)
+			continue
+		}
+		if o.Name() != name {
+			t.Errorf("OptimizerByName(%q).Name() = %q", name, o.Name())
+		}
+	}
+	if _, err := OptimizerByName("no-such-optimizer"); err == nil {
+		t.Error("unknown optimizer accepted")
+	} else if !strings.Contains(err.Error(), "no-such-optimizer") {
+		t.Errorf("error %q does not name the unknown optimizer", err)
+	}
+	if _, err := OptimizerByName(""); err == nil {
+		t.Error("empty optimizer name accepted")
+	}
+}
+
+// TestOptimizerNamesUniqueStable: names are unique (the registry is a
+// bijection, so content-addressed cache keys cannot collide across
+// optimizers) and stable across calls (clients may hardcode them).
+func TestOptimizerNamesUniqueStable(t *testing.T) {
+	names := OptimizerNames()
+	if len(names) != len(AllWithBaselines()) {
+		t.Fatalf("got %d names for %d optimizers", len(names), len(AllWithBaselines()))
+	}
+	seen := make(map[string]bool)
+	for _, n := range names {
+		if n == "" {
+			t.Error("empty optimizer name")
+		}
+		if seen[n] {
+			t.Errorf("duplicate optimizer name %q", n)
+		}
+		seen[n] = true
+	}
+	if !reflect.DeepEqual(names, OptimizerNames()) {
+		t.Error("OptimizerNames is not stable across calls")
+	}
+	// The four paper optimizers stay first, in the paper's order.
+	want := []string{"func-affinity", "bb-affinity", "func-trg", "bb-trg"}
+	if !reflect.DeepEqual(names[:4], want) {
+		t.Errorf("paper optimizers = %v, want %v", names[:4], want)
 	}
 }
 

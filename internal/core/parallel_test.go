@@ -37,7 +37,7 @@ func TestOptimizeWorkersDeterministic(t *testing.T) {
 				if err != nil {
 					t.Fatalf("case %d %s workers=%d: %v", i, o.Name(), workers, err)
 				}
-				if rep != serialRep {
+				if !reflect.DeepEqual(rep, serialRep) {
 					t.Fatalf("case %d %s workers=%d: report %+v != serial %+v",
 						i, o.Name(), workers, rep, serialRep)
 				}

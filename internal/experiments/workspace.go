@@ -120,12 +120,11 @@ func (b *Bench) Replayer(layoutName string, lineBytes int, wrap bool) (*layout.R
 }
 
 func optimizerByName(name string) (core.Optimizer, error) {
-	for _, o := range core.AllWithBaselines() {
-		if o.Name() == name {
-			return o, nil
-		}
+	o, err := core.OptimizerByName(name)
+	if err != nil {
+		return core.Optimizer{}, fmt.Errorf("experiments: %w", err)
 	}
-	return core.Optimizer{}, fmt.Errorf("experiments: unknown optimizer %q", name)
+	return o, nil
 }
 
 // Workspace lazily generates, profiles and optimizes suite programs and

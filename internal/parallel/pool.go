@@ -1,0 +1,110 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is one unit of pool work. The context is the pool's lifetime
+// context, possibly narrowed by the submitter; tasks that can run long
+// should observe it.
+type Task func(ctx context.Context)
+
+// Pool is a long-lived bounded worker pool with a bounded queue — the
+// serving-side sibling of ForEach. Where ForEach fans a fixed batch out
+// and returns, a Pool accepts work for the lifetime of a service
+// (layoutd's job queue), rejects work beyond its queue depth so the
+// caller can apply backpressure (HTTP 429), and drains gracefully on
+// shutdown.
+type Pool struct {
+	tasks   chan Task
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	running atomic.Int64
+}
+
+// NewPool starts workers goroutines consuming a queue of at most depth
+// pending tasks. workers <= 0 resolves via Workers (all cores); depth
+// <= 0 means an unbuffered queue: a task is accepted only when a worker
+// is already parked in receive, which is inherently racy right after
+// construction — services should use depth >= 1.
+func NewPool(workers, depth int) *Pool {
+	if depth < 0 {
+		depth = 0
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		tasks:  make(chan Task, depth),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	n := Workers(workers)
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for t := range p.tasks {
+				p.running.Add(1)
+				t(p.ctx)
+				p.running.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues t without blocking. It reports false when the
+// queue is full or the pool has been shut down — the backpressure
+// signal the caller turns into a 429.
+func (p *Pool) TrySubmit(t Task) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- t:
+		return true
+	default:
+		return false
+	}
+}
+
+// QueueDepth returns the number of tasks accepted but not yet started.
+func (p *Pool) QueueDepth() int { return len(p.tasks) }
+
+// Running returns the number of tasks currently executing.
+func (p *Pool) Running() int { return int(p.running.Load()) }
+
+// Shutdown stops accepting work, lets queued and in-flight tasks drain,
+// and returns once every worker has exited. If ctx expires first, the
+// pool context handed to tasks is cancelled (so cooperative tasks stop
+// early), the workers are still awaited, and ctx's error is returned.
+// Shutdown is idempotent.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		p.cancel()
+		return nil
+	case <-ctx.Done():
+		p.cancel() // ask in-flight tasks to stop
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,102 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEverything(t *testing.T) {
+	p := NewPool(4, 64)
+	var n atomic.Int64
+	for i := 0; i < 50; i++ {
+		if !p.TrySubmit(func(context.Context) { n.Add(1) }) {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 50 {
+		t.Fatalf("ran %d tasks, want 50", n.Load())
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	// Occupy the single worker.
+	if !p.TrySubmit(func(context.Context) { close(started); <-release }) {
+		t.Fatal("first submit rejected")
+	}
+	<-started
+	// Fill the queue slot.
+	if !p.TrySubmit(func(context.Context) {}) {
+		t.Fatal("queue-filling submit rejected")
+	}
+	// Queue full: rejected without blocking.
+	if p.TrySubmit(func(context.Context) {}) {
+		t.Fatal("submit accepted beyond queue depth")
+	}
+	if p.QueueDepth() != 1 || p.Running() != 1 {
+		t.Fatalf("depth=%d running=%d, want 1/1", p.QueueDepth(), p.Running())
+	}
+	close(release)
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if p.TrySubmit(func(context.Context) {}) {
+		t.Fatal("submit accepted after shutdown")
+	}
+}
+
+func TestPoolShutdownDrainsQueued(t *testing.T) {
+	p := NewPool(1, 16)
+	var order []int
+	var mu sync.Mutex
+	for i := 0; i < 5; i++ {
+		i := i
+		p.TrySubmit(func(context.Context) {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 5 {
+		t.Fatalf("drained %d of 5 queued tasks", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single worker ran out of order: %v", order)
+		}
+	}
+}
+
+func TestPoolShutdownDeadlineCancelsTasks(t *testing.T) {
+	p := NewPool(1, 1)
+	entered := make(chan struct{})
+	var sawCancel atomic.Bool
+	ok := p.TrySubmit(func(ctx context.Context) {
+		close(entered)
+		<-ctx.Done()
+		sawCancel.Store(true)
+	})
+	if !ok {
+		t.Fatal("submit rejected")
+	}
+	<-entered
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want deadline exceeded", err)
+	}
+	if !sawCancel.Load() {
+		t.Fatal("in-flight task never saw cancellation")
+	}
+}

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: a completed
+// optimization is keyed by the digest of everything that determined it
+// — the SHA-256 of the uploaded trace bytes, the optimizer name, and
+// the request parameters — so resubmitting the same profile is served
+// without recomputation and `GET /v1/layouts/{digest}` is a stable
+// address for a layout.
+type resultCache struct {
+	mu      sync.RWMutex
+	results map[string]*Result
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{results: make(map[string]*Result)}
+}
+
+// resultDigest derives the cache key. The fields are length-prefixed by
+// newline framing over hex/known-charset values, so distinct inputs
+// cannot collide by concatenation.
+func resultDigest(traceDigest, prog, optimizer string, pruneTopN int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "layoutd/v1\ntrace:%s\nprog:%s\nopt:%s\nprune:%d\n",
+		traceDigest, prog, optimizer, pruneTopN)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// get returns the cached result for the digest, if present.
+func (c *resultCache) get(digest string) (*Result, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.results[digest]
+	return r, ok
+}
+
+// put stores a completed result under its digest.
+func (c *resultCache) put(r *Result) {
+	c.mu.Lock()
+	c.results[r.Digest] = r
+	c.mu.Unlock()
+}
+
+// len returns the number of cached layouts.
+func (c *resultCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.results)
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"codelayout/internal/core"
+	"codelayout/internal/ir"
+	"codelayout/internal/trace"
+)
+
+// Result is the completed output of one optimization job — what the
+// content-addressed cache stores and `GET /v1/layouts/{digest}` serves.
+type Result struct {
+	// Digest is the content address: SHA-256 over the trace digest, the
+	// optimizer name, and the request parameters.
+	Digest string `json:"digest"`
+	// TraceDigest is the SHA-256 of the uploaded trace bytes.
+	TraceDigest string `json:"traceDigest"`
+	Prog        string `json:"prog"`
+	Optimizer   string `json:"optimizer"`
+	// Report is the pipeline's transformation report, including the
+	// optimized code-unit sequence.
+	Report core.Report `json:"report"`
+	// MissBefore/MissAfter are the simulated solo i-cache miss ratios of
+	// the uploaded trace replayed through the original and the optimized
+	// layout; MissReduction is the relative improvement.
+	MissBefore    float64 `json:"missBefore"`
+	MissAfter     float64 `json:"missAfter"`
+	MissReduction float64 `json:"missReduction"`
+	// ElapsedMS is the optimization wall time (0 for cache hits).
+	ElapsedMS float64 `json:"elapsedMS"`
+}
+
+// Job states, in lifecycle order.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// jobRequest carries everything a worker needs to run one job. The
+// trace and program are fully validated at submission time, so a worker
+// can only fail on pipeline errors, not on malformed input.
+type jobRequest struct {
+	prog        *ir.Program
+	progName    string
+	opt         core.Optimizer
+	pruneTopN   int
+	trace       *trace.Trace
+	traceDigest string
+	digest      string
+	deadline    time.Time
+}
+
+// Job is one submission's mutable state. All fields behind mu; the
+// JSON view is built under the lock.
+type Job struct {
+	mu       sync.Mutex
+	id       string
+	status   string
+	cached   bool
+	err      string
+	result   *Result
+	digest   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// jobView is the wire representation of a job.
+type jobView struct {
+	ID     string  `json:"id"`
+	Status string  `json:"status"`
+	Digest string  `json:"digest"`
+	Cached bool    `json:"cached"`
+	Error  string  `json:"error,omitempty"`
+	Result *Result `json:"result,omitempty"`
+}
+
+func (j *Job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobView{
+		ID:     j.id,
+		Status: j.status,
+		Digest: j.digest,
+		Cached: j.cached,
+		Error:  j.err,
+		Result: j.result,
+	}
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *Job) complete(r *Result) {
+	j.mu.Lock()
+	j.status = StatusDone
+	j.result = r
+	j.finished = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	j.status = StatusFailed
+	j.err = err.Error()
+	j.finished = time.Now()
+	j.mu.Unlock()
+}
+
+// done reports whether the job reached a terminal state.
+func (j *Job) done() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == StatusDone || j.status == StatusFailed
+}

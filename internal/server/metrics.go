@@ -1,0 +1,103 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// metrics is layoutd's dependency-free telemetry: monotonic counters,
+// one gauge read from the pool, and a per-optimizer latency histogram,
+// rendered in the Prometheus text exposition format so any scraper (or
+// grep in the smoke test) can consume it.
+type metrics struct {
+	mu        sync.Mutex
+	accepted  int64
+	completed int64
+	failed    int64
+	rejected  int64
+	cacheHits int64
+	latency   map[string]*histogram
+}
+
+// latencyBucketsMS are the histogram upper bounds in milliseconds.
+var latencyBucketsMS = [...]float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+
+type histogram struct {
+	counts [len(latencyBucketsMS) + 1]int64 // one per bucket plus +Inf
+	sumMS  float64
+	total  int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{latency: make(map[string]*histogram)}
+}
+
+func (m *metrics) incAccepted()  { m.mu.Lock(); m.accepted++; m.mu.Unlock() }
+func (m *metrics) incCompleted() { m.mu.Lock(); m.completed++; m.mu.Unlock() }
+func (m *metrics) incFailed()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }
+func (m *metrics) incRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *metrics) incCacheHit()  { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+
+// observeLatency records one completed optimization of the named
+// optimizer.
+func (m *metrics) observeLatency(optimizer string, d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.latency[optimizer]
+	if !ok {
+		h = &histogram{}
+		m.latency[optimizer] = h
+	}
+	h.sumMS += ms
+	h.total++
+	for i, ub := range latencyBucketsMS {
+		if ms <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(latencyBucketsMS)]++
+}
+
+// render writes the exposition text. queueDepth and running are read
+// live from the pool by the caller.
+func (m *metrics) render(queueDepth, running int) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("layoutd_jobs_accepted_total", "Jobs accepted into the queue.", m.accepted)
+	counter("layoutd_jobs_completed_total", "Jobs that produced a layout.", m.completed)
+	counter("layoutd_jobs_failed_total", "Jobs that errored.", m.failed)
+	counter("layoutd_jobs_rejected_total", "Submissions rejected with 429 (queue full).", m.rejected)
+	counter("layoutd_cache_hits_total", "Submissions served from the content-addressed cache.", m.cacheHits)
+	fmt.Fprintf(&b, "# HELP layoutd_queue_depth Jobs accepted but not yet running.\n# TYPE layoutd_queue_depth gauge\nlayoutd_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(&b, "# HELP layoutd_jobs_running Jobs currently optimizing.\n# TYPE layoutd_jobs_running gauge\nlayoutd_jobs_running %d\n", running)
+
+	names := make([]string, 0, len(m.latency))
+	for n := range m.latency {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		b.WriteString("# HELP layoutd_optimize_latency_ms Optimization latency per optimizer.\n# TYPE layoutd_optimize_latency_ms histogram\n")
+	}
+	for _, n := range names {
+		h := m.latency[n]
+		cum := int64(0)
+		for i, ub := range latencyBucketsMS {
+			cum += h.counts[i]
+			fmt.Fprintf(&b, "layoutd_optimize_latency_ms_bucket{optimizer=%q,le=\"%g\"} %d\n", n, ub, cum)
+		}
+		fmt.Fprintf(&b, "layoutd_optimize_latency_ms_bucket{optimizer=%q,le=\"+Inf\"} %d\n", n, h.total)
+		fmt.Fprintf(&b, "layoutd_optimize_latency_ms_sum{optimizer=%q} %g\n", n, h.sumMS)
+		fmt.Fprintf(&b, "layoutd_optimize_latency_ms_count{optimizer=%q} %d\n", n, h.total)
+	}
+	return b.String()
+}

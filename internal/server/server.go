@@ -1,0 +1,450 @@
+// Package server implements layoutd, the layout-optimization service:
+// an HTTP layer over the repository's trace format and optimizer suite.
+// Clients stream a CLTR binary trace to POST /v1/jobs together with a
+// suite-program name and an optimizer name; the server decodes the
+// upload incrementally (trace.Decoder), queues an optimization job on a
+// bounded worker pool (parallel.Pool) with per-job deadline and
+// backpressure (429 when the queue is full), and stores completed
+// results in a content-addressed cache keyed by the SHA-256 of the
+// trace bytes plus the optimizer and its parameters, so resubmitting
+// the same profile never recomputes. GET /metrics exposes counters and
+// per-optimizer latency histograms with no external dependencies.
+//
+// Endpoints:
+//
+//	POST /v1/jobs?prog=<suite program>&opt=<optimizer>[&prune=<topN>]
+//	     body: raw CLTR trace, or multipart/form-data with a "trace" file
+//	GET  /v1/jobs/{id}        job status and, when done, the result
+//	GET  /v1/layouts/{digest} cached result by content address
+//	GET  /v1/optimizers       the optimizer registry
+//	GET  /healthz             liveness
+//	GET  /metrics             Prometheus-format text
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"codelayout/internal/cachesim"
+	"codelayout/internal/core"
+	"codelayout/internal/ir"
+	"codelayout/internal/layout"
+	"codelayout/internal/parallel"
+	"codelayout/internal/stats"
+	"codelayout/internal/trace"
+)
+
+// Config sizes the service.
+type Config struct {
+	// JobWorkers bounds concurrent optimizations; <= 0 means all cores.
+	JobWorkers int
+	// QueueDepth bounds jobs accepted but not yet running; submissions
+	// beyond it get 429. <= 0 means DefaultQueueDepth.
+	QueueDepth int
+	// JobTimeout bounds a job's life from acceptance (queue wait
+	// included) to completion; 0 means DefaultJobTimeout.
+	JobTimeout time.Duration
+	// OptWorkers is the analysis concurrency inside one job (the
+	// core.Optimizer Workers knob); 0 means all cores. Serving many
+	// concurrent jobs usually wants 1 here and parallelism across jobs.
+	OptWorkers int
+	// MaxTraceBytes caps an upload; 0 means DefaultMaxTraceBytes.
+	MaxTraceBytes int64
+}
+
+// Defaults for zero Config fields.
+const (
+	DefaultJobTimeout    = 5 * time.Minute
+	DefaultMaxTraceBytes = 64 << 20
+	DefaultQueueDepth    = 64
+)
+
+// Server is the layoutd service state. Create with New, serve
+// Handler(), stop with Shutdown.
+type Server struct {
+	cfg     Config
+	pool    *parallel.Pool
+	cache   *resultCache
+	metrics *metrics
+	mux     *http.ServeMux
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	progs  map[string]*progEntry
+	nextID atomic.Int64
+
+	// optimize runs one validated job request; tests substitute it to
+	// control timing and failure modes.
+	optimize func(ctx context.Context, req *jobRequest) (*Result, error)
+}
+
+// progEntry lazily generates one suite program, shared by every job
+// that names it.
+type progEntry struct {
+	once sync.Once
+	p    *ir.Program
+	err  error
+}
+
+// New creates a server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = DefaultJobTimeout
+	}
+	if cfg.MaxTraceBytes <= 0 {
+		cfg.MaxTraceBytes = DefaultMaxTraceBytes
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	s := &Server{
+		cfg:     cfg,
+		pool:    parallel.NewPool(cfg.JobWorkers, cfg.QueueDepth),
+		cache:   newResultCache(),
+		metrics: newMetrics(),
+		jobs:    make(map[string]*Job),
+		progs:   make(map[string]*progEntry),
+	}
+	s.optimize = s.runOptimize
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/layouts/{digest}", s.handleLayout)
+	mux.HandleFunc("GET /v1/optimizers", s.handleOptimizers)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops accepting jobs and drains queued and in-flight work,
+// bounded by ctx (the -drain-timeout flag in cmd/layoutd). Submissions
+// arriving after Shutdown get 429.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.pool.Shutdown(ctx)
+}
+
+// CacheLen reports the number of cached layouts (for tests and logs).
+func (s *Server) CacheLen() int { return s.cache.len() }
+
+// ---- submission ----
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	progName := r.URL.Query().Get("prog")
+	optName := r.URL.Query().Get("opt")
+	pruneStr := r.URL.Query().Get("prune")
+
+	body, cleanup, err := s.traceBody(w, r, &progName, &optName, &pruneStr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cleanup()
+
+	if progName == "" || optName == "" {
+		httpError(w, http.StatusBadRequest, errors.New("missing required parameter: prog and opt"))
+		return
+	}
+	pruneTopN := 0
+	if pruneStr != "" {
+		pruneTopN, err = strconv.Atoi(pruneStr)
+		if err != nil || pruneTopN < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("invalid prune %q", pruneStr))
+			return
+		}
+	}
+	opt, err := core.OptimizerByName(optName)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	prog, err := s.program(progName)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Decode the upload incrementally while fingerprinting the bytes.
+	hr := trace.NewHashingReader(body)
+	dec, err := trace.NewDecoder(hr)
+	if err != nil {
+		httpError(w, badBodyStatus(err), err)
+		return
+	}
+	tr, err := dec.Decode()
+	if err != nil {
+		httpError(w, badBodyStatus(err), err)
+		return
+	}
+	// Drain trailing bytes so the digest covers the whole upload.
+	if _, err := io.Copy(io.Discard, hr); err != nil {
+		httpError(w, badBodyStatus(err), err)
+		return
+	}
+	if tr.Len() == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("trace is empty"))
+		return
+	}
+	if max := tr.MaxSym(); int(max) >= prog.NumBlocks() {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("trace symbol %d out of range for %s (%d blocks); is this a basic-block trace of the named program?",
+				max, progName, prog.NumBlocks()))
+		return
+	}
+
+	req := &jobRequest{
+		prog:        prog,
+		progName:    progName,
+		opt:         opt,
+		pruneTopN:   pruneTopN,
+		trace:       tr,
+		traceDigest: hr.Sum(),
+		deadline:    time.Now().Add(s.cfg.JobTimeout),
+	}
+	req.digest = resultDigest(req.traceDigest, progName, optName, pruneTopN)
+
+	j := &Job{
+		id:      fmt.Sprintf("job-%d", s.nextID.Add(1)),
+		status:  StatusQueued,
+		digest:  req.digest,
+		created: time.Now(),
+	}
+
+	// Content-addressed fast path: an identical (trace, optimizer,
+	// params) submission completes instantly from the cache.
+	if res, ok := s.cache.get(req.digest); ok {
+		j.cached = true
+		j.complete(res)
+		s.storeJob(j)
+		s.metrics.incAccepted()
+		s.metrics.incCacheHit()
+		writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+
+	s.storeJob(j)
+	accepted := s.pool.TrySubmit(func(poolCtx context.Context) {
+		s.runJob(poolCtx, j, req)
+	})
+	if !accepted {
+		s.dropJob(j.id)
+		s.metrics.incRejected()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, errors.New("job queue full"))
+		return
+	}
+	s.metrics.incAccepted()
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// traceBody returns the reader holding the CLTR bytes, resolving
+// multipart uploads without buffering the trace part. For multipart
+// bodies, form fields named prog/opt/prune that appear before the
+// "trace" part override empty query parameters.
+func (s *Server) traceBody(w http.ResponseWriter, r *http.Request, progName, optName, pruneStr *string) (io.Reader, func(), error) {
+	limited := http.MaxBytesReader(w, r.Body, s.cfg.MaxTraceBytes)
+	cleanup := func() { limited.Close() }
+	ct := r.Header.Get("Content-Type")
+	mt, params, _ := mime.ParseMediaType(ct)
+	if mt != "multipart/form-data" {
+		return limited, cleanup, nil
+	}
+	boundary := params["boundary"]
+	if boundary == "" {
+		return nil, cleanup, errors.New("multipart body without boundary")
+	}
+	mr := multipart.NewReader(limited, boundary)
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			return nil, cleanup, errors.New(`multipart body has no "trace" part`)
+		}
+		if err != nil {
+			return nil, cleanup, fmt.Errorf("reading multipart body: %w", err)
+		}
+		switch part.FormName() {
+		case "trace":
+			return part, cleanup, nil
+		case "prog", "opt", "prune":
+			val, err := io.ReadAll(io.LimitReader(part, 256))
+			if err != nil {
+				return nil, cleanup, fmt.Errorf("reading %s field: %w", part.FormName(), err)
+			}
+			switch part.FormName() {
+			case "prog":
+				setIfEmpty(progName, string(val))
+			case "opt":
+				setIfEmpty(optName, string(val))
+			case "prune":
+				setIfEmpty(pruneStr, string(val))
+			}
+		}
+	}
+}
+
+func setIfEmpty(dst *string, v string) {
+	if *dst == "" {
+		*dst = v
+	}
+}
+
+// badBodyStatus maps a body-read failure to 413 when the upload cap
+// tripped, 400 otherwise.
+func badBodyStatus(err error) int {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// ---- job execution ----
+
+// runJob is the pool task: honor the job deadline (queue wait counts),
+// run the optimization, publish the result to the cache.
+func (s *Server) runJob(poolCtx context.Context, j *Job, req *jobRequest) {
+	ctx, cancel := context.WithDeadline(poolCtx, req.deadline)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		j.fail(fmt.Errorf("job expired before running: %w", err))
+		s.metrics.incFailed()
+		return
+	}
+	j.setRunning()
+	start := time.Now()
+	res, err := s.optimize(ctx, req)
+	if err != nil {
+		j.fail(err)
+		s.metrics.incFailed()
+		return
+	}
+	res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	s.cache.put(res)
+	j.complete(res)
+	s.metrics.incCompleted()
+	s.metrics.observeLatency(req.opt.Name(), time.Since(start))
+}
+
+// runOptimize is the real pipeline: optimize the uploaded profile, then
+// replay the same trace through the original and optimized layouts to
+// report the simulated miss ratios before and after.
+func (s *Server) runOptimize(ctx context.Context, req *jobRequest) (*Result, error) {
+	opt := req.opt
+	opt.PruneTopN = req.pruneTopN
+	opt.Workers = s.cfg.OptWorkers
+	prof := &core.Profile{Prog: req.prog, Blocks: req.trace}
+	l, rep, err := opt.Optimize(prof)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("job deadline exceeded after optimization: %w", err)
+	}
+	cfg := cachesim.L1IDefault
+	before := cachesim.SimulateSolo(cfg,
+		layout.NewReplayer(layout.Original(req.prog), req.trace, cfg.LineBytes, false)).Stats.MissRatio()
+	after := cachesim.SimulateSolo(cfg,
+		layout.NewReplayer(l, req.trace, cfg.LineBytes, false)).Stats.MissRatio()
+	return &Result{
+		Digest:        req.digest,
+		TraceDigest:   req.traceDigest,
+		Prog:          req.progName,
+		Optimizer:     req.opt.Name(),
+		Report:        rep,
+		MissBefore:    before,
+		MissAfter:     after,
+		MissReduction: stats.Reduction(before, after),
+	}, nil
+}
+
+// ---- reads ----
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	res, ok := s.cache.get(digest)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no cached layout %q", digest))
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleOptimizers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"optimizers": core.OptimizerNames()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, s.metrics.render(s.pool.QueueDepth(), s.pool.Running()))
+}
+
+// ---- helpers ----
+
+func (s *Server) storeJob(j *Job) {
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+}
+
+func (s *Server) dropJob(id string) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	s.mu.Unlock()
+}
+
+// program generates (once) and returns the named suite program.
+func (s *Server) program(name string) (*ir.Program, error) {
+	s.mu.Lock()
+	e, ok := s.progs[name]
+	if !ok {
+		e = &progEntry{}
+		s.progs[name] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.p, e.err = core.LoadProgram(name) })
+	return e.p, e.err
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	msg := strings.TrimSpace(err.Error())
+	writeJSON(w, code, map[string]string{"error": msg})
+}

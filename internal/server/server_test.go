@@ -1,0 +1,513 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"codelayout/internal/cachesim"
+	"codelayout/internal/core"
+	"codelayout/internal/layout"
+	"codelayout/internal/trace"
+)
+
+// testProg is the cheapest suite program to generate and profile.
+const testProg = "458.sjeng"
+
+var (
+	traceOnce  sync.Once
+	traceBytes []byte
+	traceProf  *core.Profile
+	traceErr   error
+)
+
+// recordedTrace profiles testProg once and returns its trimmed
+// basic-block trace encoded as CLTR bytes — exactly what
+// `tracedump -record` would have written.
+func recordedTrace(t *testing.T) ([]byte, *core.Profile) {
+	t.Helper()
+	traceOnce.Do(func() {
+		p, err := core.LoadProgram(testProg)
+		if err != nil {
+			traceErr = err
+			return
+		}
+		prof, err := core.ProfileProgram(p, core.TrainSeed)
+		if err != nil {
+			traceErr = err
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := prof.Blocks.Trimmed().WriteTo(&buf); err != nil {
+			traceErr = err
+			return
+		}
+		traceBytes = buf.Bytes()
+		traceProf = prof
+	})
+	if traceErr != nil {
+		t.Fatal(traceErr)
+	}
+	return traceBytes, traceProf
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func submitRaw(t *testing.T, ts *httptest.Server, body []byte, query string) (jobView, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs?"+query, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v jobView
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("bad job JSON %s: %v", raw, err)
+		}
+	}
+	return v, resp.StatusCode
+}
+
+func errorBody(t *testing.T, ts *httptest.Server, body []byte, query string) (string, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs?"+query, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v struct {
+		Error string `json:"error"`
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	_ = json.Unmarshal(raw, &v)
+	return v.Error, resp.StatusCode
+}
+
+func waitJob(t *testing.T, ts *httptest.Server, id string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v jobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == StatusDone || v.Status == StatusFailed {
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return jobView{}
+}
+
+func metricValue(t *testing.T, ts *httptest.Server, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v float64
+			if _, err := fmt.Sscanf(line, name+" %f", &v); err != nil {
+				t.Fatalf("parsing metric line %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, raw)
+	return 0
+}
+
+// TestEndToEnd is the acceptance path: submit a recorded trace, poll
+// the job, and check the result against a direct in-process run of the
+// same optimizer on the same trace.
+func TestEndToEnd(t *testing.T) {
+	raw, prof := recordedTrace(t)
+	_, ts := newTestServer(t, Config{JobWorkers: 2, QueueDepth: 8, OptWorkers: 1})
+
+	const optName = "func-affinity"
+	v, code := submitRaw(t, ts, raw, "prog="+testProg+"&opt="+optName)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	if v.Status != StatusQueued && v.Status != StatusRunning {
+		t.Fatalf("fresh job status %q", v.Status)
+	}
+	done := waitJob(t, ts, v.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("job failed: %+v", done)
+	}
+	res := done.Result
+	if res == nil {
+		t.Fatal("done job has no result")
+	}
+
+	// Reference: the same pipeline, run directly.
+	tr, err := trace.ReadFrom(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := core.OptimizerByName(optName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 1
+	refProf := &core.Profile{Prog: prof.Prog, Blocks: tr}
+	l, rep, err := opt.Optimize(refProf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Report.Sequence, rep.Sequence) {
+		t.Error("served sequence differs from direct Optimize call")
+	}
+	if res.Report.SeqLen != rep.SeqLen || res.Report.TraceLen != rep.TraceLen {
+		t.Errorf("served report %+v != direct %+v", res.Report, rep)
+	}
+	cfg := cachesim.L1IDefault
+	wantBefore := cachesim.SimulateSolo(cfg,
+		layout.NewReplayer(layout.Original(prof.Prog), tr, cfg.LineBytes, false)).Stats.MissRatio()
+	wantAfter := cachesim.SimulateSolo(cfg,
+		layout.NewReplayer(l, tr, cfg.LineBytes, false)).Stats.MissRatio()
+	if res.MissBefore != wantBefore || res.MissAfter != wantAfter {
+		t.Errorf("served miss ratios %v/%v != direct %v/%v",
+			res.MissBefore, res.MissAfter, wantBefore, wantAfter)
+	}
+	if res.MissAfter >= res.MissBefore {
+		t.Errorf("optimization did not reduce simulated misses: %v -> %v", res.MissBefore, res.MissAfter)
+	}
+	if res.TraceDigest != tr.Digest() {
+		t.Errorf("trace digest %s != canonical %s", res.TraceDigest, tr.Digest())
+	}
+}
+
+// TestCacheHit: resubmitting the identical trace+optimizer completes
+// instantly from the content-addressed cache, visible in /metrics, and
+// the layout stays addressable via /v1/layouts/{digest}.
+func TestCacheHit(t *testing.T) {
+	raw, _ := recordedTrace(t)
+	_, ts := newTestServer(t, Config{JobWorkers: 1, QueueDepth: 8, OptWorkers: 1})
+
+	v1, code := submitRaw(t, ts, raw, "prog="+testProg+"&opt=func-trg")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	first := waitJob(t, ts, v1.ID)
+	if first.Status != StatusDone {
+		t.Fatalf("first job failed: %+v", first)
+	}
+	if got := metricValue(t, ts, "layoutd_cache_hits_total"); got != 0 {
+		t.Fatalf("cache hits before resubmit = %v", got)
+	}
+
+	v2, code := submitRaw(t, ts, raw, "prog="+testProg+"&opt=func-trg")
+	if code != http.StatusOK {
+		t.Fatalf("resubmit status %d, want 200", code)
+	}
+	if !v2.Cached || v2.Status != StatusDone || v2.Result == nil {
+		t.Fatalf("resubmit not served from cache: %+v", v2)
+	}
+	if v2.Digest != v1.Digest {
+		t.Fatalf("digest changed across identical submissions: %s vs %s", v2.Digest, v1.Digest)
+	}
+	if got := metricValue(t, ts, "layoutd_cache_hits_total"); got != 1 {
+		t.Fatalf("cache_hits_total = %v, want 1", got)
+	}
+	if got := metricValue(t, ts, "layoutd_jobs_completed_total"); got != 1 {
+		t.Fatalf("jobs_completed_total = %v, want 1 (cache hit must not recompute)", got)
+	}
+
+	// A different optimizer is a different content address.
+	v3, code := submitRaw(t, ts, raw, "prog="+testProg+"&opt=func-callgraph")
+	if code != http.StatusAccepted || v3.Digest == v1.Digest {
+		t.Fatalf("distinct optimizer shared a digest (code %d)", code)
+	}
+	waitJob(t, ts, v3.ID)
+
+	// Fetch by content address.
+	resp, err := http.Get(ts.URL + "/v1/layouts/" + v1.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/layouts/%s = %d", v1.Digest, resp.StatusCode)
+	}
+	var res Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimizer != "func-trg" || len(res.Report.Sequence) == 0 {
+		t.Fatalf("cached layout lookup returned %+v", res)
+	}
+}
+
+// TestMultipartSubmission exercises the streaming multipart path with
+// params carried as form fields.
+func TestMultipartSubmission(t *testing.T) {
+	raw, _ := recordedTrace(t)
+	_, ts := newTestServer(t, Config{JobWorkers: 1, QueueDepth: 4, OptWorkers: 1})
+
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	if err := mw.WriteField("prog", testProg); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.WriteField("opt", "func-callgraph"); err != nil {
+		t.Fatal(err)
+	}
+	fw, err := mw.CreateFormFile("trace", "t.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	mw.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("multipart submit status %d: %s", resp.StatusCode, raw)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	done := waitJob(t, ts, v.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("multipart job failed: %+v", done)
+	}
+}
+
+// TestQueueFull429: with one slow worker and a one-deep queue, the
+// third concurrent submission is rejected with 429 and counted.
+func TestQueueFull429(t *testing.T) {
+	raw, _ := recordedTrace(t)
+	s, ts := newTestServer(t, Config{JobWorkers: 1, QueueDepth: 1, OptWorkers: 1})
+
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	real := s.optimize
+	s.optimize = func(ctx context.Context, req *jobRequest) (*Result, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return real(ctx, req)
+	}
+
+	// Occupy the worker, then the queue slot. Distinct prune params keep
+	// each submission out of the others' content address.
+	v1, code := submitRaw(t, ts, raw, "prog="+testProg+"&opt=func-affinity&prune=100")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit 1 status %d", code)
+	}
+	<-started
+	_, code = submitRaw(t, ts, raw, "prog="+testProg+"&opt=func-affinity&prune=101")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit 2 status %d", code)
+	}
+	msg, code := errorBody(t, ts, raw, "prog="+testProg+"&opt=func-affinity&prune=102")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("submit 3 status %d, want 429", code)
+	}
+	if !strings.Contains(msg, "queue full") {
+		t.Errorf("429 body %q", msg)
+	}
+	if got := metricValue(t, ts, "layoutd_jobs_rejected_total"); got != 1 {
+		t.Errorf("jobs_rejected_total = %v, want 1", got)
+	}
+	close(release)
+	if done := waitJob(t, ts, v1.ID); done.Status != StatusDone {
+		t.Fatalf("job 1 failed after release: %+v", done)
+	}
+}
+
+// TestShutdownDrainsInFlight: Shutdown waits for queued and running
+// jobs to finish, and post-shutdown submissions are rejected.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	raw, _ := recordedTrace(t)
+	s, ts := newTestServer(t, Config{JobWorkers: 1, QueueDepth: 4, OptWorkers: 1})
+
+	entered := make(chan struct{}, 8)
+	real := s.optimize
+	s.optimize = func(ctx context.Context, req *jobRequest) (*Result, error) {
+		entered <- struct{}{}
+		time.Sleep(50 * time.Millisecond) // in flight while Shutdown runs
+		return real(ctx, req)
+	}
+
+	v1, code := submitRaw(t, ts, raw, "prog="+testProg+"&opt=func-affinity&prune=200")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	v2, code := submitRaw(t, ts, raw, "prog="+testProg+"&opt=func-affinity&prune=201")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for _, v := range []jobView{v1, v2} {
+		got := waitJob(t, ts, v.ID)
+		if got.Status != StatusDone {
+			t.Errorf("job %s not drained: %+v", v.ID, got)
+		}
+	}
+	if _, code := errorBody(t, ts, raw, "prog="+testProg+"&opt=func-affinity&prune=202"); code != http.StatusTooManyRequests {
+		t.Errorf("post-shutdown submit status %d, want 429", code)
+	}
+}
+
+// TestBadRequests covers the 400 surface: corrupt container, unknown
+// optimizer/program, out-of-range symbols, missing params.
+func TestBadRequests(t *testing.T) {
+	raw, prof := recordedTrace(t)
+	_, ts := newTestServer(t, Config{JobWorkers: 1, QueueDepth: 4, OptWorkers: 1})
+
+	cases := []struct {
+		name     string
+		body     []byte
+		query    string
+		wantCode int
+		wantMsg  string
+	}{
+		{"bad magic", []byte("XXXX\x01\x00"), "prog=" + testProg + "&opt=func-affinity", 400, "bad magic"},
+		{"truncated", []byte("CLTR\x01\x05\x02"), "prog=" + testProg + "&opt=func-affinity", 400, "occurrence"},
+		{"empty trace", encodeTrace(t, nil), "prog=" + testProg + "&opt=func-affinity", 400, "empty"},
+		{"unknown optimizer", raw, "prog=" + testProg + "&opt=nope", 400, "unknown optimizer"},
+		{"unknown program", raw, "prog=999.nope&opt=func-affinity", 400, "999.nope"},
+		{"missing params", raw, "", 400, "prog and opt"},
+		{"symbol out of range", encodeTrace(t, []int32{int32(prof.Prog.NumBlocks() + 7)}),
+			"prog=" + testProg + "&opt=func-affinity", 400, "out of range"},
+	}
+	for _, c := range cases {
+		msg, code := errorBody(t, ts, c.body, c.query)
+		if code != c.wantCode {
+			t.Errorf("%s: status %d, want %d", c.name, code, c.wantCode)
+		}
+		if !strings.Contains(msg, c.wantMsg) {
+			t.Errorf("%s: error %q does not mention %q", c.name, msg, c.wantMsg)
+		}
+	}
+}
+
+func encodeTrace(t *testing.T, syms []int32) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := trace.New(syms).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFailedJobIsReported: a pipeline error surfaces as a failed job
+// with its message, and counts in the failure metric.
+func TestFailedJobIsReported(t *testing.T) {
+	raw, _ := recordedTrace(t)
+	s, ts := newTestServer(t, Config{JobWorkers: 1, QueueDepth: 4, OptWorkers: 1})
+	s.optimize = func(ctx context.Context, req *jobRequest) (*Result, error) {
+		return nil, errors.New("synthetic pipeline failure")
+	}
+	v, code := submitRaw(t, ts, raw, "prog="+testProg+"&opt=bb-trg")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	done := waitJob(t, ts, v.ID)
+	if done.Status != StatusFailed || !strings.Contains(done.Error, "synthetic") {
+		t.Fatalf("job = %+v, want failed with message", done)
+	}
+	if got := metricValue(t, ts, "layoutd_jobs_failed_total"); got != 1 {
+		t.Errorf("jobs_failed_total = %v, want 1", got)
+	}
+}
+
+// TestHealthAndRegistry: liveness and the optimizer registry endpoint.
+func TestHealthAndRegistry(t *testing.T) {
+	_, ts := newTestServer(t, Config{JobWorkers: 1, QueueDepth: 1})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/optimizers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v struct {
+		Optimizers []string `json:"optimizers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v.Optimizers, core.OptimizerNames()) {
+		t.Errorf("registry endpoint = %v", v.Optimizers)
+	}
+}
+
+// TestMetricsHistogram: latency observations land in the per-optimizer
+// histogram with consistent bucket cumulation.
+func TestMetricsHistogram(t *testing.T) {
+	m := newMetrics()
+	m.observeLatency("func-trg", 3*time.Millisecond)
+	m.observeLatency("func-trg", 30*time.Millisecond)
+	m.observeLatency("func-trg", time.Minute)
+	out := m.render(0, 0)
+	for _, want := range []string{
+		`layoutd_optimize_latency_ms_bucket{optimizer="func-trg",le="5"} 1`,
+		`layoutd_optimize_latency_ms_bucket{optimizer="func-trg",le="50"} 2`,
+		`layoutd_optimize_latency_ms_bucket{optimizer="func-trg",le="+Inf"} 3`,
+		`layoutd_optimize_latency_ms_count{optimizer="func-trg"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+	"io"
+)
+
+// Digest returns the hex SHA-256 of the trace's canonical CLTR encoding.
+// Because WriteTo is deterministic, two traces have equal digests exactly
+// when they hold the same occurrence sequence — the property layoutd's
+// content-addressed result cache is keyed on.
+func (t *Trace) Digest() string {
+	h := sha256.New()
+	// Writing to a hash cannot fail.
+	_, _ = t.WriteTo(h)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// HashingReader tees every byte read from R into H, so a streamed upload
+// can be decoded and fingerprinted in one pass.
+type HashingReader struct {
+	R io.Reader
+	H hash.Hash
+}
+
+// NewHashingReader wraps r with a SHA-256 hasher.
+func NewHashingReader(r io.Reader) *HashingReader {
+	return &HashingReader{R: r, H: sha256.New()}
+}
+
+func (h *HashingReader) Read(p []byte) (int, error) {
+	n, err := h.R.Read(p)
+	if n > 0 {
+		h.H.Write(p[:n])
+	}
+	return n, err
+}
+
+// Sum returns the hex digest of the bytes read so far.
+func (h *HashingReader) Sum() string { return hex.EncodeToString(h.H.Sum(nil)) }

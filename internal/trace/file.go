@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -21,6 +22,10 @@ const (
 	fileMagic   = "CLTR"
 	fileVersion = 1
 )
+
+// MaxFileCount bounds the occurrence count a decoder accepts, so a
+// corrupt or hostile header cannot request an absurd allocation.
+const MaxFileCount = 1 << 31
 
 // WriteTo writes the trace in the binary container format.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
@@ -55,43 +60,124 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	return written, bw.Flush()
 }
 
-// ReadFrom parses a trace written by WriteTo.
-func ReadFrom(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
+// Decoder reads a CLTR container incrementally from an io.Reader, so a
+// consumer (layoutd's upload path, tracedump on a pipe) never needs the
+// whole file in memory. NewDecoder validates the header; Next yields one
+// occurrence at a time and Decode drains the rest into a Trace.
+//
+// Every error is wrapped with the byte offset at which decoding failed
+// and, where useful, what was expected — a truncated or corrupt upload
+// turns into a diagnosable message rather than a raw io error.
+type Decoder struct {
+	br    *bufio.Reader
+	count uint64 // declared occurrence count
+	read  uint64 // occurrences decoded so far
+	prev  int64  // last decoded symbol (delta base)
+	off   int64  // byte offset consumed, for error context
+}
+
+// NewDecoder reads and validates the container header. The reader is
+// left positioned at the first occurrence delta.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	d := &Decoder{br: bufio.NewReader(r), prev: 0}
 	magic := make([]byte, len(fileMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	if _, err := io.ReadFull(d.br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic at offset %d: %w", d.off, noEOF(err))
 	}
+	d.off += int64(len(magic))
 	if string(magic) != fileMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic)
+		return nil, fmt.Errorf("trace: bad magic %q at offset 0 (want %q)", magic, fileMagic)
 	}
-	ver, err := br.ReadByte()
+	ver, err := d.ReadByte()
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading version: %w", err)
+		return nil, fmt.Errorf("trace: reading version at offset %d: %w", d.off, noEOF(err))
 	}
 	if ver != fileVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+		return nil, fmt.Errorf("trace: unsupported version %d at offset %d (want %d)", ver, d.off-1, fileVersion)
 	}
-	count, err := binary.ReadUvarint(br)
+	start := d.off
+	count, err := binary.ReadUvarint(d)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading count: %w", err)
+		return nil, fmt.Errorf("trace: reading count at offset %d: %w", start, noEOF(err))
 	}
-	const maxCount = 1 << 31
-	if count > maxCount {
-		return nil, fmt.Errorf("trace: count %d too large", count)
+	if count > MaxFileCount {
+		return nil, fmt.Errorf("trace: count %d at offset %d exceeds limit %d", count, start, int64(MaxFileCount))
 	}
-	syms := make([]int32, count)
-	prev := int64(0)
-	for i := range syms {
-		d, err := binary.ReadVarint(br)
+	d.count = count
+	return d, nil
+}
+
+// ReadByte implements io.ByteReader while tracking the byte offset, so
+// varint reads through the decoder keep error context accurate.
+func (d *Decoder) ReadByte() (byte, error) {
+	b, err := d.br.ReadByte()
+	if err == nil {
+		d.off++
+	}
+	return b, err
+}
+
+// Len returns the declared occurrence count.
+func (d *Decoder) Len() int { return int(d.count) }
+
+// Offset returns the number of container bytes consumed so far.
+func (d *Decoder) Offset() int64 { return d.off }
+
+// Next decodes one occurrence. It returns io.EOF after the declared
+// count has been delivered; any other error means a corrupt or
+// truncated container.
+func (d *Decoder) Next() (int32, error) {
+	if d.read >= d.count {
+		return 0, io.EOF
+	}
+	start := d.off
+	delta, err := binary.ReadVarint(d)
+	if err != nil {
+		return 0, fmt.Errorf("trace: reading occurrence %d at offset %d: %w", d.read, start, noEOF(err))
+	}
+	d.prev += delta
+	if d.prev < 0 || d.prev > 1<<30 {
+		return 0, fmt.Errorf("trace: occurrence %d at offset %d decodes to invalid symbol %d", d.read, start, d.prev)
+	}
+	d.read++
+	return int32(d.prev), nil
+}
+
+// Decode drains the remaining occurrences into a Trace. The initial
+// allocation is capped so a lying header cannot force a huge up-front
+// allocation before any byte of payload has been validated.
+func (d *Decoder) Decode() (*Trace, error) {
+	capHint := d.count - d.read
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	syms := make([]int32, 0, capHint)
+	for {
+		s, err := d.Next()
+		if err == io.EOF {
+			return &Trace{Syms: syms}, nil
+		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: reading occurrence %d: %w", i, err)
+			return nil, err
 		}
-		prev += d
-		if prev < 0 || prev > 1<<30 {
-			return nil, fmt.Errorf("trace: occurrence %d decodes to invalid symbol %d", i, prev)
-		}
-		syms[i] = int32(prev)
+		syms = append(syms, s)
 	}
-	return &Trace{Syms: syms}, nil
+}
+
+// noEOF converts a bare io.EOF inside a container into
+// io.ErrUnexpectedEOF: the header promised more bytes than arrived.
+func noEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ReadFrom parses a trace written by WriteTo.
+func ReadFrom(r io.Reader) (*Trace, error) {
+	d, err := NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	return d.Decode()
 }

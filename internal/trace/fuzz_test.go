@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceRoundTrip feeds arbitrary bytes to the CLTR reader. Valid
+// containers must round-trip byte-identically through decode→re-encode;
+// corrupt magic/version/truncated varints must surface as errors, never
+// panics or silent truncation.
+func FuzzTraceRoundTrip(f *testing.F) {
+	// Well-formed seeds of several shapes.
+	for _, syms := range [][]int32{
+		{},
+		{0},
+		{5, 5, 4, 1000000, 0, 7},
+		{1, 2, 3, 2, 1, 2, 3, 2},
+	} {
+		var buf bytes.Buffer
+		if _, err := New(syms).WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// Corrupt seeds: bad magic, bad version, truncated count/body,
+	// negative symbol, huge declared count.
+	f.Add([]byte("XXXX\x01\x00"))
+	f.Add([]byte("CLTR\x09\x00"))
+	f.Add([]byte("CLTR\x01\xff"))
+	f.Add([]byte("CLTR\x01\x05\x02"))
+	f.Add([]byte("CLTR\x01\x01\x01")) // delta -1 from 0: negative symbol
+	f.Add([]byte("CLTR\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		tr2, err := ReadFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of re-encoded trace failed: %v", err)
+		}
+		if !reflect.DeepEqual(tr.Syms, tr2.Syms) && !(len(tr.Syms) == 0 && len(tr2.Syms) == 0) {
+			t.Fatal("round trip changed the symbol sequence")
+		}
+		var buf2 bytes.Buffer
+		if _, err := tr2.WriteTo(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("canonical encoding is not byte-stable")
+		}
+	})
+}
+
+func TestDecoderStreamsIncrementally(t *testing.T) {
+	syms := []int32{3, 1, 4, 1, 5, 9, 2, 6}
+	var buf bytes.Buffer
+	if _, err := New(syms).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != len(syms) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(syms))
+	}
+	for i, want := range syms {
+		got, err := d.Next()
+		if err != nil {
+			t.Fatalf("Next(%d): %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("Next(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("Next past end = %v, want io.EOF", err)
+	}
+}
+
+func TestDecoderErrorsCarryOffsets(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "reading magic"},
+		{"bad magic", []byte("XXXX\x01\x00"), "bad magic"},
+		{"bad version", []byte("CLTR\x09\x00"), "unsupported version"},
+		{"truncated count", []byte("CLTR\x01"), "reading count"},
+		{"truncated body", []byte("CLTR\x01\x05\x02"), "occurrence 1"},
+		{"negative symbol", []byte("CLTR\x01\x01\x01"), "invalid symbol"},
+	}
+	for _, c := range cases {
+		_, err := ReadFrom(bytes.NewReader(c.data))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !bytes.Contains([]byte(err.Error()), []byte(c.want)) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+		if !bytes.Contains([]byte(err.Error()), []byte("offset")) &&
+			c.name != "bad version" && c.name != "negative symbol" {
+			t.Errorf("%s: error %q carries no offset", c.name, err)
+		}
+	}
+}
+
+func TestDigestIsContentAddressed(t *testing.T) {
+	a := New([]int32{1, 2, 3})
+	b := New([]int32{1, 2, 3})
+	c := New([]int32{1, 2, 4})
+	if a.Digest() != b.Digest() {
+		t.Error("equal traces have different digests")
+	}
+	if a.Digest() == c.Digest() {
+		t.Error("different traces share a digest")
+	}
+	if len(a.Digest()) != 64 {
+		t.Errorf("digest %q is not hex sha-256", a.Digest())
+	}
+}
+
+func TestHashingReaderMatchesDigest(t *testing.T) {
+	tr := New([]int32{10, 20, 30, 25, 10})
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hr := NewHashingReader(bytes.NewReader(buf.Bytes()))
+	got, err := ReadFrom(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, hr); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Syms, tr.Syms) {
+		t.Fatal("decode through HashingReader changed the trace")
+	}
+	if hr.Sum() != tr.Digest() {
+		t.Errorf("streamed digest %s != canonical digest %s", hr.Sum(), tr.Digest())
+	}
+}

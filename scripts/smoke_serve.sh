@@ -1,0 +1,98 @@
+#!/bin/sh
+# smoke_serve.sh — end-to-end service smoke test, run by `make smoke-serve`
+# and the CI service-smoke job:
+#
+#   1. build layoutd/layoutctl/tracedump,
+#   2. record a trace with tracedump,
+#   3. start layoutd on a random port,
+#   4. submit the trace via layoutctl and wait for a 200 result,
+#   5. resubmit the identical trace and assert a cache hit via /metrics,
+#   6. SIGTERM the daemon and require a clean drain.
+set -eu
+
+WORK=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -9 "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+PROG=458.sjeng
+OPT=func-affinity
+
+echo "smoke-serve: building binaries"
+go build -o "$WORK/layoutd" ./cmd/layoutd
+go build -o "$WORK/layoutctl" ./cmd/layoutctl
+go build -o "$WORK/tracedump" ./cmd/tracedump
+
+echo "smoke-serve: recording a $PROG trace"
+"$WORK/tracedump" -prog "$PROG" -record "$WORK/t" -gran bb
+
+echo "smoke-serve: starting layoutd"
+"$WORK/layoutd" -addr 127.0.0.1:0 -jobs 2 -queue 8 \
+    -ready-file "$WORK/addr" >"$WORK/layoutd.log" 2>&1 &
+DAEMON_PID=$!
+
+i=0
+while [ ! -s "$WORK/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "smoke-serve: layoutd never became ready" >&2
+        cat "$WORK/layoutd.log" >&2
+        exit 1
+    fi
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "smoke-serve: layoutd exited early" >&2
+        cat "$WORK/layoutd.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+ADDR="http://$(cat "$WORK/addr")"
+echo "smoke-serve: layoutd at $ADDR"
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+fetch "$ADDR/healthz" | grep -q ok
+
+echo "smoke-serve: submitting job"
+"$WORK/layoutctl" -addr "$ADDR" -submit "$WORK/t.trace" \
+    -prog "$PROG" -opt "$OPT" -wait >"$WORK/result1.json"
+grep -q '"status": "done"' "$WORK/result1.json"
+grep -q '"missBefore"' "$WORK/result1.json"
+
+echo "smoke-serve: resubmitting identical trace (expect cache hit)"
+"$WORK/layoutctl" -addr "$ADDR" -submit "$WORK/t.trace" \
+    -prog "$PROG" -opt "$OPT" -wait >"$WORK/result2.json"
+grep -q 'cached=true' "$WORK/result2.json"
+
+fetch "$ADDR/metrics" >"$WORK/metrics.txt"
+grep -q '^layoutd_cache_hits_total 1$' "$WORK/metrics.txt"
+grep -q '^layoutd_jobs_completed_total 1$' "$WORK/metrics.txt"
+
+echo "smoke-serve: draining daemon with SIGTERM"
+kill -TERM "$DAEMON_PID"
+i=0
+while kill -0 "$DAEMON_PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "smoke-serve: layoutd did not exit after SIGTERM" >&2
+        cat "$WORK/layoutd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+wait "$DAEMON_PID" 2>/dev/null || true
+grep -q 'drained cleanly' "$WORK/layoutd.log"
+DAEMON_PID=""
+
+echo "smoke-serve: OK"
