@@ -2,7 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke smoke-serve ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-json-ci smoke-serve ci
+
+# Allocation budget for the CI regression gate: the per-window affinity
+# analysis (serial path) must stay under this allocs/op. The committed
+# BENCH_PR3.json baseline is ~9.4k; the budget leaves headroom for Go
+# version variance, not for real regressions.
+BENCH_ALLOC_BUDGET ?= 12000
 
 all: build
 
@@ -33,10 +39,26 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
+# Bench-regression harness: run the kernel benchmarks with -benchmem,
+# write BENCH_PR3.json (ns/op, B/op, allocs/op per benchmark), and gate
+# on the affinity analysis' allocation budget.
+bench-json:
+	sh scripts/bench_json.sh run BENCH_PR3.json
+	sh scripts/bench_json.sh check BENCH_PR3.json 'BuildHierarchyWorkers/workers=1' $(BENCH_ALLOC_BUDGET)
+
 # End-to-end service smoke: start layoutd, submit a recorded trace via
 # layoutctl, assert a completed result and a cache hit on resubmission,
 # then drain with SIGTERM.
 smoke-serve:
 	sh scripts/smoke_serve.sh
 
-ci: build vet fmt-check test race bench-smoke smoke-serve
+# What the CI bench-json job runs: single-iteration bench sweep into a
+# scratch file (the committed BENCH_PR3.json baseline stays untouched),
+# then the allocation gates.
+bench-json-ci:
+	BENCHTIME=1x sh scripts/bench_json.sh run $(or $(TMPDIR),/tmp)/bench-ci.json
+	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'BuildHierarchyWorkers/workers=1' $(BENCH_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'ShardPairHists' 0
+	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'BuildShard' 0
+
+ci: build vet fmt-check test race bench-smoke bench-json-ci smoke-serve

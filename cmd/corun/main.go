@@ -16,6 +16,7 @@ import (
 	"log"
 
 	"codelayout/internal/experiments"
+	"codelayout/internal/profiling"
 	"codelayout/internal/stats"
 )
 
@@ -26,7 +27,19 @@ func main() {
 	peerName := flag.String("peer", "403.gcc", "co-running peer (wraps)")
 	optName := flag.String("opt", "bb-affinity", "optimizer applied to the primary")
 	workers := flag.Int("workers", 0, "analysis concurrency: 0 = all cores, 1 = serial")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	w := experiments.NewWorkspace()
 	w.SetWorkers(*workers)

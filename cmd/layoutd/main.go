@@ -38,6 +38,8 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", server.DefaultJobTimeout, "per-job deadline, queue wait included")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on draining in-flight jobs at shutdown")
 	maxTrace := flag.Int64("max-trace-bytes", server.DefaultMaxTraceBytes, "upload size cap")
+	jobTTL := flag.Duration("job-ttl", server.DefaultJobTTL, "retention of completed-job status records")
+	maxJobs := flag.Int("max-jobs", server.DefaultMaxJobs, "tracked-job cap; oldest completed jobs evicted first")
 	readyFile := flag.String("ready-file", "", "write the bound address to this file once listening")
 	flag.Parse()
 
@@ -47,6 +49,8 @@ func main() {
 		JobTimeout:    *jobTimeout,
 		OptWorkers:    *optWorkers,
 		MaxTraceBytes: *maxTrace,
+		JobTTL:        *jobTTL,
+		MaxJobs:       *maxJobs,
 	}); err != nil {
 		log.Fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 
 	"codelayout/internal/core"
 	"codelayout/internal/experiments"
+	"codelayout/internal/profiling"
 	"codelayout/internal/stats"
 )
 
@@ -25,7 +26,19 @@ func main() {
 	prog := flag.String("prog", "445.gobmk", "suite program name (e.g. 445.gobmk)")
 	optName := flag.String("opt", "all", "optimizer: func-affinity, bb-affinity, func-trg, bb-trg, func-callgraph, func-cmg, bb-affinity-intra, or all")
 	workers := flag.Int("workers", 0, "analysis concurrency: 0 = all cores, 1 = serial")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	w := experiments.NewWorkspace()
 	w.SetWorkers(*workers)

@@ -16,14 +16,19 @@
 // the definitions directly (quadratic, used for validation), while
 // BuildHierarchy is the paper's efficient solution — an LRU stack
 // simulation per window size that records co-occurrence coverage in
-// O(W·N·w) time.
+// O(W·N·w) time. The hot path keeps its working set flat (DESIGN.md §9):
+// per-pair histograms live in an open-addressed table with inline
+// counter slabs, per-occurrence partner merging uses an epoch-stamped
+// dense scratch, and an optional Arena recycles every buffer across
+// calls.
 package affinity
 
 import (
+	"context"
 	"sort"
 
+	"codelayout/internal/flathash"
 	"codelayout/internal/parallel"
-	"codelayout/internal/stackdist"
 	"codelayout/internal/trace"
 )
 
@@ -39,6 +44,10 @@ type Options struct {
 	// trace with exact LRU warm-up and the per-shard histograms merge
 	// by commutative addition (DESIGN.md §7).
 	Workers int
+	// Arena recycles the analysis' internal buffers across calls; nil
+	// allocates fresh buffers. It is an execution knob, not a model
+	// parameter — the hierarchy is identical either way.
+	Arena *Arena
 }
 
 // DefaultWMax matches the paper's upper end of the analyzed window range.
@@ -57,12 +66,12 @@ type Partition struct {
 // from 1 to WMax. Levels[i] is the partition for w = i+1.
 type Hierarchy struct {
 	Levels []Partition
-	// firstOcc maps each symbol to its first-occurrence position, the
-	// tie-breaking order used everywhere.
-	firstOcc map[int32]int
+	// firstOcc maps each symbol to its first-occurrence position (dense,
+	// -1 when absent), the tie-breaking order used everywhere.
+	firstOcc []int32
 	// occCount maps each symbol to its occurrence count in the trimmed
 	// trace, used to order sibling groups hot-first in Sequence.
-	occCount map[int32]int64
+	occCount []int64
 }
 
 // Partition returns the partition at window size w (1 <= w <= WMax).
@@ -92,7 +101,7 @@ func (h *Hierarchy) Sequence() []int32 {
 	type ranked struct {
 		group []int32
 		band  int
-		first int
+		first int32
 	}
 	groups := make([]ranked, len(top.Groups))
 	for i, g := range top.Groups {
@@ -120,7 +129,9 @@ func (h *Hierarchy) Sequence() []int32 {
 	return seq
 }
 
-// pairKey packs an unordered symbol pair, smaller symbol first.
+// pairKey packs an unordered symbol pair, smaller symbol first. Pairs
+// always hold two distinct symbols, so the packed key is never 0 — the
+// empty-slot sentinel of the flat tables.
 func pairKey(a, b int32) int64 {
 	if a > b {
 		a, b = b, a
@@ -145,6 +156,15 @@ func pairKey(a, b int32) int64 {
 // are covered — i.e. the level where the pair becomes affine. Total cost
 // is O(N·wmax) time, matching the paper's "efficient solution" in §II-B.
 func BuildHierarchy(t *trace.Trace, opt Options) *Hierarchy {
+	h, _ := BuildHierarchyCtx(context.Background(), t, opt)
+	return h
+}
+
+// BuildHierarchyCtx is BuildHierarchy with cancellation: the shard loops
+// check ctx between chunks and periodically within a shard, so a job
+// deadline can interrupt a long analysis mid-phase. On cancellation the
+// partial hierarchy is discarded and ctx's error returned.
+func BuildHierarchyCtx(ctx context.Context, t *trace.Trace, opt Options) (*Hierarchy, error) {
 	wmax := opt.WMax
 	if wmax <= 0 {
 		wmax = DefaultWMax
@@ -152,34 +172,27 @@ func BuildHierarchy(t *trace.Trace, opt Options) *Hierarchy {
 	tt := t.Trimmed()
 	h := newHierarchyShell(tt, wmax)
 	if len(tt.Syms) == 0 {
-		return h
+		return h, nil
 	}
-	minW := pairMinWindowsStack(tt, wmax, opt.Workers)
-	buildLevels(h, wmax, minW, opt.Workers)
-	return h
+	minW, err := pairMinWindowsStack(ctx, tt, wmax, opt.Workers, opt.Arena)
+	if err != nil {
+		return nil, err
+	}
+	buildLevels(h, wmax, minW)
+	opt.Arena.putMinW(minW)
+	return h, nil
 }
 
 // buildLevels fills hierarchy levels 2..wmax from the per-pair minimal
-// affinity windows. The per-level affine pair sets are independent
-// projections of minW and are built concurrently; the merge chain itself
-// is sequential because level w merges whole groups of level w-1
-// (lower-level precedence), but it is cheap next to the stack passes.
-func buildLevels(h *Hierarchy, wmax int, minW map[int64]int, workers int) {
-	affines := make([]map[int64]bool, wmax+1)
-	_ = parallel.ForEach(workers, wmax-1, func(idx int) error {
-		w := idx + 2
-		affine := make(map[int64]bool, len(minW))
-		for k, mw := range minW {
-			if mw <= w {
-				affine[k] = true
-			}
-		}
-		affines[w] = affine
-		return nil
-	})
+// affinity windows. Level w's affine-pair set is the threshold query
+// minW(pair) <= w, answered directly against the flat table — no
+// per-level set materialization. The merge chain is sequential because
+// level w merges whole groups of level w-1 (lower-level precedence), but
+// it is cheap next to the stack passes.
+func buildLevels(h *Hierarchy, wmax int, minW *flathash.Sum64) {
 	prev := h.Levels[0]
 	for w := 2; w <= wmax; w++ {
-		prev = mergeLevel(prev, w, affines[w], h.firstOcc)
+		prev = mergeLevel(prev, w, minW, h.firstOcc)
 		h.Levels[w-1] = prev
 	}
 }
@@ -189,144 +202,148 @@ func buildLevels(h *Hierarchy, wmax int, minW map[int64]int, workers int) {
 // shard must cover several times that to amortize the duplicated work.
 const minShardSpan = 4
 
+// cancelCheckMask throttles the in-shard context checks: the shard loops
+// poll ctx.Err() once per (cancelCheckMask+1) occurrences.
+const cancelCheckMask = 0x3FFF
+
 // pairMinWindowsStack computes, for every symbol pair that becomes affine
 // at some w <= wmax, that minimal w, using the two stack passes described
 // on BuildHierarchy. The trace is split into contiguous shards, one
 // independent pair of passes per shard; each shard warms its LRU stack
-// by replaying just enough of the neighboring trace that its TopK views
-// equal the full-trace simulation, so the per-shard histograms sum to
-// exactly the serial result.
-func pairMinWindowsStack(tt *trace.Trace, wmax, workers int) map[int64]int {
+// by replaying just enough of the neighboring trace that its top-wmax
+// stack views equal the full-trace simulation, so the per-shard
+// histograms sum to exactly the serial result. Shard tables merge
+// slab-to-slab into the first shard's table.
+func pairMinWindowsStack(ctx context.Context, tt *trace.Trace, wmax, workers int, arena *Arena) (*flathash.Sum64, error) {
 	n := len(tt.Syms)
 	maxSym := tt.MaxSym()
 	occCount := tt.Counts()
 
 	chunks := parallel.Chunks(n, parallel.Workers(workers), minShardSpan*wmax)
-	hists := make([]map[int64][]uint32, len(chunks))
-	_ = parallel.ForEach(workers, len(chunks), func(i int) error {
-		hists[i] = shardPairHists(tt.Syms, maxSym, wmax, chunks[i][0], chunks[i][1])
-		return nil
+	states := make([]*shardState, len(chunks))
+	err := parallel.ForEachCtx(ctx, workers, len(chunks), func(ctx context.Context, i int) error {
+		st := arena.getShard()
+		states[i] = st
+		return shardPairHists(ctx, st, tt.Syms, maxSym, wmax, chunks[i][0], chunks[i][1])
 	})
-	pairs := hists[0]
-	for _, m := range hists[1:] {
-		for k, counts := range m {
-			if dst := pairs[k]; dst != nil {
-				for d, c := range counts {
-					dst[d] += c
-				}
-			} else {
-				pairs[k] = counts
+	if err != nil {
+		for _, st := range states {
+			if st != nil {
+				arena.putShard(st)
 			}
 		}
+		return nil, err
+	}
+	pairs := &states[0].pairs
+	for _, st := range states[1:] {
+		pairs.MergeFrom(&st.pairs)
 	}
 
-	minW := make(map[int64]int, len(pairs))
-	for key, counts := range pairs {
+	minW := arena.getMinW()
+	pairs.ForEach(func(key int64, counts []uint32) {
 		x := int32(key >> 32)
 		y := int32(key & 0xffffffff)
 		wx := fullCoverageW(counts[:wmax+1], occCount[x])
 		wy := fullCoverageW(counts[wmax+1:], occCount[y])
 		if wx < 0 || wy < 0 {
-			continue // some occurrence is never covered within wmax
+			return // some occurrence is never covered within wmax
 		}
-		minW[key] = max(wx, wy)
+		// Values are the minimal affine window, always >= 1, so 0 (the
+		// table's absent value) keeps meaning "never affine".
+		minW.Set(key, int64(max(wx, wy)))
+	})
+	for _, st := range states {
+		arena.putShard(st)
 	}
-	return minW
+	return minW, nil
 }
 
 // shardPairHists runs the two stack passes over positions [lo, hi) and
-// returns the shard's per-pair coverage histograms:
+// accumulates the shard's per-pair coverage histograms into st.pairs:
 // counts[dir*(wmax+1)+d] counts occurrences of the dir-side symbol whose
 // minimal coverage footprint is d.
-func shardPairHists(syms []int32, maxSym int32, wmax, lo, hi int) map[int64][]uint32 {
-	// Pass 1 (forward): record for each position the partners within the
-	// top wmax of the LRU stack and their depths (backward coverage).
-	// The warm-up replays the span holding the last wmax distinct
-	// symbols before lo, which fully determines the stack's top wmax.
-	partnerSym := make([]int32, 0, (hi-lo)*2)
-	partnerDepth := make([]uint8, 0, (hi-lo)*2)
-	offsets := make([]int32, hi-lo+1)
-	{
-		stack := stackdist.NewLRUStack(maxSym)
-		for i := warmBefore(syms, lo, wmax); i < lo; i++ {
-			stack.Access(syms[i])
-		}
-		for i := lo; i < hi; i++ {
-			stack.Access(syms[i])
-			offsets[i-lo] = int32(len(partnerSym))
-			depth := 0
-			stack.TopK(wmax, func(x int32) bool {
-				depth++
-				if depth == 1 {
-					return true
-				}
-				partnerSym = append(partnerSym, x)
-				partnerDepth = append(partnerDepth, uint8(depth))
-				return true
-			})
-		}
-		offsets[hi-lo] = int32(len(partnerSym))
+func shardPairHists(ctx context.Context, st *shardState, syms []int32, maxSym int32, wmax, lo, hi int) error {
+	st.prepare(maxSym, 2*(wmax+1))
+
+	// Pass 1 (forward): snapshot for each position the top wmax of the
+	// LRU stack straight into the span buffer, in depth order. Entry 0 of
+	// a span is the current symbol itself (the stack top, depth 1), so the
+	// partner at span index k has backward-coverage depth k+1. Storing the
+	// snapshot verbatim avoids an intermediate buffer and copy. The
+	// warm-up replays the span holding the last wmax distinct symbols
+	// before lo, which fully determines the stack's top wmax.
+	if cap(st.offsets) < hi-lo+1 {
+		st.offsets = make([]int32, hi-lo+1)
+	} else {
+		st.offsets = st.offsets[:hi-lo+1]
 	}
+	// Each span holds at most wmax entries, so sizing the buffer up front
+	// turns every snapshot append into a plain store (no growth copies).
+	if spanCap := (hi - lo) * wmax; cap(st.partnerSym) < spanCap {
+		st.partnerSym = make([]int32, 0, spanCap)
+	} else {
+		st.partnerSym = st.partnerSym[:0]
+	}
+	if cap(st.topk) < wmax {
+		st.topk = make([]int32, 0, wmax)
+	}
+	st.stack.Reset(maxSym)
+	stack := &st.stack
+	for i := st.warmBeforeScratch(syms, lo, wmax); i < lo; i++ {
+		stack.Access(syms[i])
+	}
+	for i := lo; i < hi; i++ {
+		if i&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		stack.Access(syms[i])
+		st.offsets[i-lo] = int32(len(st.partnerSym))
+		st.partnerSym = stack.AppendTopK(st.partnerSym, wmax)
+	}
+	st.offsets[hi-lo] = int32(len(st.partnerSym))
 
 	// Pass 2 (backward, over the reversed trace): merge forward coverage
 	// with pass 1's backward coverage per occurrence, and fold minima
 	// into the per-pair histograms. The warm-up replays, in reverse
 	// order, the span holding the first wmax distinct symbols at or
-	// after hi.
-	pairs := make(map[int64][]uint32)
-
-	// scratch holds the merged (partner, minDepth) set of one occurrence.
-	scratchSym := make([]int32, 0, 2*wmax)
-	scratchDepth := make([]uint8, 0, 2*wmax)
-	addScratch := func(sym int32, d uint8) {
-		for k, s := range scratchSym {
-			if s == sym {
-				if d < scratchDepth[k] {
-					scratchDepth[k] = d
-				}
-				return
-			}
-		}
-		scratchSym = append(scratchSym, sym)
-		scratchDepth = append(scratchDepth, d)
-	}
-
-	stack := stackdist.NewLRUStack(maxSym)
-	for i := warmAfter(syms, hi, wmax) - 1; i >= hi; i-- {
+	// after hi. The merge scratch is the epoch-stamped dense array of
+	// shardState: one load and store per partner instead of a linear
+	// scan over the merged set.
+	st.stack.Reset(maxSym)
+	for i := st.warmAfterScratch(syms, hi, wmax) - 1; i >= hi; i-- {
 		stack.Access(syms[i])
 	}
+	stride := wmax + 1
 	for i := hi - 1; i >= lo; i-- {
+		if i&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		cur := syms[i]
 		stack.Access(cur)
-		scratchSym = scratchSym[:0]
-		scratchDepth = scratchDepth[:0]
-		for k := offsets[i-lo]; k < offsets[i-lo+1]; k++ {
-			addScratch(partnerSym[k], partnerDepth[k])
+		st.bumpEpoch()
+		// Span entry 0 is cur itself; partners start at index 1 with
+		// backward-coverage depth 2.
+		base := st.offsets[i-lo]
+		for k, y := range st.partnerSym[base+1 : st.offsets[i-lo+1]] {
+			st.add(y, uint8(k+2))
 		}
-		depth := 0
-		stack.TopK(wmax, func(x int32) bool {
-			depth++
-			if depth == 1 {
-				return true
-			}
-			addScratch(x, uint8(depth))
-			return true
-		})
-		for k, y := range scratchSym {
-			key := pairKey(cur, y)
-			counts := pairs[key]
-			if counts == nil {
-				counts = make([]uint32, 2*(wmax+1))
-				pairs[key] = counts
-			}
-			dir := 0
+		st.topk = stack.AppendTopK(st.topk[:0], wmax)
+		for d := 1; d < len(st.topk); d++ {
+			st.add(st.topk[d], uint8(d+1))
+		}
+		for _, y := range st.touched {
+			slot := st.depthOf(y)
 			if cur > y {
-				dir = 1
+				slot += stride
 			}
-			counts[dir*(wmax+1)+int(scratchDepth[k])]++
+			st.pairs.Inc(pairKey(cur, y), slot)
 		}
 	}
-	return pairs
+	return nil
 }
 
 // warmBefore returns the largest p <= lo such that syms[p:lo] contains
@@ -335,6 +352,9 @@ func shardPairHists(syms []int32, maxSym int32, wmax, lo, hi int) map[int64][]ui
 // top-need stack prefix at position lo: the need most recent distinct
 // symbols all have their last pre-lo occurrence in [p, lo), and their
 // relative recency order is preserved.
+//
+// The kernel uses the allocation-free shardState.warmBeforeScratch;
+// this map-based form is the test oracle for the shard-boundary cases.
 func warmBefore(syms []int32, lo, need int) int {
 	seen := make(map[int32]struct{}, need)
 	p := lo
@@ -374,21 +394,27 @@ func fullCoverageW(counts []uint32, total int64) int {
 
 // newHierarchyShell prepares the hierarchy with the w=1 partition
 // (every block its own group, per Definition 5) and first-occurrence
-// ordering.
+// ordering. A single pass over the trace yields the distinct symbols in
+// first-occurrence order directly — no sort needed.
 func newHierarchyShell(tt *trace.Trace, wmax int) *Hierarchy {
-	firstOcc := make(map[int32]int)
-	occCount := make(map[int32]int64)
-	for i, s := range tt.Syms {
-		if _, ok := firstOcc[s]; !ok {
-			firstOcc[s] = i
+	var firstOcc []int32
+	var occCount []int64
+	var syms []int32
+	if len(tt.Syms) > 0 {
+		n := int(tt.MaxSym()) + 1
+		firstOcc = make([]int32, n)
+		occCount = make([]int64, n)
+		for i := range firstOcc {
+			firstOcc[i] = -1
 		}
-		occCount[s]++
+		for i, s := range tt.Syms {
+			if firstOcc[s] < 0 {
+				firstOcc[s] = int32(i)
+				syms = append(syms, s)
+			}
+			occCount[s]++
+		}
 	}
-	syms := make([]int32, 0, len(firstOcc))
-	for s := range firstOcc {
-		syms = append(syms, s)
-	}
-	sort.Slice(syms, func(i, j int) bool { return firstOcc[syms[i]] < firstOcc[syms[j]] })
 
 	h := &Hierarchy{Levels: make([]Partition, wmax), firstOcc: firstOcc, occCount: occCount}
 	base := Partition{W: 1, Groups: make([][]int32, len(syms))}
@@ -407,7 +433,7 @@ func newHierarchyShell(tt *trace.Trace, wmax int) *Hierarchy {
 // units are considered in first-occurrence order; a unit joins the first
 // existing group with which *every* cross pair of blocks is affine at
 // w, otherwise it starts a new group.
-func mergeLevel(prev Partition, w int, affine map[int64]bool, firstOcc map[int32]int) Partition {
+func mergeLevel(prev Partition, w int, minW *flathash.Sum64, firstOcc []int32) Partition {
 	type group struct {
 		members []int32
 	}
@@ -415,7 +441,7 @@ func mergeLevel(prev Partition, w int, affine map[int64]bool, firstOcc map[int32
 	for _, unit := range prev.Groups {
 		placed := false
 		for _, g := range groups {
-			if unitCompatible(unit, g.members, affine) {
+			if unitCompatible(unit, g.members, minW, int64(w)) {
 				g.members = append(g.members, unit...)
 				placed = true
 				break
@@ -441,10 +467,14 @@ func mergeLevel(prev Partition, w int, affine map[int64]bool, firstOcc map[int32
 	return out
 }
 
-func unitCompatible(unit, members []int32, affine map[int64]bool) bool {
+// unitCompatible reports whether every cross pair between unit and
+// members is affine at window w: the pair's minimal affine window is
+// recorded (non-zero) and at most w.
+func unitCompatible(unit, members []int32, minW *flathash.Sum64, w int64) bool {
 	for _, a := range unit {
 		for _, b := range members {
-			if !affine[pairKey(a, b)] {
+			mw := minW.Get(pairKey(a, b))
+			if mw == 0 || mw > w {
 				return false
 			}
 		}

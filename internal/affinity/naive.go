@@ -1,6 +1,7 @@
 package affinity
 
 import (
+	"codelayout/internal/flathash"
 	"codelayout/internal/trace"
 )
 
@@ -22,8 +23,14 @@ func BuildHierarchyNaive(t *trace.Trace, opt Options) *Hierarchy {
 	}
 	// The naive path stays strictly serial (Workers is ignored): it is
 	// the oracle the parallel analysis is validated against, so it must
-	// remain the obviously-correct transcription of the definitions.
-	buildLevels(h, wmax, pairMinWindows(tt.Syms), 1)
+	// remain the obviously-correct transcription of the definitions. Its
+	// per-pair map folds into the same flat-table form the level merge
+	// queries.
+	minW := &flathash.Sum64{}
+	for k, w := range pairMinWindows(tt.Syms) {
+		minW.Set(k, int64(w))
+	}
+	buildLevels(h, wmax, minW)
 	return h
 }
 

@@ -1,0 +1,74 @@
+package affinity
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"codelayout/internal/trace"
+)
+
+// zeroAllocTrace is a phased trace big enough to exercise table growth
+// during warm-up but small enough for AllocsPerRun to stay fast.
+func zeroAllocTrace() *trace.Trace {
+	rng := rand.New(rand.NewSource(9))
+	syms := make([]int32, 20000)
+	for i := range syms {
+		phase := (i / 1000) % 4
+		syms[i] = int32(phase*16 + rng.Intn(24))
+	}
+	return trace.New(syms)
+}
+
+// TestShardPairHistsZeroAlloc is the steady-state allocation guarantee of
+// the stack-pass kernel: once a shard's buffers have grown to the trace's
+// alphabet and window bounds, re-running the two passes allocates nothing.
+func TestShardPairHistsZeroAlloc(t *testing.T) {
+	tt := zeroAllocTrace().Trimmed()
+	const wmax = 12
+	st := &shardState{}
+	ctx := context.Background()
+	run := func() {
+		if err := shardPairHists(ctx, st, tt.Syms, tt.MaxSym(), wmax, 0, len(tt.Syms)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // grow all buffers once
+	if allocs := testing.AllocsPerRun(5, run); allocs != 0 {
+		t.Errorf("shardPairHists steady state allocs/op = %v, want 0", allocs)
+	}
+}
+
+// BenchmarkShardPairHists reports the kernel's ns/op and allocs/op for
+// the bench-regression harness; allocs/op must stay 0 (the state is
+// warmed before the timer starts).
+func BenchmarkShardPairHists(b *testing.B) {
+	tt := zeroAllocTrace().Trimmed()
+	const wmax = 20
+	st := &shardState{}
+	ctx := context.Background()
+	if err := shardPairHists(ctx, st, tt.Syms, tt.MaxSym(), wmax, 0, len(tt.Syms)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := shardPairHists(ctx, st, tt.Syms, tt.MaxSym(), wmax, 0, len(tt.Syms)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildHierarchyArena measures the full analysis with a shared
+// Arena, the way layoutd runs repeated jobs: steady-state allocations are
+// only the result hierarchy, not the kernel working set.
+func BenchmarkBuildHierarchyArena(b *testing.B) {
+	tt := zeroAllocTrace()
+	arena := &Arena{}
+	BuildHierarchy(tt, Options{WMax: 20, Workers: 1, Arena: arena})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildHierarchy(tt, Options{WMax: 20, Workers: 1, Arena: arena})
+	}
+}

@@ -18,19 +18,29 @@ type SoloResult struct {
 	Blocks int64
 }
 
+// soloBatchBlocks is the number of block occurrences SimulateSolo
+// resolves per AppendLines batch: large enough to amortize the batching
+// away, small enough that the line buffer stays cache-resident.
+const soloBatchBlocks = 1024
+
 // SimulateSolo replays one program's fetch stream through a private
-// instruction cache.
+// instruction cache. The stream is resolved in batches of pre-computed
+// line sequences (Replayer.AppendLines), so the simulation loop is a
+// plain slice walk — no per-access closure dispatch.
 func SimulateSolo(cfg Config, r *layout.Replayer) SoloResult {
 	c := New(cfg)
 	var res SoloResult
+	buf := make([]int64, 0, 4*soloBatchBlocks)
 	for {
-		_, ok := r.Next(func(line int64) {
-			c.Access(line, &res.Stats)
-		})
-		if !ok {
+		lines, blocks := r.AppendLines(buf[:0], soloBatchBlocks)
+		if blocks == 0 {
 			return res
 		}
-		res.Blocks++
+		buf = lines[:0]
+		for _, ln := range lines {
+			c.Access(ln, &res.Stats)
+		}
+		res.Blocks += int64(blocks)
 	}
 }
 
@@ -63,17 +73,26 @@ type CorunResult struct {
 func SimulateCorun(cfg Config, primary, peer *layout.Replayer) CorunResult {
 	c := New(cfg)
 	var res CorunResult
+	// One block per thread per turn preserves the SMT interleaving
+	// exactly, but each turn's lines still come pre-resolved from the
+	// replay plan instead of a per-line closure.
+	var pbuf, qbuf []int64
 	for {
-		_, ok := primary.Next(func(line int64) {
-			c.Access(line, &res.PerThread[0])
-		})
-		if !ok {
+		lines, blocks := primary.AppendLines(pbuf[:0], 1)
+		if blocks == 0 {
 			break
 		}
+		pbuf = lines[:0]
+		for _, ln := range lines {
+			c.Access(ln, &res.PerThread[0])
+		}
 		res.Blocks[0]++
-		if _, ok := peer.Next(func(line int64) {
-			c.Access(line+PeerLineOffset, &res.PerThread[1])
-		}); ok {
+		lines, blocks = peer.AppendLines(qbuf[:0], 1)
+		qbuf = lines[:0]
+		for _, ln := range lines {
+			c.Access(ln+PeerLineOffset, &res.PerThread[1])
+		}
+		if blocks > 0 {
 			res.Blocks[1]++
 		}
 	}

@@ -21,6 +21,7 @@
 package cmg
 
 import (
+	"codelayout/internal/flathash"
 	"codelayout/internal/stackdist"
 	"codelayout/internal/trace"
 	"codelayout/internal/trg"
@@ -49,24 +50,19 @@ func Build(t *trace.Trace, windowBlocks int) *trg.Graph {
 		limit = int(maxSym) + 1
 	}
 	stack := stackdist.NewLRUStack(maxSym)
-	// lastDir[key] remembers which side of the pair was accessed last
-	// when weight was added, so a strict alternation A X A X adds
-	// weight once per direction change.
-	lastDir := make(map[int64]int32)
-	between := make([]int32, 0, limit)
+	// lastDir remembers, per pair, which side was accessed last when
+	// weight was added, so a strict alternation A X A X adds weight once
+	// per direction change. Stored as symbol+1 in a flat table (0 is the
+	// table's absent value).
+	lastDir := &flathash.Sum64{}
+	scratch := make([]int32, 0, limit)
 
 	for _, cur := range tt.Syms {
 		g.AddNode(cur)
-		between = between[:0]
-		found := false
-		stack.TopK(limit, func(x int32) bool {
-			if x == cur {
-				found = true
-				return false
-			}
-			between = append(between, x)
-			return true
-		})
+		// Snapshot the stack prefix above cur's previous occurrence: the
+		// blocks interleaved since it.
+		between, found := stack.AppendTopKUntil(scratch[:0], limit, cur)
+		scratch = between[:0]
 		if found {
 			for _, x := range between {
 				key := pairKey(cur, x)
@@ -78,10 +74,10 @@ func Build(t *trace.Trace, windowBlocks int) *trg.Graph {
 				// another's reuses therefore carries no worst-case
 				// conflict — the key difference from the TRG, which
 				// counts every interleaving.
-				if d, ok := lastDir[key]; ok && d != cur {
+				if d := lastDir.Get(key); d != 0 && d != int64(cur)+1 {
 					g.AddWeight(cur, x, 2)
 				}
-				lastDir[key] = cur
+				lastDir.Set(key, int64(cur)+1)
 			}
 		}
 		stack.Access(cur)

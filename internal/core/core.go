@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"codelayout/internal/affinity"
@@ -127,6 +128,33 @@ type Optimizer struct {
 	// the serial reference path. It is an execution knob, not a model
 	// parameter — the layout is identical for every setting.
 	Workers int
+	// Arena recycles the analysis kernels' internal buffers across
+	// Optimize calls; nil allocates fresh buffers per call. Like Workers
+	// it is an execution knob only — the layout is identical either way.
+	Arena *Arena
+}
+
+// Arena bundles the analysis kernels' buffer pools so a long-lived
+// caller (layoutd running repeated jobs) can reuse every hot-path
+// allocation across optimizations. The zero value is ready to use and
+// safe for concurrent use; nil is a valid "no reuse" arena.
+type Arena struct {
+	Affinity affinity.Arena
+	TRG      trg.Arena
+}
+
+func (a *Arena) affinityArena() *affinity.Arena {
+	if a == nil {
+		return nil
+	}
+	return &a.Affinity
+}
+
+func (a *Arena) trgArena() *trg.Arena {
+	if a == nil {
+		return nil
+	}
+	return &a.TRG
 }
 
 // The four optimizers evaluated in the paper.
@@ -229,6 +257,13 @@ type Report struct {
 
 // Optimize runs the full pipeline and returns the optimized layout.
 func (o Optimizer) Optimize(prof *Profile) (*layout.Layout, Report, error) {
+	return o.OptimizeCtx(context.Background(), prof)
+}
+
+// OptimizeCtx is Optimize with cancellation: the analysis kernels poll
+// ctx inside their shard loops, so a job deadline interrupts a long
+// analysis mid-phase instead of waiting for the pipeline to finish.
+func (o Optimizer) OptimizeCtx(ctx context.Context, prof *Profile) (*layout.Layout, Report, error) {
 	rep := Report{Optimizer: o.Name()}
 	if prof == nil || prof.Prog == nil || prof.Blocks == nil {
 		return nil, rep, fmt.Errorf("core: nil profile")
@@ -260,12 +295,22 @@ func (o Optimizer) Optimize(prof *Profile) (*layout.Layout, Report, error) {
 	var seq []int32
 	switch o.Model {
 	case ModelAffinity:
-		seq = affinity.BuildHierarchy(pruned, affinity.Options{WMax: o.WMax, Workers: o.Workers}).Sequence()
+		h, err := affinity.BuildHierarchyCtx(ctx, pruned, affinity.Options{
+			WMax: o.WMax, Workers: o.Workers, Arena: o.Arena.affinityArena(),
+		})
+		if err != nil {
+			return nil, rep, fmt.Errorf("core: %s analysis: %w", o.Name(), err)
+		}
+		seq = h.Sequence()
 	case ModelTRG:
 		params := trg.DefaultParams(o.trgBlockBytes())
 		params.WindowScale = o.TRGWindowScale
 		params.Workers = o.Workers
-		seq = trg.Sequence(pruned, params)
+		var err error
+		seq, err = trg.SequenceCtx(ctx, pruned, params, o.Arena.trgArena())
+		if err != nil {
+			return nil, rep, fmt.Errorf("core: %s analysis: %w", o.Name(), err)
+		}
 	case ModelCMG:
 		params := trg.DefaultParams(o.trgBlockBytes())
 		params.WindowScale = o.TRGWindowScale
@@ -279,7 +324,11 @@ func (o Optimizer) Optimize(prof *Profile) (*layout.Layout, Report, error) {
 		if o.Gran != GranFunction {
 			return nil, rep, fmt.Errorf("core: layout search reorders functions only")
 		}
-		seq = searchSequence(o, prof, pruned)
+		var err error
+		seq, err = searchSequence(ctx, o, prof, pruned)
+		if err != nil {
+			return nil, rep, fmt.Errorf("core: %s analysis: %w", o.Name(), err)
+		}
 	default:
 		return nil, rep, fmt.Errorf("core: unknown model %v", o.Model)
 	}
@@ -315,14 +364,23 @@ func (o Optimizer) Optimize(prof *Profile) (*layout.Layout, Report, error) {
 
 // searchSequence runs the Petrank-Rawitz-wall local search: TRG-weighted
 // conflict cost, seeded from the affinity order.
-func searchSequence(o Optimizer, prof *Profile, pruned *trace.Trace) []int32 {
+func searchSequence(ctx context.Context, o Optimizer, prof *Profile, pruned *trace.Trace) ([]int32, error) {
 	params := trg.DefaultParams(o.trgBlockBytes())
 	params.WindowScale = o.TRGWindowScale
-	g := trg.BuildWorkers(pruned, params.WindowBlocks(), o.Workers)
+	g, err := trg.BuildCtx(ctx, pruned, params.WindowBlocks(), o.Workers, o.Arena.trgArena())
+	if err != nil {
+		return nil, err
+	}
 	cost := search.ConflictCost(prof.Prog, g, cachesim.Config{
 		SizeBytes: params.CacheBytes, Assoc: params.Assoc, LineBytes: params.LineBytes,
 	})
-	seed := affinity.BuildHierarchy(pruned, affinity.Options{WMax: o.WMax, Workers: o.Workers}).Sequence()
+	h, err := affinity.BuildHierarchyCtx(ctx, pruned, affinity.Options{
+		WMax: o.WMax, Workers: o.Workers, Arena: o.Arena.affinityArena(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	seed := h.Sequence()
 	initial := make([]ir.FuncID, 0, prof.Prog.NumFuncs())
 	for _, s := range seed {
 		initial = append(initial, ir.FuncID(s))
@@ -333,7 +391,7 @@ func searchSequence(o Optimizer, prof *Profile, pruned *trace.Trace) []int32 {
 	for i, f := range res.Order {
 		out[i] = int32(f)
 	}
-	return out
+	return out, nil
 }
 
 func (o Optimizer) trgBlockBytes() int {

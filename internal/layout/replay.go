@@ -25,6 +25,9 @@ type Replayer struct {
 	// isCall[b] marks blocks that end in a call; the callee's entry
 	// fetch then goes through the stub.
 	prev ir.BlockID
+	// plan is the lazily built per-block line pre-resolution used by the
+	// batched AppendLines fast path.
+	plan *replayPlan
 }
 
 // NewReplayer creates a replayer over the given block trace.
@@ -114,4 +117,136 @@ func (r *Replayer) peek() ir.BlockID {
 		return ir.BlockID(r.t.Syms[0])
 	}
 	return ir.NoBlock
+}
+
+// replayPlan pre-resolves each block's fetched line range (and each
+// function's stub lines) against a fixed layout, so the batched replay
+// path can emit lines with array lookups only — no map access, interface
+// assertion or closure dispatch per occurrence. Built once per Replayer
+// on first use; the layout is immutable afterwards by contract.
+type replayPlan struct {
+	// lineFirst/lastFull bound block b's fetched lines at its full layout
+	// size (including any appended jump); lastShort bounds them at the
+	// block's own size. Which bound applies per occurrence depends on
+	// fall.
+	lineFirst []int64
+	lastFull  []int64
+	lastShort []int64
+	// fall is the displaced fall-through successor when block b carries a
+	// layout-appended jump patching a Branch (the jump executes only when
+	// the trace actually falls through); ir.NoBlock means the full size
+	// always applies.
+	fall []ir.BlockID
+	// callCallee is block b's call target function, or -1 when b does not
+	// end in a call.
+	callCallee []ir.FuncID
+	// entryFn is b's function when b is that function's entry block, else
+	// -1: a stub fetch happens exactly when the previous block calls
+	// entryFn[b].
+	entryFn []ir.FuncID
+	// stubFirst/stubLast bound function f's entry-stub lines.
+	stubFirst []int64
+	stubLast  []int64
+}
+
+func buildReplayPlan(l *Layout, lineBytes int64) *replayPlan {
+	nb := len(l.Prog.Blocks)
+	p := &replayPlan{
+		lineFirst:  make([]int64, nb),
+		lastFull:   make([]int64, nb),
+		lastShort:  make([]int64, nb),
+		fall:       make([]ir.BlockID, nb),
+		callCallee: make([]ir.FuncID, nb),
+		entryFn:    make([]ir.FuncID, nb),
+	}
+	for b := range l.Prog.Blocks {
+		blk := l.Prog.Blocks[b]
+		addr := l.Addr[b]
+		p.lineFirst[b] = addr / lineBytes
+		p.lastFull[b] = (addr + int64(l.Size[b]) - 1) / lineBytes
+		p.lastShort[b] = (addr + int64(blk.Size) - 1) / lineBytes
+		p.fall[b] = ir.NoBlock
+		if br, isBranch := blk.Term.(ir.Branch); isBranch && l.Size[b] != blk.Size {
+			p.fall[b] = br.Fall
+		}
+		p.callCallee[b] = -1
+		if c, isCall := blk.Term.(ir.Call); isCall {
+			p.callCallee[b] = c.Callee
+		}
+		p.entryFn[b] = -1
+		if l.Prog.Entry(blk.Fn) == ir.BlockID(b) {
+			p.entryFn[b] = blk.Fn
+		}
+	}
+	if l.HasStubs() {
+		nf := len(l.StubAddr)
+		p.stubFirst = make([]int64, nf)
+		p.stubLast = make([]int64, nf)
+		for f, stub := range l.StubAddr {
+			if stub < 0 {
+				continue
+			}
+			p.stubFirst[f] = stub / lineBytes
+			p.stubLast[f] = (stub + JumpBytes - 1) / lineBytes
+		}
+	}
+	return p
+}
+
+// AppendLines replays up to maxBlocks block occurrences, appending every
+// fetched cache line to dst, and returns the extended slice plus the
+// number of occurrences replayed (0 when a non-wrapping replayer is
+// exhausted). It is the batched form of Next — identical fetch stream,
+// but lines come from the pre-resolved plan and land in a reusable
+// buffer, so the cache simulation pays no per-access closure dispatch.
+func (r *Replayer) AppendLines(dst []int64, maxBlocks int) ([]int64, int) {
+	if r.plan == nil {
+		r.plan = buildReplayPlan(r.l, r.lineBytes)
+	}
+	p := r.plan
+	syms := r.t.Syms
+	n := len(syms)
+	hasStubs := r.l.HasStubs()
+	pos, prev := r.pos, r.prev
+	blocks := 0
+	for blocks < maxBlocks {
+		if pos >= n {
+			if !r.wrap || n == 0 {
+				break
+			}
+			pos = 0
+			r.laps++
+			prev = ir.NoBlock
+		}
+		b := ir.BlockID(syms[pos])
+		pos++
+		if hasStubs && prev != ir.NoBlock {
+			if fn := p.entryFn[b]; fn >= 0 && p.callCallee[prev] == fn {
+				for ln := p.stubFirst[fn]; ln <= p.stubLast[fn]; ln++ {
+					dst = append(dst, ln)
+				}
+			}
+		}
+		last := p.lastFull[b]
+		if f := p.fall[b]; f != ir.NoBlock {
+			// The appended jump executes only when the trace goes to the
+			// displaced fall-through (same rule as effectiveSize).
+			next := ir.NoBlock
+			if pos < n {
+				next = ir.BlockID(syms[pos])
+			} else if r.wrap && n > 0 {
+				next = ir.BlockID(syms[0])
+			}
+			if next != f {
+				last = p.lastShort[b]
+			}
+		}
+		for ln := p.lineFirst[b]; ln <= last; ln++ {
+			dst = append(dst, ln)
+		}
+		prev = b
+		blocks++
+	}
+	r.pos, r.prev = pos, prev
+	return dst, blocks
 }

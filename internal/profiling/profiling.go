@@ -1,0 +1,52 @@
+// Package profiling wires runtime/pprof file profiles into the CLI
+// tools, so kernel work (affinity stack passes, TRG construction, cache
+// simulation) can be profiled in situ with the standard toolchain:
+//
+//	layoutopt -prog 445.gobmk -opt bb-affinity -cpuprofile cpu.prof
+//	go tool pprof cpu.prof
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the (possibly empty) file paths
+// and returns a stop function to run at process exit. The CPU profile
+// records from Start to stop; the heap profile is written at stop after
+// a final GC, so it reflects live steady-state memory, not transients.
+func Start(cpuProfile, memProfile string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuProfile != "" {
+		cpuFile, err = os.Create(cpuProfile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: close cpu profile: %w", err)
+			}
+		}
+		if memProfile != "" {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -121,3 +121,14 @@ func (j *Job) done() bool {
 	defer j.mu.Unlock()
 	return j.status == StatusDone || j.status == StatusFailed
 }
+
+// terminal returns the completion time of a done or failed job; ok is
+// false while the job is still queued or running.
+func (j *Job) terminal() (fin time.Time, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == StatusDone || j.status == StatusFailed {
+		return j.finished, true
+	}
+	return time.Time{}, false
+}

@@ -63,9 +63,9 @@ func (m *metrics) observeLatency(optimizer string, d time.Duration) {
 	h.counts[len(latencyBucketsMS)]++
 }
 
-// render writes the exposition text. queueDepth and running are read
-// live from the pool by the caller.
-func (m *metrics) render(queueDepth, running int) string {
+// render writes the exposition text. queueDepth, running and
+// jobsTracked are read live by the caller.
+func (m *metrics) render(queueDepth, running, jobsTracked int) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var b strings.Builder
@@ -79,6 +79,7 @@ func (m *metrics) render(queueDepth, running int) string {
 	counter("layoutd_cache_hits_total", "Submissions served from the content-addressed cache.", m.cacheHits)
 	fmt.Fprintf(&b, "# HELP layoutd_queue_depth Jobs accepted but not yet running.\n# TYPE layoutd_queue_depth gauge\nlayoutd_queue_depth %d\n", queueDepth)
 	fmt.Fprintf(&b, "# HELP layoutd_jobs_running Jobs currently optimizing.\n# TYPE layoutd_jobs_running gauge\nlayoutd_jobs_running %d\n", running)
+	fmt.Fprintf(&b, "# HELP layoutd_jobs_tracked Job-status records held (bounded by retention).\n# TYPE layoutd_jobs_tracked gauge\nlayoutd_jobs_tracked %d\n", jobsTracked)
 
 	names := make([]string, 0, len(m.latency))
 	for n := range m.latency {

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func newRetentionServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+func storedJob(id, status string, fin time.Time) *Job {
+	return &Job{id: id, status: status, finished: fin}
+}
+
+func TestJobRetentionTTL(t *testing.T) {
+	s := newRetentionServer(t, Config{JobTTL: time.Minute, MaxJobs: 100})
+	now := time.Unix(1000, 0)
+	s.now = func() time.Time { return now }
+
+	s.storeJob(storedJob("done-old", StatusDone, now))
+	s.storeJob(storedJob("failed-old", StatusFailed, now))
+	s.storeJob(storedJob("running", StatusRunning, time.Time{}))
+	if got := s.JobsTracked(); got != 3 {
+		t.Fatalf("tracked = %d, want 3", got)
+	}
+
+	// Within TTL nothing expires.
+	now = now.Add(30 * time.Second)
+	s.storeJob(storedJob("done-new", StatusDone, now))
+	if got := s.JobsTracked(); got != 4 {
+		t.Fatalf("tracked = %d, want 4", got)
+	}
+
+	// Past TTL the old terminal jobs go; running and fresh ones stay.
+	now = now.Add(45 * time.Second)
+	s.storeJob(storedJob("trigger", StatusQueued, time.Time{}))
+	s.mu.Lock()
+	_, oldDone := s.jobs["done-old"]
+	_, oldFailed := s.jobs["failed-old"]
+	_, running := s.jobs["running"]
+	_, newDone := s.jobs["done-new"]
+	s.mu.Unlock()
+	if oldDone || oldFailed {
+		t.Error("terminal jobs past TTL were not pruned")
+	}
+	if !running {
+		t.Error("running job was pruned")
+	}
+	if !newDone {
+		t.Error("terminal job within TTL was pruned")
+	}
+}
+
+func TestJobRetentionMaxJobs(t *testing.T) {
+	s := newRetentionServer(t, Config{JobTTL: time.Hour, MaxJobs: 4})
+	base := time.Unix(2000, 0)
+	s.now = func() time.Time { return base }
+
+	for i := 0; i < 4; i++ {
+		s.storeJob(storedJob(fmt.Sprintf("done-%d", i), StatusDone, base.Add(time.Duration(i)*time.Second)))
+	}
+	s.storeJob(storedJob("overflow", StatusDone, base.Add(10*time.Second)))
+	if got := s.JobsTracked(); got > 4 {
+		t.Fatalf("tracked = %d, want <= MaxJobs (4)", got)
+	}
+	s.mu.Lock()
+	_, oldest := s.jobs["done-0"]
+	_, newest := s.jobs["overflow"]
+	s.mu.Unlock()
+	if oldest {
+		t.Error("oldest terminal job survived the cap")
+	}
+	if !newest {
+		t.Error("newly stored job was evicted")
+	}
+}
+
+func TestJobRetentionKeepsActiveOverCap(t *testing.T) {
+	s := newRetentionServer(t, Config{JobTTL: time.Hour, MaxJobs: 2})
+	base := time.Unix(3000, 0)
+	s.now = func() time.Time { return base }
+
+	for i := 0; i < 5; i++ {
+		s.storeJob(storedJob(fmt.Sprintf("run-%d", i), StatusRunning, time.Time{}))
+	}
+	// Active jobs are never evicted, even far over the cap.
+	if got := s.JobsTracked(); got != 5 {
+		t.Fatalf("tracked = %d, want 5 (active jobs exempt from cap)", got)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"mime"
 	"mime/multipart"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -61,6 +62,14 @@ type Config struct {
 	OptWorkers int
 	// MaxTraceBytes caps an upload; 0 means DefaultMaxTraceBytes.
 	MaxTraceBytes int64
+	// JobTTL bounds how long a completed or failed job's status stays
+	// queryable at /v1/jobs/{id}; 0 means DefaultJobTTL. Results outlive
+	// their job entry in the content-addressed cache (/v1/layouts).
+	JobTTL time.Duration
+	// MaxJobs bounds the tracked-job map; when exceeded, the oldest
+	// terminal jobs are evicted first. 0 means DefaultMaxJobs. Queued and
+	// running jobs are never evicted.
+	MaxJobs int
 }
 
 // Defaults for zero Config fields.
@@ -68,6 +77,8 @@ const (
 	DefaultJobTimeout    = 5 * time.Minute
 	DefaultMaxTraceBytes = 64 << 20
 	DefaultQueueDepth    = 64
+	DefaultJobTTL        = 15 * time.Minute
+	DefaultMaxJobs       = 4096
 )
 
 // Server is the layoutd service state. Create with New, serve
@@ -84,9 +95,19 @@ type Server struct {
 	progs  map[string]*progEntry
 	nextID atomic.Int64
 
+	// arenas recycles the analysis kernels' buffers across jobs: each
+	// running job borrows one core.Arena, so a steady request stream
+	// reuses the same hot-path allocations instead of re-growing them
+	// per job.
+	arenas sync.Pool
+
 	// optimize runs one validated job request; tests substitute it to
 	// control timing and failure modes.
 	optimize func(ctx context.Context, req *jobRequest) (*Result, error)
+
+	// now returns the current time; tests substitute it to drive the
+	// retention clock.
+	now func() time.Time
 }
 
 // progEntry lazily generates one suite program, shared by every job
@@ -108,6 +129,12 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
+	if cfg.JobTTL <= 0 {
+		cfg.JobTTL = DefaultJobTTL
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = DefaultMaxJobs
+	}
 	s := &Server{
 		cfg:     cfg,
 		pool:    parallel.NewPool(cfg.JobWorkers, cfg.QueueDepth),
@@ -117,6 +144,7 @@ func New(cfg Config) *Server {
 		progs:   make(map[string]*progEntry),
 	}
 	s.optimize = s.runOptimize
+	s.now = time.Now
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -346,8 +374,10 @@ func (s *Server) runOptimize(ctx context.Context, req *jobRequest) (*Result, err
 	opt := req.opt
 	opt.PruneTopN = req.pruneTopN
 	opt.Workers = s.cfg.OptWorkers
+	opt.Arena = s.getArena()
+	defer s.putArena(opt.Arena)
 	prof := &core.Profile{Prog: req.prog, Blocks: req.trace}
-	l, rep, err := opt.Optimize(prof)
+	l, rep, err := opt.OptimizeCtx(ctx, prof)
 	if err != nil {
 		return nil, err
 	}
@@ -406,15 +436,63 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	io.WriteString(w, s.metrics.render(s.pool.QueueDepth(), s.pool.Running()))
+	io.WriteString(w, s.metrics.render(s.pool.QueueDepth(), s.pool.Running(), s.JobsTracked()))
 }
 
 // ---- helpers ----
 
+func (s *Server) getArena() *core.Arena {
+	if a, ok := s.arenas.Get().(*core.Arena); ok {
+		return a
+	}
+	return &core.Arena{}
+}
+
+func (s *Server) putArena(a *core.Arena) { s.arenas.Put(a) }
+
 func (s *Server) storeJob(j *Job) {
 	s.mu.Lock()
+	s.pruneJobsLocked(s.now())
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+}
+
+// pruneJobsLocked enforces the completed-job retention bound: terminal
+// jobs past JobTTL are dropped, and when the map still exceeds MaxJobs
+// the oldest terminal jobs go first. Queued and running jobs are always
+// kept — only their status record is subject to retention, and the
+// result itself stays in the content-addressed cache either way.
+func (s *Server) pruneJobsLocked(now time.Time) {
+	for id, j := range s.jobs {
+		if fin, terminal := j.terminal(); terminal && now.Sub(fin) > s.cfg.JobTTL {
+			delete(s.jobs, id)
+		}
+	}
+	if len(s.jobs) < s.cfg.MaxJobs {
+		return
+	}
+	type finished struct {
+		id  string
+		fin time.Time
+	}
+	var term []finished
+	for id, j := range s.jobs {
+		if fin, terminal := j.terminal(); terminal {
+			term = append(term, finished{id: id, fin: fin})
+		}
+	}
+	sort.Slice(term, func(i, j int) bool { return term[i].fin.Before(term[j].fin) })
+	for i := 0; i < len(term) && len(s.jobs) >= s.cfg.MaxJobs; i++ {
+		delete(s.jobs, term[i].id)
+	}
+}
+
+// JobsTracked reports the number of job-status records currently held
+// (for tests and metrics).
+func (s *Server) JobsTracked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
 }
 
 func (s *Server) dropJob(id string) {

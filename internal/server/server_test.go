@@ -499,7 +499,7 @@ func TestMetricsHistogram(t *testing.T) {
 	m.observeLatency("func-trg", 3*time.Millisecond)
 	m.observeLatency("func-trg", 30*time.Millisecond)
 	m.observeLatency("func-trg", time.Minute)
-	out := m.render(0, 0)
+	out := m.render(0, 0, 0)
 	for _, want := range []string{
 		`layoutd_optimize_latency_ms_bucket{optimizer="func-trg",le="5"} 1`,
 		`layoutd_optimize_latency_ms_bucket{optimizer="func-trg",le="50"} 2`,

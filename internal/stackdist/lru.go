@@ -94,6 +94,58 @@ func (s *LRUStack) TopK(k int, visit func(sym int32) bool) {
 	}
 }
 
+// AppendTopK appends up to k symbols from the top of the stack (most
+// recent first) to dst and returns the extended slice. It is the
+// amortization-friendly form of TopK: the analysis kernels take one
+// snapshot of the hot stack prefix per access into a reusable buffer and
+// then scan it as a plain slice, instead of paying an indirect call per
+// visited element.
+func (s *LRUStack) AppendTopK(dst []int32, k int) []int32 {
+	idx := s.head
+	nodes := s.nodes
+	for i := 0; i < k && idx >= 0; i++ {
+		dst = append(dst, nodes[idx].sym)
+		idx = nodes[idx].next
+	}
+	return dst
+}
+
+// AppendTopKUntil appends symbols from the top of the stack (most recent
+// first) to dst until stop is met (excluded), k symbols were appended, or
+// the stack is exhausted, reporting whether stop was met. It is the
+// snapshot form of the TRG construction's interleaving scan: everything
+// above the current symbol's previous occurrence is interleaved with it.
+func (s *LRUStack) AppendTopKUntil(dst []int32, k int, stop int32) ([]int32, bool) {
+	idx := s.head
+	nodes := s.nodes
+	for i := 0; i < k && idx >= 0; i++ {
+		sym := nodes[idx].sym
+		if sym == stop {
+			return dst, true
+		}
+		dst = append(dst, sym)
+		idx = nodes[idx].next
+	}
+	return dst, false
+}
+
+// Reset empties the stack and re-sizes its symbol index for symbols in
+// [0, maxSym], keeping backing capacity so a pooled stack can be reused
+// across analyses without reallocating.
+func (s *LRUStack) Reset(maxSym int32) {
+	n := int(maxSym) + 1
+	if cap(s.pos) >= n {
+		s.pos = s.pos[:n]
+	} else {
+		s.pos = make([]int32, n)
+	}
+	for i := range s.pos {
+		s.pos[i] = -1
+	}
+	s.nodes = s.nodes[:0]
+	s.head, s.tail, s.n = -1, -1, 0
+}
+
 // Top returns the symbol on top of the stack, or -1 if empty.
 func (s *LRUStack) Top() int32 {
 	if s.head < 0 {

@@ -1,6 +1,10 @@
 package trg
 
-import "codelayout/internal/trace"
+import (
+	"context"
+
+	"codelayout/internal/trace"
+)
 
 // Params derives the reduction's slot count and the construction's
 // examination window from the cache geometry, following §II-C:
@@ -78,5 +82,19 @@ func (p Params) WindowBlocks() int {
 // the parameter-derived window, reduce it with the parameter-derived
 // slot count, and return the optimized code sequence.
 func Sequence(t *trace.Trace, p Params) []int32 {
-	return Reduce(BuildWorkers(t, p.WindowBlocks(), p.Workers), p.Slots())
+	seq, _ := SequenceCtx(context.Background(), t, p, nil)
+	return seq
+}
+
+// SequenceCtx is Sequence with cancellation (the construction's shard
+// loops poll ctx) and buffer reuse; arena may be nil. The built graph is
+// recycled through the arena once reduced.
+func SequenceCtx(ctx context.Context, t *trace.Trace, p Params, arena *Arena) ([]int32, error) {
+	g, err := BuildCtx(ctx, t, p.WindowBlocks(), p.Workers, arena)
+	if err != nil {
+		return nil, err
+	}
+	seq := Reduce(g, p.Slots())
+	arena.PutGraph(g)
+	return seq, nil
 }

@@ -37,15 +37,10 @@ func Reduce(g *Graph, k int) []int32 {
 		r.parent[n] = n
 	}
 	pq := &edgeHeap{}
-	for key, w := range g.weights {
-		if w == 0 {
-			continue
-		}
-		a := int32(key >> 32)
-		b := int32(key & 0xffffffff)
+	g.forEachEdge(func(a, b int32, w int64) {
 		r.addAdj(a, b, w)
 		heap.Push(pq, heapEdge{w: w, a: a, b: b})
-	}
+	})
 
 	for pq.Len() > 0 {
 		e := heap.Pop(pq).(heapEdge)

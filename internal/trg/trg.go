@@ -9,11 +9,20 @@
 // other, and vice versa. Construction only examines interleavings inside
 // a bounded footprint window (the paper follows Gloy & Smith's advice of
 // twice the cache size).
+//
+// The construction's hot path mirrors the affinity analysis (DESIGN.md
+// §9): edge weights accumulate in an open-addressed flat table instead of
+// a Go map, the per-access interleaving scan snapshots the LRU stack
+// prefix into a reusable buffer instead of paying a callback per element,
+// and an optional Arena recycles all per-shard state across builds.
 package trg
 
 import (
+	"context"
 	"sort"
+	"sync"
 
+	"codelayout/internal/flathash"
 	"codelayout/internal/parallel"
 	"codelayout/internal/stackdist"
 	"codelayout/internal/trace"
@@ -21,16 +30,26 @@ import (
 
 // Graph is a weighted undirected temporal relationship graph.
 type Graph struct {
-	weights map[int64]int64
+	weights flathash.Sum64
 	// nodes lists the distinct symbols in first-occurrence order; the
 	// order makes every downstream step deterministic.
 	nodes []int32
-	seen  map[int32]bool
+	// seen is the dense membership index over node IDs.
+	seen []bool
 }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
-	return &Graph{weights: make(map[int64]int64), seen: make(map[int32]bool)}
+	return &Graph{}
+}
+
+// Reset clears the graph for reuse, keeping backing capacity.
+func (g *Graph) Reset() {
+	g.weights.Reset()
+	g.nodes = g.nodes[:0]
+	for i := range g.seen {
+		g.seen[i] = false
+	}
 }
 
 func pairKey(a, b int32) int64 {
@@ -40,9 +59,19 @@ func pairKey(a, b int32) int64 {
 	return int64(a)<<32 | int64(int32(b))&0xffffffff
 }
 
+// ensureSym grows the dense membership index to cover symbol s.
+func (g *Graph) ensureSym(s int32) {
+	if int(s) >= len(g.seen) {
+		grown := make([]bool, int(s)+1)
+		copy(grown, g.seen)
+		g.seen = grown
+	}
+}
+
 // AddNode registers a node even if it never gains an edge, so that the
 // reduction's output remains a permutation of all code blocks.
 func (g *Graph) AddNode(s int32) {
+	g.ensureSym(s)
 	if !g.seen[s] {
 		g.seen[s] = true
 		g.nodes = append(g.nodes, s)
@@ -56,11 +85,16 @@ func (g *Graph) AddWeight(a, b int32, delta int64) {
 	}
 	g.AddNode(a)
 	g.AddNode(b)
-	g.weights[pairKey(a, b)] += delta
+	g.weights.Add(pairKey(a, b), delta)
 }
 
 // Weight returns the weight of edge (a, b), 0 if absent.
-func (g *Graph) Weight(a, b int32) int64 { return g.weights[pairKey(a, b)] }
+func (g *Graph) Weight(a, b int32) int64 {
+	if a == b {
+		return 0
+	}
+	return g.weights.Get(pairKey(a, b))
+}
 
 // Nodes returns the node list in first-occurrence order.
 func (g *Graph) Nodes() []int32 { return g.nodes }
@@ -68,12 +102,23 @@ func (g *Graph) Nodes() []int32 { return g.nodes }
 // NumEdges returns the number of edges with non-zero weight.
 func (g *Graph) NumEdges() int {
 	n := 0
-	for _, w := range g.weights {
+	g.weights.ForEach(func(_ int64, w int64) {
 		if w != 0 {
 			n++
 		}
-	}
+	})
 	return n
+}
+
+// forEachEdge visits every non-zero edge in unspecified order. Downstream
+// consumers (Edges sorts; Reduce feeds a heap with a total order) do not
+// depend on visit order.
+func (g *Graph) forEachEdge(f func(a, b int32, w int64)) {
+	g.weights.ForEach(func(key int64, w int64) {
+		if w != 0 {
+			f(int32(key>>32), int32(key&0xffffffff), w)
+		}
+	})
 }
 
 // Edge is one weighted edge, used by tests and diagnostics.
@@ -84,13 +129,10 @@ type Edge struct {
 
 // Edges returns all edges sorted by descending weight, then by node IDs.
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, len(g.weights))
-	for k, w := range g.weights {
-		if w == 0 {
-			continue
-		}
-		out = append(out, Edge{A: int32(k >> 32), B: int32(k & 0xffffffff), Weight: w})
-	}
+	out := make([]Edge, 0, g.weights.Len())
+	g.forEachEdge(func(a, b int32, w int64) {
+		out = append(out, Edge{A: a, B: b, Weight: w})
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Weight != out[j].Weight {
 			return out[i].Weight > out[j].Weight
@@ -101,6 +143,93 @@ func (g *Graph) Edges() []Edge {
 		return out[i].B < out[j].B
 	})
 	return out
+}
+
+// Arena recycles the construction's working set — per-shard LRU stacks,
+// snapshot buffers, epoch scratch and partial graphs — across Build
+// calls, plus whole result graphs returned via PutGraph. The zero value
+// is ready to use and safe for concurrent use.
+type Arena struct {
+	shards sync.Pool // *buildState
+	graphs sync.Pool // *Graph
+}
+
+func (a *Arena) getShard() *buildState {
+	if a == nil {
+		return &buildState{}
+	}
+	if st, ok := a.shards.Get().(*buildState); ok {
+		return st
+	}
+	return &buildState{}
+}
+
+func (a *Arena) putShard(st *buildState) {
+	if a != nil {
+		a.shards.Put(st)
+	}
+}
+
+// GetGraph returns a cleared graph, recycled if one is pooled.
+func (a *Arena) GetGraph() *Graph {
+	if a == nil {
+		return NewGraph()
+	}
+	if g, ok := a.graphs.Get().(*Graph); ok {
+		g.Reset()
+		return g
+	}
+	return NewGraph()
+}
+
+// PutGraph recycles a graph the caller no longer references.
+func (a *Arena) PutGraph(g *Graph) {
+	if a != nil && g != nil {
+		a.graphs.Put(g)
+	}
+}
+
+// buildState is the reusable working set of one shard's construction
+// pass.
+type buildState struct {
+	stack stackdist.LRUStack
+	// topk is the reusable interleaving-snapshot buffer.
+	topk []int32
+	// stamp/epoch is the warm-up's epoch-stamped distinct-symbol scratch.
+	stamp []int32
+	epoch int32
+	// g accumulates the shard's partial graph when sharding.
+	g *Graph
+}
+
+// warmStartScratch is warmStart on the epoch scratch, so pooled shards
+// warm up without allocating.
+func (st *buildState) warmStartScratch(syms []int32, maxSym int32, lo, need int) int {
+	if n := int(maxSym) + 1; cap(st.stamp) < n {
+		st.stamp = make([]int32, n)
+		st.epoch = 0
+	} else {
+		st.stamp = st.stamp[:n]
+	}
+	st.epoch++
+	if st.epoch <= 0 {
+		full := st.stamp[:cap(st.stamp)]
+		for i := range full {
+			full[i] = 0
+		}
+		st.epoch = 1
+	}
+	count := 0
+	p := lo
+	for p > 0 && count < need {
+		p--
+		s := syms[p]
+		if st.stamp[s] != st.epoch {
+			st.stamp[s] = st.epoch
+			count++
+		}
+	}
+	return p
 }
 
 // Build constructs the TRG of a code trace. windowBlocks bounds the
@@ -118,20 +247,30 @@ func Build(t *trace.Trace, windowBlocks int) *Graph {
 }
 
 // BuildWorkers is Build with bounded concurrency: 0 workers means every
-// available core, 1 pins the serial reference path. The trace is split
-// into contiguous shards; each shard warms a private LRU stack by
-// replaying the span holding the last windowBlocks distinct symbols
+// available core, 1 pins the serial reference path.
+func BuildWorkers(t *trace.Trace, windowBlocks, workers int) *Graph {
+	g, _ := BuildCtx(context.Background(), t, windowBlocks, workers, nil)
+	return g
+}
+
+// BuildCtx is BuildWorkers with cancellation and buffer reuse. The trace
+// is split into contiguous shards; each shard warms a private LRU stack
+// by replaying the span holding the last windowBlocks distinct symbols
 // before it, so its per-access interleaving views equal the full-trace
 // simulation, and the per-shard partial graphs merge deterministically:
 // edge weights sum (addition commutes) and shard node lists concatenate
 // in trace order, reproducing the global first-occurrence node order.
-func BuildWorkers(t *trace.Trace, windowBlocks, workers int) *Graph {
+// The shard loops poll ctx, so a job deadline can interrupt a long
+// construction; on cancellation the partial graph is discarded and ctx's
+// error returned. arena may be nil.
+func BuildCtx(ctx context.Context, t *trace.Trace, windowBlocks, workers int, arena *Arena) (*Graph, error) {
 	tt := t.Trimmed()
-	g := NewGraph()
+	g := arena.GetGraph()
 	if len(tt.Syms) == 0 {
-		return g
+		return g, nil
 	}
 	maxSym := tt.MaxSym()
+	g.ensureSym(maxSym)
 	limit := windowBlocks
 	if limit <= 0 {
 		limit = int(maxSym) + 1
@@ -141,62 +280,92 @@ func BuildWorkers(t *trace.Trace, windowBlocks, workers int) *Graph {
 	// the trace is too short to split.
 	chunks := parallel.Chunks(len(tt.Syms), parallel.Workers(workers), 4*limit)
 	if len(chunks) == 1 {
-		buildShard(g, tt.Syms, maxSym, limit, 0, len(tt.Syms))
-		return g
+		st := arena.getShard()
+		err := buildShard(ctx, st, g, tt.Syms, maxSym, limit, 0, len(tt.Syms))
+		arena.putShard(st)
+		if err != nil {
+			arena.PutGraph(g)
+			return nil, err
+		}
+		return g, nil
 	}
-	partials := make([]*Graph, len(chunks))
-	_ = parallel.ForEach(workers, len(chunks), func(i int) error {
-		p := NewGraph()
-		buildShard(p, tt.Syms, maxSym, limit, chunks[i][0], chunks[i][1])
-		partials[i] = p
-		return nil
+	states := make([]*buildState, len(chunks))
+	err := parallel.ForEachCtx(ctx, workers, len(chunks), func(ctx context.Context, i int) error {
+		st := arena.getShard()
+		states[i] = st
+		if st.g == nil {
+			st.g = NewGraph()
+		} else {
+			st.g.Reset()
+		}
+		st.g.ensureSym(maxSym)
+		return buildShard(ctx, st, st.g, tt.Syms, maxSym, limit, chunks[i][0], chunks[i][1])
 	})
-	for _, p := range partials {
-		for _, s := range p.nodes {
+	if err != nil {
+		for _, st := range states {
+			if st != nil {
+				arena.putShard(st)
+			}
+		}
+		arena.PutGraph(g)
+		return nil, err
+	}
+	for _, st := range states {
+		for _, s := range st.g.nodes {
 			g.AddNode(s)
 		}
-		for k, w := range p.weights {
-			g.weights[k] += w
-		}
+		st.g.weights.ForEach(func(key int64, w int64) {
+			g.weights.Add(key, w)
+		})
+		arena.putShard(st)
 	}
-	return g
+	return g, nil
 }
+
+// cancelCheckMask throttles the in-shard context checks: the shard loop
+// polls ctx.Err() once per (cancelCheckMask+1) accesses.
+const cancelCheckMask = 0x3FFF
 
 // buildShard accumulates the conflict counts of accesses [lo, hi) into
 // g, warming the LRU stack so the shard sees exactly the stack prefix
 // the full simulation would.
-func buildShard(g *Graph, syms []int32, maxSym int32, limit, lo, hi int) {
-	stack := stackdist.NewLRUStack(maxSym)
-	for i := warmStart(syms, lo, limit); i < lo; i++ {
+func buildShard(ctx context.Context, st *buildState, g *Graph, syms []int32, maxSym int32, limit, lo, hi int) error {
+	st.stack.Reset(maxSym)
+	stack := &st.stack
+	for i := st.warmStartScratch(syms, maxSym, lo, limit); i < lo; i++ {
 		stack.Access(syms[i])
 	}
-	between := make([]int32, 0, min(limit, hi-lo))
 	for i := lo; i < hi; i++ {
+		if i&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		cur := syms[i]
 		g.AddNode(cur)
-		between = between[:0]
-		found := false
-		stack.TopK(limit, func(x int32) bool {
-			if x == cur {
-				found = true
-				return false
-			}
-			between = append(between, x)
-			return true
-		})
+		// Snapshot the stack prefix above cur's previous occurrence: those
+		// are exactly the blocks interleaved between the two occurrences.
+		// If cur is not within the window, the previous occurrence is too
+		// far away (or absent) and contributes nothing.
+		between, found := stack.AppendTopKUntil(st.topk[:0], limit, cur)
+		st.topk = between[:0]
 		if found {
 			for _, x := range between {
-				g.AddWeight(cur, x, 1)
+				g.AddNode(x)
+				g.weights.Add(pairKey(cur, x), 1)
 			}
 		}
 		stack.Access(cur)
 	}
+	return nil
 }
 
 // warmStart returns the largest p <= lo such that syms[p:lo] contains
 // need distinct symbols (or 0 if the prefix holds fewer): replaying
 // syms[p:lo] reproduces the full simulation's top-need stack prefix,
-// which is all TopK(limit) ever examines.
+// which is all the interleaving scan ever examines. The kernel uses the
+// allocation-free buildState.warmStartScratch; this map-based form is
+// the test oracle for the shard-boundary cases.
 func warmStart(syms []int32, lo, need int) int {
 	seen := make(map[int32]struct{}, need)
 	p := lo
