@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-json-ci smoke-serve ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-json-ci smoke-serve smoke-durable ci
 
 # Allocation budget for the CI regression gate: the per-window affinity
 # analysis (serial path) must stay under this allocs/op. The committed
@@ -52,6 +52,12 @@ bench-json:
 smoke-serve:
 	sh scripts/smoke_serve.sh
 
+# Durability smoke: SIGKILL layoutd mid-run, restart on the same store
+# directory, require the completed layout back from disk byte-identical;
+# then run with every disk write failing and require degraded-but-alive.
+smoke-durable:
+	sh scripts/smoke_durable.sh
+
 # What the CI bench-json job runs: single-iteration bench sweep into a
 # scratch file (the committed BENCH_PR3.json baseline stays untouched),
 # then the allocation gates.
@@ -61,4 +67,4 @@ bench-json-ci:
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'ShardPairHists' 0
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'BuildShard' 0
 
-ci: build vet fmt-check test race bench-smoke bench-json-ci smoke-serve
+ci: build vet fmt-check test race bench-smoke bench-json-ci smoke-serve smoke-durable

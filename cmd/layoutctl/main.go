@@ -2,10 +2,18 @@
 // CLTR traces as optimization jobs, polls them, and fetches cached
 // layouts by content address.
 //
+// Transient failures — connection errors, 429 (queue full), 503 — are
+// retried with jittered exponential backoff, honoring the server's
+// Retry-After header. Retrying a submission is safe by construction:
+// jobs are content-addressed by sha256(trace, optimizer, params), so a
+// resubmit either lands on the cached result or re-enqueues the same
+// digest, never duplicates work that completed.
+//
 // Usage:
 //
 //	layoutctl -addr http://127.0.0.1:8080 -submit /tmp/s.trace -prog 458.sjeng -opt func-affinity -wait
 //	layoutctl -addr http://127.0.0.1:8080 -job job-1
+//	layoutctl -addr http://127.0.0.1:8080 -cancel job-2
 //	layoutctl -addr http://127.0.0.1:8080 -layout <digest>
 //	layoutctl -addr http://127.0.0.1:8080 -optimizers
 package main
@@ -16,9 +24,11 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -34,27 +44,107 @@ func main() {
 	wait := flag.Bool("wait", false, "poll the submitted job until it finishes")
 	timeout := flag.Duration("timeout", 5*time.Minute, "bound on -wait polling")
 	job := flag.String("job", "", "job ID to fetch")
+	cancelID := flag.String("cancel", "", "queued job ID to cancel")
 	layoutDigest := flag.String("layout", "", "layout digest to fetch")
 	optimizers := flag.Bool("optimizers", false, "list the server's optimizer registry")
+	retries := flag.Int("retries", 4, "retry budget for transient failures (connection errors, 429, 503)")
+	retryBase := flag.Duration("retry-base", 500*time.Millisecond, "base of the jittered exponential retry backoff")
 	flag.Parse()
 
+	r := &retrier{max: *retries, base: *retryBase, sleep: time.Sleep, logf: log.Printf}
 	base := strings.TrimRight(*addr, "/")
 	var err error
 	switch {
 	case *submit != "":
-		err = doSubmit(base, *submit, *prog, *opt, *prune, *wait, *timeout)
+		err = doSubmit(r, base, *submit, *prog, *opt, *prune, *wait, *timeout)
 	case *job != "":
-		err = printGET(base + "/v1/jobs/" + url.PathEscape(*job))
+		err = printGET(r, base+"/v1/jobs/"+url.PathEscape(*job))
+	case *cancelID != "":
+		err = doCancel(r, base, *cancelID)
 	case *layoutDigest != "":
-		err = printGET(base + "/v1/layouts/" + url.PathEscape(*layoutDigest))
+		err = printGET(r, base+"/v1/layouts/"+url.PathEscape(*layoutDigest))
 	case *optimizers:
-		err = printGET(base + "/v1/optimizers")
+		err = printGET(r, base+"/v1/optimizers")
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+}
+
+// retrier runs HTTP attempts with jittered exponential backoff. An
+// attempt is retried on transport errors and on 429/503 responses; any
+// other response is returned to the caller as-is.
+type retrier struct {
+	max   int
+	base  time.Duration
+	sleep func(time.Duration)
+	logf  func(format string, args ...any)
+}
+
+// retryable reports whether the status code signals "try again later".
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// backoff computes the wait before retry attempt (0-based): an
+// exponentially growing window with half-width jitter, so a burst of
+// rejected clients spreads out instead of stampeding the queue in
+// lockstep. A server-provided Retry-After floor is respected.
+func (r *retrier) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := r.base << attempt
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// parseRetryAfter reads a Retry-After header: either delay-seconds or
+// an HTTP date. Zero means absent or unparseable.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// do runs attempt until it yields a non-retryable outcome or the retry
+// budget is spent. attempt must produce a fresh request each call (the
+// body of a failed attempt has already been consumed).
+func (r *retrier) do(what string, attempt func() (*http.Response, error)) (*http.Response, error) {
+	var lastErr error
+	for i := 0; ; i++ {
+		resp, err := attempt()
+		if err == nil && !retryable(resp.StatusCode) {
+			return resp, nil
+		}
+		var retryAfter time.Duration
+		if err != nil {
+			lastErr = err
+		} else {
+			retryAfter = parseRetryAfter(resp)
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		if i >= r.max {
+			return nil, fmt.Errorf("%s: %w (after %d retries)", what, lastErr, r.max)
+		}
+		wait := r.backoff(i, retryAfter)
+		r.logf("%s: %v; retrying in %s (%d/%d)", what, lastErr, wait.Round(time.Millisecond), i+1, r.max)
+		r.sleep(wait)
 	}
 }
 
@@ -69,21 +159,25 @@ type jobView struct {
 	Result json.RawMessage `json:"result"`
 }
 
-func doSubmit(base, path, prog, opt string, prune int, wait bool, timeout time.Duration) error {
+func doSubmit(r *retrier, base, path, prog, opt string, prune int, wait bool, timeout time.Duration) error {
 	if prog == "" || opt == "" {
 		return fmt.Errorf("-submit requires -prog and -opt")
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-
 	q := url.Values{"prog": {prog}, "opt": {opt}}
 	if prune > 0 {
 		q.Set("prune", fmt.Sprint(prune))
 	}
-	resp, err := http.Post(base+"/v1/jobs?"+q.Encode(), "application/octet-stream", f)
+	// Each attempt re-opens the trace file: a retried POST needs the
+	// body from byte zero, and content addressing makes the resubmit
+	// idempotent on the server.
+	resp, err := r.do("submit", func() (*http.Response, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return http.Post(base+"/v1/jobs?"+q.Encode(), "application/octet-stream", f)
+	})
 	if err != nil {
 		return err
 	}
@@ -109,7 +203,7 @@ func doSubmit(base, path, prog, opt string, prune int, wait bool, timeout time.D
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		time.Sleep(200 * time.Millisecond)
-		got, raw, err := getJob(base, v.ID)
+		got, raw, err := getJob(r, base, v.ID)
 		if err != nil {
 			return err
 		}
@@ -119,13 +213,37 @@ func doSubmit(base, path, prog, opt string, prune int, wait bool, timeout time.D
 			return nil
 		case "failed":
 			return fmt.Errorf("job %s failed: %s", got.ID, got.Error)
+		case "canceled":
+			return fmt.Errorf("job %s was canceled", got.ID)
 		}
 	}
 	return fmt.Errorf("job %s still not finished after %s", v.ID, timeout)
 }
 
-func getJob(base, id string) (jobView, []byte, error) {
-	resp, err := http.Get(base + "/v1/jobs/" + url.PathEscape(id))
+func doCancel(r *retrier, base, id string) error {
+	resp, err := r.do("cancel", func() (*http.Response, error) {
+		req, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+url.PathEscape(id), nil)
+		if err != nil {
+			return nil, err
+		}
+		return http.DefaultClient.Do(req)
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cancel %s: %s: %s", id, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	os.Stdout.Write(raw)
+	return nil
+}
+
+func getJob(r *retrier, base, id string) (jobView, []byte, error) {
+	resp, err := r.do("poll "+id, func() (*http.Response, error) {
+		return http.Get(base + "/v1/jobs/" + url.PathEscape(id))
+	})
 	if err != nil {
 		return jobView{}, nil, err
 	}
@@ -141,8 +259,10 @@ func getJob(base, id string) (jobView, []byte, error) {
 	return v, raw, nil
 }
 
-func printGET(u string) error {
-	resp, err := http.Get(u)
+func printGET(r *retrier, u string) error {
+	resp, err := r.do("GET "+u, func() (*http.Response, error) {
+		return http.Get(u)
+	})
 	if err != nil {
 		return err
 	}

@@ -1,16 +1,23 @@
 // Command layoutd serves the layout-optimization pipeline over HTTP:
 // clients stream CLTR traces to it, it queues optimization jobs on a
 // bounded worker pool, caches results by content address, and exposes
-// plain-text metrics. See internal/server for the API surface and
-// cmd/layoutctl for a client.
+// plain-text metrics. With -store-dir the content-addressed cache is
+// durable: completed layouts are written crash-safely to disk and
+// survive restarts; disk failures degrade the daemon to memory-only
+// (visible in /healthz and layoutd_store_state) instead of taking it
+// down. See internal/server for the API surface and cmd/layoutctl for
+// a client.
 //
 // Usage:
 //
 //	layoutd -addr 127.0.0.1:8080 -jobs 4 -queue 64
 //	layoutd -addr 127.0.0.1:0 -ready-file /tmp/layoutd.addr
+//	layoutd -store-dir /var/lib/layoutd -store-max-bytes 1073741824
+//	layoutd -store-dir /tmp/s -fault-spec 'write:every=1,err=ENOSPC'   # smoke-test degraded mode
 //
 // On SIGTERM/SIGINT the daemon stops accepting work and drains queued
-// and in-flight jobs, bounded by -drain-timeout.
+// and in-flight jobs, bounded by -drain-timeout; a drain that has to
+// abandon wedged work exits nonzero.
 package main
 
 import (
@@ -25,7 +32,9 @@ import (
 	"syscall"
 	"time"
 
+	"codelayout/internal/fault"
 	"codelayout/internal/server"
+	"codelayout/internal/store"
 )
 
 func main() {
@@ -41,7 +50,43 @@ func main() {
 	jobTTL := flag.Duration("job-ttl", server.DefaultJobTTL, "retention of completed-job status records")
 	maxJobs := flag.Int("max-jobs", server.DefaultMaxJobs, "tracked-job cap; oldest completed jobs evicted first")
 	readyFile := flag.String("ready-file", "", "write the bound address to this file once listening")
+	storeDir := flag.String("store-dir", "", "directory for the durable result store (empty = memory-only)")
+	storeMaxBytes := flag.Int64("store-max-bytes", store.DefaultMaxBytes, "LRU byte bound on the durable store")
+	storeQueue := flag.Int("store-queue", store.DefaultQueueDepth, "write-behind queue depth of the durable store")
+	faultSpec := flag.String("fault-spec", "", "DEBUG: inject store filesystem faults, e.g. 'write:every=1,err=ENOSPC' (requires -store-dir)")
 	flag.Parse()
+
+	var st *store.Store
+	if *storeDir != "" {
+		scfg := store.Config{
+			Dir:        *storeDir,
+			MaxBytes:   *storeMaxBytes,
+			QueueDepth: *storeQueue,
+			Logf:       log.Printf,
+		}
+		if *faultSpec != "" {
+			rules, err := fault.ParseSpec(*faultSpec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("DEBUG: store filesystem faults active: %s", *faultSpec)
+			scfg.FS = fault.NewInjector(fault.OS(), rules...)
+		}
+		var err error
+		st, err = store.Open(scfg)
+		if err != nil {
+			// A broken store directory must not take the service down:
+			// run memory-only, exactly like the degraded mode a runtime
+			// failure produces.
+			log.Printf("durable store disabled (running memory-only): %v", err)
+		} else {
+			stats := st.Stats()
+			log.Printf("durable store %s: %d blobs (%d bytes), %d quarantined",
+				*storeDir, stats.Blobs, stats.Bytes, stats.Quarantined)
+		}
+	} else if *faultSpec != "" {
+		log.Fatal("-fault-spec requires -store-dir")
+	}
 
 	if err := run(*addr, *readyFile, *drainTimeout, server.Config{
 		JobWorkers:    *jobs,
@@ -51,6 +96,7 @@ func main() {
 		MaxTraceBytes: *maxTrace,
 		JobTTL:        *jobTTL,
 		MaxJobs:       *maxJobs,
+		Store:         st,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -89,10 +135,10 @@ func run(addr, readyFile string, drainTimeout time.Duration, cfg server.Config) 
 		log.Printf("http shutdown: %v", err)
 	}
 	if err := s.Shutdown(drainCtx); err != nil {
-		log.Printf("drain incomplete: %v", err)
-	} else {
-		log.Printf("drained cleanly")
+		// Wedged workers were abandoned: surface it to the supervisor.
+		return err
 	}
+	log.Printf("drained cleanly")
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

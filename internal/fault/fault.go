@@ -1,0 +1,377 @@
+// Package fault provides deterministic fault injection for the
+// filesystem and clock dependencies of the durable layers
+// (internal/store). Production code talks to the FS and Clock
+// interfaces; tests (and layoutd's -fault-spec debug flag) wrap the
+// real implementations in an Injector that fails the Nth write with
+// ENOSPC, truncates a write mid-buffer, delays an op, or errors every
+// K-th sync — so recovery paths are provable instead of hoped-for.
+//
+// A fault spec is a semicolon-separated list of rules:
+//
+//	write:nth=3,err=ENOSPC        fail the 3rd write with ENOSPC
+//	sync:every=2,err=EIO          fail every 2nd fsync with EIO
+//	write:nth=1,partial           write half the buffer, then fail
+//	read:delay=50ms               sleep 50ms before every read
+//	rename:every=1,err=EIO        fail every rename
+//
+// Counters are per-op across the whole Injector, so a spec's behaviour
+// is a pure function of the call sequence — the same test run always
+// fails at the same byte.
+package fault
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// FS is the slice of filesystem surface the durable store needs.
+// fault.OS() is the real thing; NewInjector wraps any FS with faults.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	Create(name string) (File, error)
+	Open(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// File is the open-file surface: sequential read/write plus fsync.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// osFS is the passthrough FS.
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Create(name string) (File, error)             { return os.Create(name) }
+func (osFS) Open(name string) (File, error)               { return os.Open(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+
+// Op names an injectable filesystem operation.
+type Op string
+
+// The injectable operations.
+const (
+	OpMkdir   Op = "mkdir"
+	OpCreate  Op = "create"
+	OpOpen    Op = "open"
+	OpRead    Op = "read"
+	OpWrite   Op = "write"
+	OpSync    Op = "sync"
+	OpRename  Op = "rename"
+	OpRemove  Op = "remove"
+	OpReadDir Op = "readdir"
+	OpStat    Op = "stat"
+)
+
+var allOps = []Op{OpMkdir, OpCreate, OpOpen, OpRead, OpWrite, OpSync, OpRename, OpRemove, OpReadDir, OpStat}
+
+// Rule injects one fault. A rule matches when its Op's call counter
+// satisfies Nth (exactly the Nth call, 1-based) or Every (every K-th
+// call); with neither set it matches every call. A matching rule
+// sleeps Delay first, then fails with Err (Partial writes deliver half
+// the buffer before failing). A rule with Delay but no Err and no
+// Partial only slows the op down.
+type Rule struct {
+	Op      Op
+	Nth     int
+	Every   int
+	Err     error
+	Partial bool
+	Delay   time.Duration
+}
+
+func (r Rule) matches(count int) bool {
+	if r.Nth > 0 {
+		return count == r.Nth
+	}
+	if r.Every > 0 {
+		return count%r.Every == 0
+	}
+	return true
+}
+
+// errByName maps spec error names to errno values.
+var errByName = map[string]error{
+	"ENOSPC": syscall.ENOSPC,
+	"EIO":    syscall.EIO,
+	"EACCES": syscall.EACCES,
+	"EROFS":  syscall.EROFS,
+}
+
+// ParseSpec parses the -fault-spec string format documented in the
+// package comment.
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		opStr, paramStr, _ := strings.Cut(part, ":")
+		op := Op(strings.TrimSpace(opStr))
+		valid := false
+		for _, o := range allOps {
+			if o == op {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return nil, fmt.Errorf("fault: unknown op %q in rule %q", op, part)
+		}
+		r := Rule{Op: op}
+		for _, p := range strings.Split(paramStr, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			key, val, _ := strings.Cut(p, "=")
+			var err error
+			switch key {
+			case "nth":
+				r.Nth, err = strconv.Atoi(val)
+			case "every":
+				r.Every, err = strconv.Atoi(val)
+			case "err":
+				e, ok := errByName[val]
+				if !ok {
+					return nil, fmt.Errorf("fault: unknown error name %q in rule %q", val, part)
+				}
+				r.Err = e
+			case "partial":
+				r.Partial = true
+			case "delay":
+				r.Delay, err = time.ParseDuration(val)
+			default:
+				return nil, fmt.Errorf("fault: unknown parameter %q in rule %q", key, part)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad value for %s in rule %q: %w", key, part, err)
+			}
+		}
+		if r.Partial && r.Op != OpWrite {
+			return nil, fmt.Errorf("fault: partial only applies to write, not %s", r.Op)
+		}
+		if r.Err == nil && (r.Partial || r.Delay == 0) {
+			// Partial without an explicit error fails with ENOSPC (a
+			// short write is what a full disk produces); a rule with
+			// neither err, partial, nor delay would be a no-op.
+			if r.Partial {
+				r.Err = syscall.ENOSPC
+			} else if r.Delay == 0 {
+				return nil, fmt.Errorf("fault: rule %q injects nothing (need err, partial, or delay)", part)
+			}
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// Injector wraps an FS, applying fault rules deterministically.
+// SetRules replaces the rule set at any time (and resets no counters),
+// so a test can let writes succeed, then make the disk "fail", then
+// "repair" it — the store's circuit breaker is exercised end to end.
+type Injector struct {
+	fs FS
+
+	mu     sync.Mutex
+	rules  []Rule
+	counts map[Op]int
+}
+
+// NewInjector wraps fs with the given rules.
+func NewInjector(fs FS, rules ...Rule) *Injector {
+	return &Injector{fs: fs, rules: rules, counts: make(map[Op]int)}
+}
+
+// SetRules atomically replaces the active rules. Call counters keep
+// running, so nth= rules in a new set count from the injector's birth.
+func (i *Injector) SetRules(rules ...Rule) {
+	i.mu.Lock()
+	i.rules = rules
+	i.mu.Unlock()
+}
+
+// Counts returns a copy of the per-op call counters.
+func (i *Injector) Counts() map[Op]int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make(map[Op]int, len(i.counts))
+	for k, v := range i.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// check advances op's counter and returns the matched rule, if any.
+// The rule's Delay is slept here so slow-I/O injection covers every op.
+func (i *Injector) check(op Op) *Rule {
+	i.mu.Lock()
+	i.counts[op]++
+	n := i.counts[op]
+	var hit *Rule
+	for idx := range i.rules {
+		if i.rules[idx].Op == op && i.rules[idx].matches(n) {
+			hit = &i.rules[idx]
+			break
+		}
+	}
+	i.mu.Unlock()
+	if hit != nil && hit.Delay > 0 {
+		time.Sleep(hit.Delay)
+	}
+	if hit != nil && hit.Err == nil && !hit.Partial {
+		return nil // delay-only rule: slowed, not failed
+	}
+	return hit
+}
+
+func (i *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if r := i.check(OpMkdir); r != nil {
+		return &os.PathError{Op: "mkdir", Path: path, Err: r.Err}
+	}
+	return i.fs.MkdirAll(path, perm)
+}
+
+func (i *Injector) Create(name string) (File, error) {
+	if r := i.check(OpCreate); r != nil {
+		return nil, &os.PathError{Op: "create", Path: name, Err: r.Err}
+	}
+	f, err := i.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{inj: i, f: f, name: name}, nil
+}
+
+func (i *Injector) Open(name string) (File, error) {
+	if r := i.check(OpOpen); r != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: r.Err}
+	}
+	f, err := i.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{inj: i, f: f, name: name}, nil
+}
+
+func (i *Injector) Rename(oldpath, newpath string) error {
+	if r := i.check(OpRename); r != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: r.Err}
+	}
+	return i.fs.Rename(oldpath, newpath)
+}
+
+func (i *Injector) Remove(name string) error {
+	if r := i.check(OpRemove); r != nil {
+		return &os.PathError{Op: "remove", Path: name, Err: r.Err}
+	}
+	return i.fs.Remove(name)
+}
+
+func (i *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	if r := i.check(OpReadDir); r != nil {
+		return nil, &os.PathError{Op: "readdir", Path: name, Err: r.Err}
+	}
+	return i.fs.ReadDir(name)
+}
+
+func (i *Injector) Stat(name string) (fs.FileInfo, error) {
+	if r := i.check(OpStat); r != nil {
+		return nil, &os.PathError{Op: "stat", Path: name, Err: r.Err}
+	}
+	return i.fs.Stat(name)
+}
+
+// injectedFile applies read/write/sync rules to an open file.
+type injectedFile struct {
+	inj  *Injector
+	f    File
+	name string
+}
+
+func (f *injectedFile) Read(p []byte) (int, error) {
+	if r := f.inj.check(OpRead); r != nil {
+		return 0, &os.PathError{Op: "read", Path: f.name, Err: r.Err}
+	}
+	return f.f.Read(p)
+}
+
+func (f *injectedFile) Write(p []byte) (int, error) {
+	if r := f.inj.check(OpWrite); r != nil {
+		if r.Partial && len(p) > 1 {
+			// Deliver half the buffer before failing — the torn write a
+			// crash or full disk leaves behind.
+			n, err := f.f.Write(p[: len(p)/2 : len(p)/2])
+			if err != nil {
+				return n, err
+			}
+			return n, &os.PathError{Op: "write", Path: f.name, Err: r.Err}
+		}
+		return 0, &os.PathError{Op: "write", Path: f.name, Err: r.Err}
+	}
+	return f.f.Write(p)
+}
+
+func (f *injectedFile) Sync() error {
+	if r := f.inj.check(OpSync); r != nil {
+		return &os.PathError{Op: "sync", Path: f.name, Err: r.Err}
+	}
+	return f.f.Sync()
+}
+
+func (f *injectedFile) Close() error { return f.f.Close() }
+
+// Clock abstracts time for the store's circuit-breaker backoff, so
+// tests drive recovery deterministically instead of sleeping.
+type Clock interface {
+	Now() time.Time
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// SystemClock returns the real clock.
+func SystemClock() Clock { return systemClock{} }
+
+// FakeClock is a manually advanced Clock for tests.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock starts a fake clock at t0.
+func NewFakeClock(t0 time.Time) *FakeClock { return &FakeClock{t: t0} }
+
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}

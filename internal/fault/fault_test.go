@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec("write:nth=3,err=ENOSPC; sync:every=2,err=EIO; write:nth=1,partial; read:delay=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("parsed %d rules, want 4", len(rules))
+	}
+	if rules[0].Op != OpWrite || rules[0].Nth != 3 || !errors.Is(rules[0].Err, syscall.ENOSPC) {
+		t.Errorf("rule 0 = %+v", rules[0])
+	}
+	if rules[1].Op != OpSync || rules[1].Every != 2 || !errors.Is(rules[1].Err, syscall.EIO) {
+		t.Errorf("rule 1 = %+v", rules[1])
+	}
+	if !rules[2].Partial || !errors.Is(rules[2].Err, syscall.ENOSPC) {
+		t.Errorf("partial rule defaults to ENOSPC: %+v", rules[2])
+	}
+	if rules[3].Delay != 5*time.Millisecond || rules[3].Err != nil {
+		t.Errorf("delay rule = %+v", rules[3])
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"explode:nth=1,err=EIO",    // unknown op
+		"write:nth=1,err=EWHAT",    // unknown errno
+		"write:frobnicate=1",       // unknown param
+		"write:nth=x,err=EIO",      // bad int
+		"write:nth=1",              // injects nothing
+		"read:nth=1,partial",       // partial is write-only
+		"write:delay=notaduration", // bad duration
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("spec %q parsed without error", spec)
+		}
+	}
+}
+
+func TestInjectorNthWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS(), Rule{Op: OpWrite, Nth: 2, Err: syscall.ENOSPC})
+	f, err := inj.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("second")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write 2 err = %v, want ENOSPC", err)
+	}
+	if _, err := f.Write([]byte("third")); err != nil {
+		t.Fatalf("write 3: %v", err)
+	}
+	if got := inj.Counts()[OpWrite]; got != 3 {
+		t.Errorf("write count = %d, want 3", got)
+	}
+}
+
+func TestInjectorEverySync(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS(), Rule{Op: OpSync, Every: 2, Err: syscall.EIO})
+	f, err := inj.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 1; i <= 4; i++ {
+		err := f.Sync()
+		if i%2 == 0 && !errors.Is(err, syscall.EIO) {
+			t.Errorf("sync %d err = %v, want EIO", i, err)
+		}
+		if i%2 == 1 && err != nil {
+			t.Errorf("sync %d err = %v, want nil", i, err)
+		}
+	}
+}
+
+func TestInjectorPartialWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x")
+	inj := NewInjector(OS(), Rule{Op: OpWrite, Nth: 1, Partial: true, Err: syscall.ENOSPC})
+	f, err := inj.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789")
+	n, werr := f.Write(payload)
+	f.Close()
+	if !errors.Is(werr, syscall.ENOSPC) {
+		t.Fatalf("partial write err = %v, want ENOSPC", werr)
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("partial write n = %d, want %d", n, len(payload)/2)
+	}
+	// The torn bytes really are on disk — that's the point.
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("on-disk content %q, want the first half", got)
+	}
+}
+
+func TestInjectorSetRulesRepairsDisk(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS(), Rule{Op: OpCreate, Err: syscall.ENOSPC})
+	if _, err := inj.Create(filepath.Join(dir, "a")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("create with fault = %v, want ENOSPC", err)
+	}
+	inj.SetRules() // disk repaired
+	f, err := inj.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatalf("create after repair: %v", err)
+	}
+	f.Close()
+}
+
+func TestInjectorRenameAndReadDir(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS(), Rule{Op: OpRename, Every: 1, Err: syscall.EIO})
+	if err := os.WriteFile(filepath.Join(dir, "a"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("rename err = %v, want EIO", err)
+	}
+	ents, err := inj.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "a" {
+		t.Fatalf("ReadDir after failed rename = %v, %v", ents, err)
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	c := NewFakeClock(t0)
+	if !c.Now().Equal(t0) {
+		t.Fatal("fake clock did not start at t0")
+	}
+	c.Advance(time.Minute)
+	if got := c.Now().Sub(t0); got != time.Minute {
+		t.Fatalf("advanced %v, want 1m", got)
+	}
+}

@@ -2,8 +2,10 @@ package parallel
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Task is one unit of pool work. The context is the pool's lifetime
@@ -80,10 +82,17 @@ func (p *Pool) QueueDepth() int { return len(p.tasks) }
 // Running returns the number of tasks currently executing.
 func (p *Pool) Running() int { return int(p.running.Load()) }
 
+// AbandonGrace is how long Shutdown waits for in-flight tasks to
+// honor cancellation after its context expires, before it abandons
+// them. Variable so tests can tighten it.
+var AbandonGrace = 2 * time.Second
+
 // Shutdown stops accepting work, lets queued and in-flight tasks drain,
 // and returns once every worker has exited. If ctx expires first, the
 // pool context handed to tasks is cancelled (so cooperative tasks stop
-// early), the workers are still awaited, and ctx's error is returned.
+// early) and the workers get AbandonGrace to exit; a task that ignores
+// cancellation is then abandoned — Shutdown returns an error naming the
+// wedged workers instead of hanging the caller's SIGTERM path forever.
 // Shutdown is idempotent.
 func (p *Pool) Shutdown(ctx context.Context) error {
 	p.mu.Lock()
@@ -103,8 +112,13 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 		p.cancel()
 		return nil
 	case <-ctx.Done():
-		p.cancel() // ask in-flight tasks to stop
-		<-done
+	}
+	p.cancel() // ask in-flight tasks to stop
+	select {
+	case <-done:
 		return ctx.Err()
+	case <-time.After(AbandonGrace):
+		return fmt.Errorf("abandoning %d wedged worker(s) that ignored cancellation: %w",
+			p.Running(), ctx.Err())
 	}
 }

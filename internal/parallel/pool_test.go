@@ -2,6 +2,8 @@ package parallel
 
 import (
 	"context"
+	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -75,6 +77,46 @@ func TestPoolShutdownDrainsQueued(t *testing.T) {
 		if v != i {
 			t.Fatalf("single worker ran out of order: %v", order)
 		}
+	}
+}
+
+// TestPoolShutdownAbandonsWedgedWorker: a task that ignores
+// cancellation must not hang Shutdown forever — after the grace period
+// the pool abandons it and reports an error, so the daemon's SIGTERM
+// path can exit nonzero instead of wedging.
+func TestPoolShutdownAbandonsWedgedWorker(t *testing.T) {
+	oldGrace := AbandonGrace
+	AbandonGrace = 50 * time.Millisecond
+	t.Cleanup(func() { AbandonGrace = oldGrace })
+
+	p := NewPool(1, 1)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) }) // unwedge the leaked worker at test end
+	ok := p.TrySubmit(func(ctx context.Context) {
+		close(entered)
+		<-release // wedged: never observes ctx
+	})
+	if !ok {
+		t.Fatal("submit rejected")
+	}
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := p.Shutdown(ctx)
+	if err == nil {
+		t.Fatal("Shutdown of a wedged pool returned nil")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown error %v does not wrap the deadline", err)
+	}
+	if !strings.Contains(err.Error(), "abandoning") {
+		t.Fatalf("Shutdown error %q does not name the abandonment", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Shutdown took %s; the bound did not hold", elapsed)
 	}
 }
 

@@ -3,8 +3,11 @@ package server
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sync"
+
+	"codelayout/internal/store"
 )
 
 // resultCache is the content-addressed result store: a completed
@@ -13,13 +16,20 @@ import (
 // the request parameters — so resubmitting the same profile is served
 // without recomputation and `GET /v1/layouts/{digest}` is a stable
 // address for a layout.
+//
+// It is two-tiered: the in-memory map is the fast tier, and an
+// optional persistent store (internal/store) is the durable tier. Puts
+// land in memory synchronously and spill to disk behind the request
+// path; a memory miss falls through to disk and repopulates memory, so
+// layouts computed before a restart keep being served.
 type resultCache struct {
 	mu      sync.RWMutex
 	results map[string]*Result
+	disk    *store.Store // nil: memory-only
 }
 
-func newResultCache() *resultCache {
-	return &resultCache{results: make(map[string]*Result)}
+func newResultCache(disk *store.Store) *resultCache {
+	return &resultCache{results: make(map[string]*Result), disk: disk}
 }
 
 // resultDigest derives the cache key. The fields are length-prefixed by
@@ -32,19 +42,42 @@ func resultDigest(traceDigest, prog, optimizer string, pruneTopN int) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// get returns the cached result for the digest, if present.
+// get returns the cached result for the digest, if present, consulting
+// the durable tier on a memory miss.
 func (c *resultCache) get(digest string) (*Result, bool) {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
 	r, ok := c.results[digest]
-	return r, ok
+	c.mu.RUnlock()
+	if ok || c.disk == nil {
+		return r, ok
+	}
+	data, ok := c.disk.Get(digest)
+	if !ok {
+		return nil, false
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil || res.Digest != digest {
+		// A verified blob that doesn't decode to its own digest is a
+		// format drift or foreign file, not corruption; ignore it.
+		return nil, false
+	}
+	c.mu.Lock()
+	c.results[digest] = &res
+	c.mu.Unlock()
+	return &res, true
 }
 
-// put stores a completed result under its digest.
+// put stores a completed result under its digest in both tiers. The
+// durable write is write-behind: it never blocks the job path.
 func (c *resultCache) put(r *Result) {
 	c.mu.Lock()
 	c.results[r.Digest] = r
 	c.mu.Unlock()
+	if c.disk != nil {
+		if data, err := json.Marshal(r); err == nil {
+			c.disk.Put(r.Digest, data)
+		}
+	}
 }
 
 // len returns the number of cached layouts.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -32,12 +33,15 @@ type Result struct {
 	ElapsedMS float64 `json:"elapsedMS"`
 }
 
-// Job states, in lifecycle order.
+// Job states, in lifecycle order. Canceled is reachable only from
+// Queued (via DELETE /v1/jobs/{id}); a running job is past the point
+// of no return.
 const (
-	StatusQueued  = "queued"
-	StatusRunning = "running"
-	StatusDone    = "done"
-	StatusFailed  = "failed"
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
 )
 
 // jobRequest carries everything a worker needs to run one job. The
@@ -52,6 +56,10 @@ type jobRequest struct {
 	traceDigest string
 	digest      string
 	deadline    time.Time
+	// ctx is the job's own lifetime context; DELETE /v1/jobs/{id}
+	// cancels it so the pipeline stops even if the job slipped into
+	// running between the status check and the cancel.
+	ctx context.Context
 }
 
 // Job is one submission's mutable state. All fields behind mu; the
@@ -67,6 +75,9 @@ type Job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	// cancel tears down the job's context (jobRequest.ctx); set for
+	// every queued job, called by DELETE and by job completion.
+	cancel func()
 }
 
 // jobView is the wire representation of a job.
@@ -92,11 +103,45 @@ func (j *Job) view() jobView {
 	}
 }
 
-func (j *Job) setRunning() {
+// tryStart moves a queued job to running; it reports false when the
+// job was canceled while waiting in the pool queue, in which case the
+// worker must skip it.
+func (j *Job) tryStart() bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
 	j.status = StatusRunning
 	j.started = time.Now()
+	return true
+}
+
+// cancelQueued moves a queued job to canceled and fires its context.
+// It reports false — without changing anything — when the job already
+// started or finished (the DELETE handler's 409).
+func (j *Job) cancelQueued(now time.Time) bool {
+	j.mu.Lock()
+	if j.status != StatusQueued {
+		j.mu.Unlock()
+		return false
+	}
+	j.status = StatusCanceled
+	j.err = "canceled before running"
+	j.finished = now
+	cancel := j.cancel
 	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// statusNow returns the current status string.
+func (j *Job) statusNow() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
 }
 
 func (j *Job) complete(r *Result) {
@@ -104,7 +149,11 @@ func (j *Job) complete(r *Result) {
 	j.status = StatusDone
 	j.result = r
 	j.finished = time.Now()
+	cancel := j.cancel
 	j.mu.Unlock()
+	if cancel != nil {
+		cancel() // release the job context's resources
+	}
 }
 
 func (j *Job) fail(err error) {
@@ -112,22 +161,26 @@ func (j *Job) fail(err error) {
 	j.status = StatusFailed
 	j.err = err.Error()
 	j.finished = time.Now()
+	cancel := j.cancel
 	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
 }
 
 // done reports whether the job reached a terminal state.
 func (j *Job) done() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.status == StatusDone || j.status == StatusFailed
+	return j.status == StatusDone || j.status == StatusFailed || j.status == StatusCanceled
 }
 
-// terminal returns the completion time of a done or failed job; ok is
-// false while the job is still queued or running.
+// terminal returns the completion time of a done, failed, or canceled
+// job; ok is false while the job is still queued or running.
 func (j *Job) terminal() (fin time.Time, ok bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.status == StatusDone || j.status == StatusFailed {
+	if j.status == StatusDone || j.status == StatusFailed || j.status == StatusCanceled {
 		return j.finished, true
 	}
 	return time.Time{}, false

@@ -18,6 +18,7 @@ type metrics struct {
 	completed int64
 	failed    int64
 	rejected  int64
+	canceled  int64
 	cacheHits int64
 	latency   map[string]*histogram
 }
@@ -39,6 +40,7 @@ func (m *metrics) incAccepted()  { m.mu.Lock(); m.accepted++; m.mu.Unlock() }
 func (m *metrics) incCompleted() { m.mu.Lock(); m.completed++; m.mu.Unlock() }
 func (m *metrics) incFailed()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }
 func (m *metrics) incRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *metrics) incCanceled()  { m.mu.Lock(); m.canceled++; m.mu.Unlock() }
 func (m *metrics) incCacheHit()  { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
 
 // observeLatency records one completed optimization of the named
@@ -63,23 +65,59 @@ func (m *metrics) observeLatency(optimizer string, d time.Duration) {
 	h.counts[len(latencyBucketsMS)]++
 }
 
-// render writes the exposition text. queueDepth, running and
-// jobsTracked are read live by the caller.
-func (m *metrics) render(queueDepth, running, jobsTracked int) string {
+// storeView is the snapshot of the durable tier render needs; nil
+// means the daemon runs memory-only and the store metric family is
+// omitted.
+type storeView struct {
+	ok          bool // breaker closed (disk trusted)
+	blobs       int
+	bytes       int64
+	hits        int64
+	writes      int64
+	writeErrors int64
+	dropped     int64
+	evictions   int64
+	quarantined int64
+	recoveries  int64
+}
+
+// render writes the exposition text. queueDepth, running, jobsTracked
+// and sv are read live by the caller.
+func (m *metrics) render(queueDepth, running, jobsTracked int, sv *storeView) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var b strings.Builder
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
 	counter("layoutd_jobs_accepted_total", "Jobs accepted into the queue.", m.accepted)
 	counter("layoutd_jobs_completed_total", "Jobs that produced a layout.", m.completed)
 	counter("layoutd_jobs_failed_total", "Jobs that errored.", m.failed)
 	counter("layoutd_jobs_rejected_total", "Submissions rejected with 429 (queue full).", m.rejected)
+	counter("layoutd_jobs_canceled_total", "Queued jobs canceled via DELETE /v1/jobs/{id}.", m.canceled)
 	counter("layoutd_cache_hits_total", "Submissions served from the content-addressed cache.", m.cacheHits)
-	fmt.Fprintf(&b, "# HELP layoutd_queue_depth Jobs accepted but not yet running.\n# TYPE layoutd_queue_depth gauge\nlayoutd_queue_depth %d\n", queueDepth)
-	fmt.Fprintf(&b, "# HELP layoutd_jobs_running Jobs currently optimizing.\n# TYPE layoutd_jobs_running gauge\nlayoutd_jobs_running %d\n", running)
-	fmt.Fprintf(&b, "# HELP layoutd_jobs_tracked Job-status records held (bounded by retention).\n# TYPE layoutd_jobs_tracked gauge\nlayoutd_jobs_tracked %d\n", jobsTracked)
+	gauge("layoutd_queue_depth", "Jobs accepted but not yet running.", int64(queueDepth))
+	gauge("layoutd_jobs_running", "Jobs currently optimizing.", int64(running))
+	gauge("layoutd_jobs_tracked", "Job-status records held (bounded by retention).", int64(jobsTracked))
+	if sv != nil {
+		state := int64(0)
+		if sv.ok {
+			state = 1
+		}
+		gauge("layoutd_store_state", "Durable store state: 1 = ok, 0 = degraded (memory-only).", state)
+		gauge("layoutd_store_blobs", "Layout blobs held on disk.", int64(sv.blobs))
+		gauge("layoutd_store_bytes", "Payload bytes held on disk (LRU-bounded).", sv.bytes)
+		counter("layoutd_store_hits_total", "Cache lookups served from the on-disk store.", sv.hits)
+		counter("layoutd_store_writes_total", "Blobs durably written.", sv.writes)
+		counter("layoutd_store_write_errors_total", "Failed blob writes (each trips the breaker).", sv.writeErrors)
+		counter("layoutd_store_dropped_writes_total", "Writes dropped (queue full or store degraded).", sv.dropped)
+		counter("layoutd_store_evictions_total", "Blobs evicted by the byte bound.", sv.evictions)
+		counter("layoutd_store_quarantined_total", "Blobs quarantined as truncated or corrupt.", sv.quarantined)
+		counter("layoutd_store_recoveries_total", "Degraded-to-ok breaker transitions.", sv.recoveries)
+	}
 
 	names := make([]string, 0, len(m.latency))
 	for n := range m.latency {

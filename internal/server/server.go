@@ -43,6 +43,7 @@ import (
 	"codelayout/internal/layout"
 	"codelayout/internal/parallel"
 	"codelayout/internal/stats"
+	"codelayout/internal/store"
 	"codelayout/internal/trace"
 )
 
@@ -70,6 +71,10 @@ type Config struct {
 	// terminal jobs are evicted first. 0 means DefaultMaxJobs. Queued and
 	// running jobs are never evicted.
 	MaxJobs int
+	// Store is the optional durable result tier (internal/store). The
+	// server takes ownership: Shutdown drains its write-behind queue and
+	// closes it. Nil means the cache is memory-only.
+	Store *store.Store
 }
 
 // Defaults for zero Config fields.
@@ -87,6 +92,7 @@ type Server struct {
 	cfg     Config
 	pool    *parallel.Pool
 	cache   *resultCache
+	disk    *store.Store // nil: memory-only
 	metrics *metrics
 	mux     *http.ServeMux
 
@@ -138,7 +144,8 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		pool:    parallel.NewPool(cfg.JobWorkers, cfg.QueueDepth),
-		cache:   newResultCache(),
+		cache:   newResultCache(cfg.Store),
+		disk:    cfg.Store,
 		metrics: newMetrics(),
 		jobs:    make(map[string]*Job),
 		progs:   make(map[string]*progEntry),
@@ -148,6 +155,7 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/layouts/{digest}", s.handleLayout)
 	mux.HandleFunc("GET /v1/optimizers", s.handleOptimizers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -159,15 +167,30 @@ func New(cfg Config) *Server {
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Shutdown stops accepting jobs and drains queued and in-flight work,
-// bounded by ctx (the -drain-timeout flag in cmd/layoutd). Submissions
-// arriving after Shutdown get 429.
+// Shutdown stops accepting jobs, drains queued and in-flight work
+// bounded by ctx (the -drain-timeout flag in cmd/layoutd), then drains
+// and closes the durable store so completed results hit the disk.
+// Submissions arriving after Shutdown get 429. A non-nil error means
+// the drain abandoned wedged work and the process should exit nonzero.
 func (s *Server) Shutdown(ctx context.Context) error {
-	return s.pool.Shutdown(ctx)
+	err := s.pool.Shutdown(ctx)
+	if s.disk != nil {
+		s.disk.Close()
+	}
+	return err
 }
 
 // CacheLen reports the number of cached layouts (for tests and logs).
 func (s *Server) CacheLen() int { return s.cache.len() }
+
+// StoreState reports the durable tier's breaker state; ok-and-false
+// when the server runs memory-only.
+func (s *Server) StoreState() (store.State, bool) {
+	if s.disk == nil {
+		return store.StateOK, false
+	}
+	return s.disk.State(), true
+}
 
 // ---- submission ----
 
@@ -244,12 +267,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		deadline:    time.Now().Add(s.cfg.JobTimeout),
 	}
 	req.digest = resultDigest(req.traceDigest, progName, optName, pruneTopN)
+	jobCtx, jobCancel := context.WithCancel(context.Background())
+	req.ctx = jobCtx
 
 	j := &Job{
 		id:      fmt.Sprintf("job-%d", s.nextID.Add(1)),
 		status:  StatusQueued,
 		digest:  req.digest,
 		created: time.Now(),
+		cancel:  jobCancel,
 	}
 
 	// Content-addressed fast path: an identical (trace, optimizer,
@@ -270,6 +296,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 	if !accepted {
 		s.dropJob(j.id)
+		jobCancel()
 		s.metrics.incRejected()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, errors.New("job queue full"))
@@ -342,17 +369,25 @@ func badBodyStatus(err error) int {
 
 // ---- job execution ----
 
-// runJob is the pool task: honor the job deadline (queue wait counts),
-// run the optimization, publish the result to the cache.
+// runJob is the pool task: honor the job deadline (queue wait counts)
+// and the job's own context (DELETE cancellation), run the
+// optimization, publish the result to the cache.
 func (s *Server) runJob(poolCtx context.Context, j *Job, req *jobRequest) {
 	ctx, cancel := context.WithDeadline(poolCtx, req.deadline)
 	defer cancel()
+	// Propagate a DELETE arriving after the job started into the
+	// pipeline context.
+	stop := context.AfterFunc(req.ctx, cancel)
+	defer stop()
 	if err := ctx.Err(); err != nil {
 		j.fail(fmt.Errorf("job expired before running: %w", err))
 		s.metrics.incFailed()
 		return
 	}
-	j.setRunning()
+	if !j.tryStart() {
+		// Canceled while queued: the DELETE handler already counted it.
+		return
+	}
 	start := time.Now()
 	res, err := s.optimize(ctx, req)
 	if err != nil {
@@ -415,6 +450,28 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.view())
 }
 
+// handleCancel is DELETE /v1/jobs/{id}: cancel a still-queued job.
+// Unknown IDs get 404; jobs that already started, finished, or were
+// previously canceled get 409 — a running optimization is not torn
+// down mid-flight, and a completed result is immutable.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	if !j.cancelQueued(s.now()) {
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("job %s is %s; only queued jobs can be canceled", id, j.statusNow()))
+		return
+	}
+	s.metrics.incCanceled()
+	writeJSON(w, http.StatusOK, j.view())
+}
+
 func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
 	digest := r.PathValue("digest")
 	res, ok := s.cache.get(digest)
@@ -429,14 +486,39 @@ func (s *Server) handleOptimizers(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"optimizers": core.OptimizerNames()})
 }
 
+// handleHealthz reports liveness, and — when the durable store's
+// circuit breaker is open — "degraded": the daemon is serving from
+// memory only and new results are not being persisted. Both states are
+// 200: a degraded layoutd is alive and should not be restarted by an
+// orchestrator.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.disk != nil && s.disk.State() == store.StateDegraded {
+		io.WriteString(w, "degraded\n")
+		return
+	}
 	io.WriteString(w, "ok\n")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	io.WriteString(w, s.metrics.render(s.pool.QueueDepth(), s.pool.Running(), s.JobsTracked()))
+	var sv *storeView
+	if s.disk != nil {
+		st := s.disk.Stats()
+		sv = &storeView{
+			ok:          st.State == store.StateOK,
+			blobs:       st.Blobs,
+			bytes:       st.Bytes,
+			hits:        st.Hits,
+			writes:      st.Writes,
+			writeErrors: st.WriteErrors,
+			dropped:     st.Dropped,
+			evictions:   st.Evictions,
+			quarantined: st.Quarantined,
+			recoveries:  st.Recoveries,
+		}
+	}
+	io.WriteString(w, s.metrics.render(s.pool.QueueDepth(), s.pool.Running(), s.JobsTracked(), sv))
 }
 
 // ---- helpers ----

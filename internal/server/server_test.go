@@ -121,7 +121,7 @@ func waitJob(t *testing.T, ts *httptest.Server, id string) jobView {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if v.Status == StatusDone || v.Status == StatusFailed {
+		if v.Status == StatusDone || v.Status == StatusFailed || v.Status == StatusCanceled {
 			return v
 		}
 		time.Sleep(10 * time.Millisecond)
@@ -499,7 +499,7 @@ func TestMetricsHistogram(t *testing.T) {
 	m.observeLatency("func-trg", 3*time.Millisecond)
 	m.observeLatency("func-trg", 30*time.Millisecond)
 	m.observeLatency("func-trg", time.Minute)
-	out := m.render(0, 0, 0)
+	out := m.render(0, 0, 0, nil)
 	for _, want := range []string{
 		`layoutd_optimize_latency_ms_bucket{optimizer="func-trg",le="5"} 1`,
 		`layoutd_optimize_latency_ms_bucket{optimizer="func-trg",le="50"} 2`,

@@ -1,0 +1,551 @@
+// Package store is layoutd's persistent content-addressed result
+// store: one blob file per completed layout, keyed by the result
+// digest, so a daemon restart serves previously computed layouts from
+// disk instead of recomputing them. Footprint theory makes a layout a
+// pure function of (trace digest, optimizer, params), which is what
+// makes the blobs immutable and cacheable forever.
+//
+// Durability model:
+//
+//   - Writes are crash-safe: blob bytes go to a .tmp file in the store
+//     directory, are fsynced, and are renamed into place atomically, so
+//     a crash leaves either the complete blob or junk that recovery
+//     discards — never a live half-written blob.
+//   - Every blob carries a header and a SHA-256 checksum of its
+//     payload. The startup scan verifies both and quarantines anything
+//     truncated or corrupt into quarantine/ (and deletes stray .tmp
+//     files), so one bad sector cannot poison the cache.
+//   - Writes are write-behind: Put enqueues and returns immediately;
+//     a background writer owns all disk mutation. The request path
+//     never blocks on the disk, and a full queue drops the write (the
+//     result still lives in the in-memory tier) rather than stalling.
+//   - A disk-failure circuit breaker: any write failure trips the
+//     store to degraded (memory-only) mode. While degraded the store
+//     skips disk work and fast-fails reads; it re-probes with the next
+//     queued write after an exponentially backed-off interval and
+//     closes the circuit on the first success.
+//   - An LRU byte bound: Get refreshes recency; inserts past MaxBytes
+//     evict the least-recently-used blobs from disk.
+package store
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"log"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"codelayout/internal/fault"
+)
+
+// Blob container framing: magic | version | payload len (u64 LE) |
+// payload | SHA-256(payload).
+const (
+	blobMagic   = "CLSB"
+	blobVersion = 1
+	blobSuffix  = ".blob"
+	tmpSuffix   = ".tmp"
+	headerLen   = len(blobMagic) + 1 + 8
+	sumLen      = sha256.Size
+)
+
+// quarantineDir holds blobs that failed verification, kept for
+// post-mortems instead of deleted.
+const quarantineDir = "quarantine"
+
+// Defaults for zero Config fields.
+const (
+	DefaultMaxBytes     = 1 << 30
+	DefaultQueueDepth   = 256
+	DefaultProbeBackoff = time.Second
+	DefaultMaxBackoff   = time.Minute
+)
+
+// State is the circuit-breaker position.
+type State int32
+
+const (
+	// StateOK: the disk is trusted; reads and writes go through.
+	StateOK State = iota
+	// StateDegraded: a write failed; the store is memory-only until a
+	// probe write succeeds.
+	StateDegraded
+)
+
+func (s State) String() string {
+	if s == StateDegraded {
+		return "degraded"
+	}
+	return "ok"
+}
+
+// Config sizes and wires a Store.
+type Config struct {
+	// Dir is the blob directory; created if missing. Required.
+	Dir string
+	// MaxBytes is the LRU bound on total payload bytes; 0 means
+	// DefaultMaxBytes.
+	MaxBytes int64
+	// QueueDepth bounds the write-behind queue; 0 means
+	// DefaultQueueDepth. A full queue drops writes (counted).
+	QueueDepth int
+	// ProbeBackoff is the initial wait before re-probing a failed disk;
+	// it doubles per consecutive failure up to MaxBackoff. Zeros mean
+	// DefaultProbeBackoff / DefaultMaxBackoff.
+	ProbeBackoff time.Duration
+	MaxBackoff   time.Duration
+	// FS is the filesystem; nil means fault.OS(). Tests inject faults
+	// here.
+	FS fault.FS
+	// Clock drives breaker timing; nil means fault.SystemClock().
+	Clock fault.Clock
+	// Logf receives recovery and breaker transitions; nil means
+	// log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	State       State
+	Blobs       int
+	Bytes       int64
+	Hits        int64 // Get served from disk
+	Misses      int64 // Get found nothing (or store degraded)
+	Writes      int64 // blobs durably written
+	WriteErrors int64 // failed write attempts (each trips the breaker)
+	Dropped     int64 // Puts dropped: full queue, or degraded pre-probe
+	Evictions   int64 // blobs evicted by the LRU byte bound
+	Quarantined int64 // blobs quarantined (startup scan or failed Get)
+	Recoveries  int64 // degraded→ok transitions
+}
+
+type entry struct {
+	key  string
+	size int64
+	elem *list.Element
+}
+
+type writeReq struct {
+	key   string
+	data  []byte
+	flush chan struct{} // non-nil: a Flush barrier, not a write
+}
+
+// Store is the persistent tier. Open it, Put/Get concurrently, Close
+// it to drain the write-behind queue.
+type Store struct {
+	cfg   Config
+	fs    fault.FS
+	clock fault.Clock
+	logf  func(format string, args ...any)
+
+	mu         sync.Mutex
+	index      map[string]*entry
+	lru        *list.List // front = most recently used
+	totalBytes int64
+	closed     bool
+	state      State
+	probeAt    time.Time     // earliest next disk attempt while degraded
+	backoff    time.Duration // next backoff step
+	stats      Stats
+
+	queue chan writeReq
+	wg    sync.WaitGroup
+}
+
+// Open scans dir, recovers the index from the surviving blobs, and
+// starts the write-behind goroutine. Truncated or corrupt blobs are
+// moved to dir/quarantine; stray temp files are deleted.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("store: Config.Dir is required")
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.ProbeBackoff <= 0 {
+		cfg.ProbeBackoff = DefaultProbeBackoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	if cfg.FS == nil {
+		cfg.FS = fault.OS()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = fault.SystemClock()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	s := &Store{
+		cfg:     cfg,
+		fs:      cfg.FS,
+		clock:   cfg.Clock,
+		logf:    cfg.Logf,
+		index:   make(map[string]*entry),
+		lru:     list.New(),
+		backoff: cfg.ProbeBackoff,
+		queue:   make(chan writeReq, cfg.QueueDepth),
+	}
+	if err := s.fs.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", cfg.Dir, err)
+	}
+	if err := s.fs.MkdirAll(filepath.Join(cfg.Dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating quarantine dir: %w", err)
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	s.wg.Add(1)
+	go s.writer()
+	return s, nil
+}
+
+// scan rebuilds the index from disk, quarantining anything that fails
+// verification. Entries are aged by file order (ReadDir sorts by
+// name), which is deterministic; precise recency doesn't survive a
+// restart and doesn't need to.
+func (s *Store) scan() error {
+	ents, err := s.fs.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("store: scanning %s: %w", s.cfg.Dir, err)
+	}
+	for _, de := range ents {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		path := filepath.Join(s.cfg.Dir, name)
+		if strings.HasSuffix(name, tmpSuffix) {
+			// A crash mid-write: the rename never happened, so the
+			// temp file is junk by construction.
+			if err := s.fs.Remove(path); err == nil {
+				s.logf("store: removed stray temp file %s", name)
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, blobSuffix) {
+			continue
+		}
+		key := strings.TrimSuffix(name, blobSuffix)
+		payload, err := s.readBlob(path)
+		if err != nil {
+			s.quarantine(path, name, err)
+			continue
+		}
+		e := &entry{key: key, size: int64(len(payload))}
+		e.elem = s.lru.PushBack(e)
+		s.index[key] = e
+		s.totalBytes += e.size
+	}
+	s.enforceBoundLocked()
+	return nil
+}
+
+// quarantine moves a bad blob aside (or deletes it if the move fails)
+// and counts it. Caller need not hold mu during startup; at runtime
+// Get holds mu.
+func (s *Store) quarantine(path, name string, cause error) {
+	s.stats.Quarantined++
+	dst := filepath.Join(s.cfg.Dir, quarantineDir, name)
+	if err := s.fs.Rename(path, dst); err != nil {
+		_ = s.fs.Remove(path)
+		s.logf("store: quarantining %s: %v (rename failed: %v; removed)", name, cause, err)
+		return
+	}
+	s.logf("store: quarantined %s: %v", name, cause)
+}
+
+// readBlob reads and verifies one blob file, returning its payload.
+func (s *Store) readBlob(path string) ([]byte, error) {
+	f, err := s.fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < headerLen+sumLen {
+		return nil, fmt.Errorf("truncated blob: %d bytes", len(raw))
+	}
+	if string(raw[:len(blobMagic)]) != blobMagic {
+		return nil, fmt.Errorf("bad magic %q", raw[:len(blobMagic)])
+	}
+	if raw[len(blobMagic)] != blobVersion {
+		return nil, fmt.Errorf("unsupported blob version %d", raw[len(blobMagic)])
+	}
+	n := binary.LittleEndian.Uint64(raw[len(blobMagic)+1 : headerLen])
+	if int64(n) != int64(len(raw)-headerLen-sumLen) {
+		return nil, fmt.Errorf("length mismatch: header says %d, file holds %d", n, len(raw)-headerLen-sumLen)
+	}
+	payload := raw[headerLen : headerLen+int(n)]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], raw[headerLen+int(n):]) {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	return payload, nil
+}
+
+// Get returns the payload stored under key and refreshes its recency.
+// While degraded, Get fast-fails: the disk is not trusted until a
+// probe write succeeds.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[key]
+	if !ok || s.state == StateDegraded {
+		s.stats.Misses++
+		return nil, false
+	}
+	payload, err := s.readBlob(s.blobPath(key))
+	if err != nil {
+		// The blob rotted under us: quarantine it and miss.
+		s.dropLocked(e)
+		s.quarantine(s.blobPath(key), key+blobSuffix, err)
+		s.stats.Misses++
+		return nil, false
+	}
+	s.lru.MoveToFront(e.elem)
+	s.stats.Hits++
+	return payload, true
+}
+
+// Has reports whether key is indexed (without touching the disk or
+// recency).
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Put schedules data to be persisted under key. It never blocks: the
+// write happens behind the request path, and a full queue or an
+// untrusted disk drops the write instead of stalling the caller.
+func (s *Store) Put(key string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if _, ok := s.index[key]; ok {
+		return // content-addressed: already durable
+	}
+	select {
+	case s.queue <- writeReq{key: key, data: data}:
+	default:
+		s.stats.Dropped++
+	}
+}
+
+// Flush blocks until every write queued before it has been attempted.
+// Tests and Close use it to make the write-behind queue deterministic.
+func (s *Store) Flush() {
+	ch := make(chan struct{})
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		select {
+		case s.queue <- writeReq{flush: ch}:
+			s.mu.Unlock()
+			<-ch
+			return
+		default:
+			// Queue full of real writes: let the writer drain a slot,
+			// then enqueue the barrier after them.
+		}
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close drains the write-behind queue (bounded by ctx via the caller's
+// patience — each queued write is attempted once) and stops the
+// writer. Puts after Close are ignored.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// State returns the breaker position.
+func (s *Store) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.State = s.state
+	st.Blobs = len(s.index)
+	st.Bytes = s.totalBytes
+	return st
+}
+
+// Len returns the number of durable blobs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// ---- write-behind ----
+
+// writer owns all disk mutation: it serializes blob writes, applies
+// the circuit breaker, and enforces the LRU bound after each insert.
+func (s *Store) writer() {
+	defer s.wg.Done()
+	for req := range s.queue {
+		if req.flush != nil {
+			close(req.flush)
+			continue
+		}
+		s.mu.Lock()
+		if _, ok := s.index[req.key]; ok {
+			s.mu.Unlock()
+			continue
+		}
+		if s.state == StateDegraded && s.clock.Now().Before(s.probeAt) {
+			// Disk untrusted and it's not probe time: drop, keep serving
+			// from memory.
+			s.stats.Dropped++
+			s.mu.Unlock()
+			continue
+		}
+		probing := s.state == StateDegraded
+		err := s.writeBlob(req.key, req.data)
+		if err != nil {
+			s.tripLocked(err)
+			s.mu.Unlock()
+			continue
+		}
+		if probing {
+			s.state = StateOK
+			s.backoff = s.cfg.ProbeBackoff
+			s.stats.Recoveries++
+			s.logf("store: disk recovered; leaving degraded mode")
+		}
+		e := &entry{key: req.key, size: int64(len(req.data))}
+		e.elem = s.lru.PushFront(e)
+		s.index[req.key] = e
+		s.totalBytes += e.size
+		s.stats.Writes++
+		s.enforceBoundLocked()
+		s.mu.Unlock()
+	}
+}
+
+// tripLocked opens the circuit: the store goes memory-only and the
+// next probe is scheduled with exponential backoff.
+func (s *Store) tripLocked(cause error) {
+	s.stats.WriteErrors++
+	s.probeAt = s.clock.Now().Add(s.backoff)
+	wasOK := s.state == StateOK
+	s.state = StateDegraded
+	if wasOK {
+		s.logf("store: write failed (%v); degrading to memory-only, next probe in %s", cause, s.backoff)
+	} else {
+		s.logf("store: probe failed (%v); next probe in %s", cause, s.backoff)
+	}
+	s.backoff *= 2
+	if s.backoff > s.cfg.MaxBackoff {
+		s.backoff = s.cfg.MaxBackoff
+	}
+}
+
+// writeBlob persists one blob crash-safely: temp file, fsync, atomic
+// rename, best-effort directory fsync.
+func (s *Store) writeBlob(key string, payload []byte) error {
+	tmp := s.blobPath(key) + tmpSuffix
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:], blobMagic)
+	hdr[len(blobMagic)] = blobVersion
+	binary.LittleEndian.PutUint64(hdr[len(blobMagic)+1:], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	err = writeAll(f, hdr[:], payload, sum[:])
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = s.fs.Remove(tmp)
+		return err
+	}
+	if err := s.fs.Rename(tmp, s.blobPath(key)); err != nil {
+		_ = s.fs.Remove(tmp)
+		return err
+	}
+	// fsync the directory so the rename itself is durable; best-effort
+	// (not all FS implementations allow it).
+	if d, err := s.fs.Open(s.cfg.Dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+func writeAll(w io.Writer, bufs ...[]byte) error {
+	for _, b := range bufs {
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// enforceBoundLocked evicts least-recently-used blobs until the store
+// fits MaxBytes. The newest blob always survives, even if it alone
+// exceeds the bound.
+func (s *Store) enforceBoundLocked() {
+	for s.totalBytes > s.cfg.MaxBytes && s.lru.Len() > 1 {
+		back := s.lru.Back()
+		e := back.Value.(*entry)
+		s.dropLocked(e)
+		if err := s.fs.Remove(s.blobPath(e.key)); err != nil {
+			s.logf("store: evicting %s: %v", e.key, err)
+		}
+		s.stats.Evictions++
+	}
+}
+
+// dropLocked removes e from the index and LRU (not from disk).
+func (s *Store) dropLocked(e *entry) {
+	s.lru.Remove(e.elem)
+	delete(s.index, e.key)
+	s.totalBytes -= e.size
+}
+
+func (s *Store) blobPath(key string) string {
+	return filepath.Join(s.cfg.Dir, key+blobSuffix)
+}

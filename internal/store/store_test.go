@@ -1,0 +1,374 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"codelayout/internal/fault"
+)
+
+// testLogf silences store logs unless the test fails.
+func testLogf(t *testing.T) func(string, ...any) {
+	return func(format string, args ...any) { t.Logf(format, args...) }
+}
+
+func openStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = testLogf(t)
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, Config{Dir: dir})
+	payload := []byte(`{"digest":"abc","report":[1,2,3]}`)
+	s.Put("abc", payload)
+	s.Flush()
+	got, ok := s.Get("abc")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("Get of unknown key succeeded")
+	}
+	st := s.Stats()
+	if st.Writes != 1 || st.Hits != 1 || st.Misses != 1 || st.Blobs != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Bytes != int64(len(payload)) {
+		t.Errorf("bytes = %d, want %d", st.Bytes, len(payload))
+	}
+}
+
+func TestSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, Config{Dir: dir})
+	payload := []byte("the layout that must not be recomputed")
+	s.Put("k", payload)
+	s.Flush()
+	s.Close()
+
+	s2 := openStore(t, Config{Dir: dir})
+	got, ok := s2.Get("k")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("after restart Get = %q, %v", got, ok)
+	}
+	if s2.Stats().Quarantined != 0 {
+		t.Errorf("clean restart quarantined %d blobs", s2.Stats().Quarantined)
+	}
+}
+
+func TestPutIsIdempotentByKey(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, Config{Dir: dir})
+	s.Put("k", []byte("v"))
+	s.Flush()
+	s.Put("k", []byte("v"))
+	s.Flush()
+	if st := s.Stats(); st.Writes != 1 || st.Blobs != 1 {
+		t.Errorf("duplicate Put wrote again: %+v", st)
+	}
+}
+
+// TestCrashSafeWriteFailure: a write that fails mid-blob leaves no
+// blob, no temp file, and trips the breaker.
+func TestCrashSafeWriteFailure(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewInjector(fault.OS(), fault.Rule{Op: fault.OpWrite, Nth: 2, Err: syscall.ENOSPC})
+	s := openStore(t, Config{Dir: dir, FS: inj})
+	s.Put("k", []byte("payload"))
+	s.Flush()
+
+	if st := s.Stats(); st.WriteErrors != 1 || st.Writes != 0 || st.Blobs != 0 {
+		t.Errorf("stats after failed write = %+v", st)
+	}
+	if s.State() != StateDegraded {
+		t.Error("failed write did not trip the breaker")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			t.Errorf("failed write left file %s behind", e.Name())
+		}
+	}
+}
+
+// TestStartupRecovery: the startup scan deletes stray temp files and
+// quarantines truncated, corrupted, and foreign blobs, keeping the
+// good ones.
+func TestStartupRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, Config{Dir: dir})
+	s.Put("good", []byte("intact payload"))
+	s.Put("doomed", []byte("will be truncated"))
+	s.Put("bitrot", []byte("will be flipped"))
+	s.Flush()
+	s.Close()
+
+	// Simulate the crash artifacts: a half-written temp file, a
+	// truncated blob, and a blob with a flipped payload byte.
+	if err := os.WriteFile(filepath.Join(dir, "stray.tmp"), []byte("CLSB\x01junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doomed := filepath.Join(dir, "doomed"+blobSuffix)
+	raw, err := os.ReadFile(doomed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(doomed, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bitrot := filepath.Join(dir, "bitrot"+blobSuffix)
+	raw, err = os.ReadFile(bitrot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerLen] ^= 0xff
+	if err := os.WriteFile(bitrot, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, Config{Dir: dir})
+	if got, ok := s2.Get("good"); !ok || string(got) != "intact payload" {
+		t.Errorf("good blob lost in recovery: %q, %v", got, ok)
+	}
+	for _, k := range []string{"doomed", "bitrot"} {
+		if _, ok := s2.Get(k); ok {
+			t.Errorf("corrupt blob %s served after recovery", k)
+		}
+	}
+	if st := s2.Stats(); st.Quarantined != 2 || st.Blobs != 1 {
+		t.Errorf("recovery stats = %+v, want 2 quarantined, 1 blob", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "stray.tmp")); !os.IsNotExist(err) {
+		t.Error("stray temp file survived recovery")
+	}
+	qents, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+	if err != nil || len(qents) != 2 {
+		t.Errorf("quarantine dir holds %d files (%v), want 2", len(qents), err)
+	}
+}
+
+// TestGetQuarantinesRot: a blob that rots after startup is quarantined
+// at read time and stops being indexed.
+func TestGetQuarantinesRot(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, Config{Dir: dir})
+	s.Put("k", []byte("payload"))
+	s.Flush()
+	path := filepath.Join(dir, "k"+blobSuffix)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff // corrupt the checksum
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("rotted blob served")
+	}
+	if st := s.Stats(); st.Quarantined != 1 || st.Blobs != 0 {
+		t.Errorf("stats after rot = %+v", st)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("rotted blob still indexed")
+	}
+}
+
+// TestLRUByteBound: inserts past MaxBytes evict the least recently
+// used blob from disk; Get refreshes recency.
+func TestLRUByteBound(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 60)
+	s := openStore(t, Config{Dir: dir, MaxBytes: 150})
+	s.Put("a", payload)
+	s.Flush()
+	s.Put("b", payload)
+	s.Flush()
+	// Touch a so b is now the LRU victim.
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	s.Put("c", payload)
+	s.Flush()
+
+	if _, ok := s.Get("b"); ok {
+		t.Error("LRU blob b survived the byte bound")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := s.Get(k); !ok {
+			t.Errorf("blob %s evicted, want kept", k)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Blobs != 2 || st.Bytes != 120 {
+		t.Errorf("stats = %+v", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "b"+blobSuffix)); !os.IsNotExist(err) {
+		t.Error("evicted blob file still on disk")
+	}
+}
+
+// TestBreakerBackoffAndRecovery drives the full circuit: trip on
+// ENOSPC, drop writes while degraded, double the probe backoff on a
+// failed probe, and close the circuit when the disk heals.
+func TestBreakerBackoffAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	clk := fault.NewFakeClock(time.Unix(0, 0))
+	inj := fault.NewInjector(fault.OS(), fault.Rule{Op: fault.OpWrite, Err: syscall.ENOSPC})
+	s := openStore(t, Config{
+		Dir: dir, FS: inj, Clock: clk,
+		ProbeBackoff: 10 * time.Second, MaxBackoff: time.Minute,
+	})
+
+	// First write fails: breaker trips, probe scheduled at t+10s.
+	s.Put("k1", []byte("v1"))
+	s.Flush()
+	if s.State() != StateDegraded {
+		t.Fatal("breaker did not trip")
+	}
+	if st := s.Stats(); st.WriteErrors != 1 {
+		t.Fatalf("write errors = %d, want 1", st.WriteErrors)
+	}
+
+	// Before probe time: writes are dropped without touching the disk.
+	wbefore := inj.Counts()[fault.OpWrite]
+	s.Put("k2", []byte("v2"))
+	s.Flush()
+	if st := s.Stats(); st.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", st.Dropped)
+	}
+	if inj.Counts()[fault.OpWrite] != wbefore {
+		t.Error("degraded store touched the disk before probe time")
+	}
+
+	// Probe at t+11s fails: backoff doubles (next probe t+31s).
+	clk.Advance(11 * time.Second)
+	s.Put("k3", []byte("v3"))
+	s.Flush()
+	if st := s.Stats(); st.WriteErrors != 2 {
+		t.Errorf("write errors after failed probe = %d, want 2", st.WriteErrors)
+	}
+
+	// Disk heals, but the doubled backoff gates the next attempt:
+	// at t+20s (only 9s past the failed probe) writes still drop.
+	inj.SetRules()
+	clk.Advance(9 * time.Second)
+	s.Put("k4", []byte("v4"))
+	s.Flush()
+	if s.State() != StateDegraded {
+		t.Error("probe ran before the doubled backoff elapsed")
+	}
+
+	// Past the doubled backoff the probe succeeds and the circuit
+	// closes.
+	clk.Advance(15 * time.Second)
+	s.Put("k5", []byte("v5"))
+	s.Flush()
+	if s.State() != StateOK {
+		t.Fatal("breaker did not close after successful probe")
+	}
+	st := s.Stats()
+	if st.Recoveries != 1 || st.Writes != 1 {
+		t.Errorf("stats after recovery = %+v", st)
+	}
+	if got, ok := s.Get("k5"); !ok || string(got) != "v5" {
+		t.Errorf("probe write not readable: %q, %v", got, ok)
+	}
+
+	// Recovered store persists normally again.
+	s.Put("k6", []byte("v6"))
+	s.Flush()
+	if _, ok := s.Get("k6"); !ok {
+		t.Error("write after recovery not persisted")
+	}
+}
+
+// TestDegradedGetFastFails: while degraded, Get does not trust the
+// disk even for blobs indexed before the trip.
+func TestDegradedGetFastFails(t *testing.T) {
+	dir := t.TempDir()
+	clk := fault.NewFakeClock(time.Unix(0, 0))
+	inj := fault.NewInjector(fault.OS())
+	s := openStore(t, Config{Dir: dir, FS: inj, Clock: clk, ProbeBackoff: 10 * time.Second})
+	s.Put("k", []byte("v"))
+	s.Flush()
+	inj.SetRules(fault.Rule{Op: fault.OpWrite, Err: syscall.EIO})
+	s.Put("k2", []byte("v2"))
+	s.Flush()
+	if s.State() != StateDegraded {
+		t.Fatal("breaker did not trip")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Error("degraded Get served from the untrusted disk")
+	}
+}
+
+// TestQueueFullDrops: a full write-behind queue sheds load instead of
+// blocking the caller.
+func TestQueueFullDrops(t *testing.T) {
+	dir := t.TempDir()
+	// A slow disk: every write stalls long enough for the queue to fill.
+	inj := fault.NewInjector(fault.OS(), fault.Rule{Op: fault.OpWrite, Delay: 20 * time.Millisecond})
+	s := openStore(t, Config{Dir: dir, FS: inj, QueueDepth: 1})
+	for i := 0; i < 20; i++ {
+		s.Put(fmt.Sprintf("k%02d", i), []byte("v"))
+	}
+	s.Flush()
+	st := s.Stats()
+	if st.Dropped == 0 {
+		t.Error("full queue never dropped a write")
+	}
+	if st.Writes+st.Dropped != 20 {
+		t.Errorf("writes %d + dropped %d != 20 puts", st.Writes, st.Dropped)
+	}
+}
+
+func TestPutAfterCloseIsIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, Config{Dir: dir})
+	s.Close()
+	s.Put("k", []byte("v")) // must not panic or deadlock
+	s.Flush()
+	if s.Len() != 0 {
+		t.Error("Put after Close persisted")
+	}
+}
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, err := Open(Config{}); err == nil || !strings.Contains(err.Error(), "Dir") {
+		t.Fatalf("Open with no dir = %v", err)
+	}
+}
+
+// TestCloseDrainsQueuedWrites: Close attempts every queued write, so a
+// graceful shutdown loses nothing.
+func TestCloseDrainsQueuedWrites(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, Config{Dir: dir, QueueDepth: 64})
+	for i := 0; i < 10; i++ {
+		s.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	s.Close()
+	s2 := openStore(t, Config{Dir: dir})
+	if got := s2.Len(); got != 10 {
+		t.Errorf("after drain+restart %d blobs, want 10", got)
+	}
+}

@@ -2,8 +2,11 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"reflect"
+	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -33,6 +36,16 @@ func FuzzTraceRoundTrip(f *testing.F) {
 	f.Add([]byte("CLTR\x01\x05\x02"))
 	f.Add([]byte("CLTR\x01\x01\x01")) // delta -1 from 0: negative symbol
 	f.Add([]byte("CLTR\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	// Adversarial corpus: truncated varints, oversized declared
+	// lengths, and mid-record EOF in every position a varint can be cut.
+	f.Add([]byte("CLTR"))                                                 // EOF before version
+	f.Add([]byte("CLTR\x01\x80"))                                         // count varint cut mid-continuation
+	f.Add([]byte("CLTR\x01\x80\x80\x80"))                                 // deeper continuation, still cut
+	f.Add([]byte("CLTR\x01\x02\x02\x80"))                                 // second delta cut mid-continuation
+	f.Add([]byte("CLTR\x01\x03\x02\x02"))                                 // declares 3, body holds 2
+	f.Add([]byte("CLTR\x01\x80\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01")) // 11-byte varint: overflow
+	f.Add(append([]byte("CLTR\x01\x84\x80\x80\x80\x08"), 0x02))           // count just over MaxFileCount
+	f.Add([]byte("CLTR\x01\x02\xfe\xff\xff\xff\x0f"))                     // delta jumps past the symbol cap
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadFrom(bytes.NewReader(data))
@@ -113,6 +126,75 @@ func TestDecoderErrorsCarryOffsets(t *testing.T) {
 			c.name != "bad version" && c.name != "negative symbol" {
 			t.Errorf("%s: error %q carries no offset", c.name, err)
 		}
+	}
+}
+
+// TestDecoderAdversarialInputs pins the failure mode for hostile
+// containers: truncated varints, oversized declared lengths, and
+// mid-record EOF must all return wrapped, offset-carrying errors —
+// never a panic, a silent truncation, or a bare io.EOF that a caller
+// could mistake for clean end-of-stream.
+func TestDecoderAdversarialInputs(t *testing.T) {
+	hugeCount := append([]byte("CLTR\x01"), 0x84, 0x80, 0x80, 0x80, 0x08) // 2^31+4 > MaxFileCount
+	overflowVarint := append([]byte("CLTR\x01"),
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01)
+	cases := []struct {
+		name      string
+		data      []byte
+		wantMsg   string
+		wantUnEOF bool // error chain must carry io.ErrUnexpectedEOF
+	}{
+		{"header cut before version", []byte("CLTR"), "reading version", true},
+		{"count varint cut", []byte("CLTR\x01\x80"), "reading count", true},
+		{"count varint cut deep", []byte("CLTR\x01\x80\x80\x80"), "reading count", true},
+		{"oversized declared count", hugeCount, "exceeds limit", false},
+		{"count varint overflow", overflowVarint, "reading count", false},
+		{"mid-record EOF", []byte("CLTR\x01\x03\x02\x02"), "occurrence 2", true},
+		{"delta varint cut", []byte("CLTR\x01\x02\x02\x80"), "occurrence 1", true},
+		{"delta past symbol cap", []byte("CLTR\x01\x02\xfe\xff\xff\xff\x0f"), "invalid symbol", false},
+	}
+	for _, c := range cases {
+		_, err := ReadFrom(bytes.NewReader(c.data))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantMsg) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantMsg)
+		}
+		if !strings.Contains(err.Error(), "offset") {
+			t.Errorf("%s: error %q carries no offset", c.name, err)
+		}
+		if c.wantUnEOF && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("%s: error %q does not wrap io.ErrUnexpectedEOF", c.name, err)
+		}
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("%s: error %q leaks a bare io.EOF", c.name, err)
+		}
+	}
+}
+
+// TestDecodeBoundedAllocation: a header that declares an enormous
+// occurrence count must not force an enormous up-front allocation —
+// the decoder caps its capacity hint and grows only as payload bytes
+// actually validate.
+func TestDecodeBoundedAllocation(t *testing.T) {
+	// Declares MaxFileCount occurrences; delivers three bytes of body.
+	data := append([]byte("CLTR\x01"), 0x80, 0x80, 0x80, 0x80, 0x08) // uvarint(1<<31)
+	data = append(data, 0x02, 0x02, 0x02)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := ReadFrom(bytes.NewReader(data))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("truncated 2^31-record container was accepted")
+	}
+	// The 1<<20-symbol cap is 4 MiB; leave slack for test-harness noise
+	// but stay far below the 8 GiB a trusting decoder would reserve.
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 64<<20 {
+		t.Errorf("decoding a lying header allocated %d bytes", grew)
 	}
 }
 
