@@ -45,6 +45,9 @@ bench-smoke:
 bench-json:
 	sh scripts/bench_json.sh run BENCH_PR3.json
 	sh scripts/bench_json.sh check BENCH_PR3.json 'BuildHierarchyWorkers/workers=1' $(BENCH_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check BENCH_PR3.json 'SpanStartEnd' 0
+	sh scripts/bench_json.sh check BENCH_PR3.json 'RegistryCounterInc' 0
+	sh scripts/bench_json.sh check BENCH_PR3.json 'RegistryHistogramObserve' 0
 
 # End-to-end service smoke: start layoutd, submit a recorded trace via
 # layoutctl, assert a completed result and a cache hit on resubmission,
@@ -66,5 +69,8 @@ bench-json-ci:
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'BuildHierarchyWorkers/workers=1' $(BENCH_ALLOC_BUDGET)
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'ShardPairHists' 0
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'BuildShard' 0
+	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'SpanStartEnd' 0
+	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'RegistryCounterInc' 0
+	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'RegistryHistogramObserve' 0
 
 ci: build vet fmt-check test race bench-smoke bench-json-ci smoke-serve smoke-durable

@@ -13,9 +13,15 @@
 //
 //	layoutctl -addr http://127.0.0.1:8080 -submit /tmp/s.trace -prog 458.sjeng -opt func-affinity -wait
 //	layoutctl -addr http://127.0.0.1:8080 -job job-1
+//	layoutctl -addr http://127.0.0.1:8080 -trace job-1            # ASCII span waterfall
+//	layoutctl -addr http://127.0.0.1:8080 -trace job-1 -json      # raw span timeline
 //	layoutctl -addr http://127.0.0.1:8080 -cancel job-2
 //	layoutctl -addr http://127.0.0.1:8080 -layout <digest>
 //	layoutctl -addr http://127.0.0.1:8080 -optimizers
+//
+// Exit codes: 0 on success, 1 when the server or the job fails (bad
+// response, failed/canceled job, retry budget exhausted), 2 on usage
+// errors (unknown flags, missing required flags).
 package main
 
 import (
@@ -31,6 +37,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"codelayout/internal/textplot"
 )
 
 func main() {
@@ -44,11 +52,22 @@ func main() {
 	wait := flag.Bool("wait", false, "poll the submitted job until it finishes")
 	timeout := flag.Duration("timeout", 5*time.Minute, "bound on -wait polling")
 	job := flag.String("job", "", "job ID to fetch")
+	traceID := flag.String("trace", "", "job ID whose span timeline to fetch (ASCII waterfall; raw with -json)")
 	cancelID := flag.String("cancel", "", "queued job ID to cancel")
 	layoutDigest := flag.String("layout", "", "layout digest to fetch")
 	optimizers := flag.Bool("optimizers", false, "list the server's optimizer registry")
+	jsonOut := flag.Bool("json", false, "print raw JSON responses instead of human-readable output")
 	retries := flag.Int("retries", 4, "retry budget for transient failures (connection errors, 429, 503)")
 	retryBase := flag.Duration("retry-base", 500*time.Millisecond, "base of the jittered exponential retry backoff")
+	usage := flag.Usage
+	flag.Usage = func() {
+		usage()
+		fmt.Fprintln(flag.CommandLine.Output(), `
+Exit codes:
+  0  success
+  1  server or job failure (bad response, failed/canceled job, retries exhausted)
+  2  usage error (unknown flags, missing required flags)`)
+	}
 	flag.Parse()
 
 	r := &retrier{max: *retries, base: *retryBase, sleep: time.Sleep, logf: log.Printf}
@@ -56,9 +75,11 @@ func main() {
 	var err error
 	switch {
 	case *submit != "":
-		err = doSubmit(r, base, *submit, *prog, *opt, *prune, *wait, *timeout)
+		err = doSubmit(r, base, *submit, *prog, *opt, *prune, *wait, *timeout, *jsonOut)
 	case *job != "":
 		err = printGET(r, base+"/v1/jobs/"+url.PathEscape(*job))
+	case *traceID != "":
+		err = doTrace(r, base, *traceID, *jsonOut)
 	case *cancelID != "":
 		err = doCancel(r, base, *cancelID)
 	case *layoutDigest != "":
@@ -70,7 +91,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		log.Fatal(err)
+		log.Fatal(err) // exit code 1
 	}
 }
 
@@ -159,9 +180,10 @@ type jobView struct {
 	Result json.RawMessage `json:"result"`
 }
 
-func doSubmit(r *retrier, base, path, prog, opt string, prune int, wait bool, timeout time.Duration) error {
+func doSubmit(r *retrier, base, path, prog, opt string, prune int, wait bool, timeout time.Duration, jsonOut bool) error {
 	if prog == "" || opt == "" {
-		return fmt.Errorf("-submit requires -prog and -opt")
+		fmt.Fprintln(os.Stderr, "layoutctl: -submit requires -prog and -opt")
+		os.Exit(2)
 	}
 	q := url.Values{"prog": {prog}, "opt": {opt}}
 	if prune > 0 {
@@ -190,15 +212,25 @@ func doSubmit(r *retrier, base, path, prog, opt string, prune int, wait bool, ti
 	if err := json.Unmarshal(body, &v); err != nil {
 		return fmt.Errorf("submit: bad response %q: %w", body, err)
 	}
-	fmt.Printf("job %s %s digest %s cached=%v\n", v.ID, v.Status, v.Digest, v.Cached)
-	if !wait || v.Status == "done" || v.Status == "failed" {
-		if v.Status == "done" {
+	if jsonOut {
+		if !wait || v.Status == "done" || v.Status == "failed" {
 			os.Stdout.Write(append(body, '\n'))
+			if v.Status == "failed" {
+				return fmt.Errorf("job failed: %s", v.Error)
+			}
+			return nil
 		}
-		if v.Status == "failed" {
-			return fmt.Errorf("job failed: %s", v.Error)
+	} else {
+		fmt.Printf("job %s %s digest %s cached=%v\n", v.ID, v.Status, v.Digest, v.Cached)
+		if !wait || v.Status == "done" || v.Status == "failed" {
+			if v.Status == "done" {
+				os.Stdout.Write(append(body, '\n'))
+			}
+			if v.Status == "failed" {
+				return fmt.Errorf("job failed: %s", v.Error)
+			}
+			return nil
 		}
-		return nil
 	}
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
@@ -212,12 +244,63 @@ func doSubmit(r *retrier, base, path, prog, opt string, prune int, wait bool, ti
 			os.Stdout.Write(append(raw, '\n'))
 			return nil
 		case "failed":
+			if jsonOut {
+				os.Stdout.Write(append(raw, '\n'))
+			}
 			return fmt.Errorf("job %s failed: %s", got.ID, got.Error)
 		case "canceled":
 			return fmt.Errorf("job %s was canceled", got.ID)
 		}
 	}
 	return fmt.Errorf("job %s still not finished after %s", v.ID, timeout)
+}
+
+// traceView mirrors the server's span-timeline wire format, loosely.
+type traceView struct {
+	JobID   string `json:"job_id"`
+	TraceID string `json:"trace_id"`
+	Status  string `json:"status"`
+	Spans   []struct {
+		Name    string  `json:"name"`
+		StartMS float64 `json:"start_ms"`
+		DurMS   float64 `json:"dur_ms"`
+	} `json:"spans"`
+	Dropped int64 `json:"dropped"`
+}
+
+func doTrace(r *retrier, base, id string, jsonOut bool) error {
+	u := base + "/v1/jobs/" + url.PathEscape(id) + "/trace"
+	resp, err := r.do("GET "+u, func() (*http.Response, error) {
+		return http.Get(u)
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s", u, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	if jsonOut {
+		os.Stdout.Write(raw)
+		return nil
+	}
+	var tv traceView
+	if err := json.Unmarshal(raw, &tv); err != nil {
+		return fmt.Errorf("trace: bad response %q: %w", raw, err)
+	}
+	w := textplot.Waterfall{
+		Title:  fmt.Sprintf("job %s (%s) trace %s — %d spans", tv.JobID, tv.Status, tv.TraceID, len(tv.Spans)),
+		Format: "%.1fms",
+	}
+	for _, sp := range tv.Spans {
+		w.Add(sp.Name, sp.StartMS, sp.DurMS)
+	}
+	os.Stdout.WriteString(w.String())
+	if tv.Dropped > 0 {
+		fmt.Printf("(%d spans dropped by the per-job buffer bound)\n", tv.Dropped)
+	}
+	return nil
 }
 
 func doCancel(r *retrier, base, id string) error {

@@ -8,11 +8,18 @@
 // down. See internal/server for the API surface and cmd/layoutctl for
 // a client.
 //
+// Logs are structured JSON on stderr (one object per line); every
+// job-scoped line carries the job's trace_id, correlating logs with
+// the span timeline at /v1/jobs/{id}/trace and the summaries at
+// /v1/debug/jobs.
+//
 // Usage:
 //
 //	layoutd -addr 127.0.0.1:8080 -jobs 4 -queue 64
 //	layoutd -addr 127.0.0.1:0 -ready-file /tmp/layoutd.addr
 //	layoutd -store-dir /var/lib/layoutd -store-max-bytes 1073741824
+//	layoutd -log-level debug                                           # per-request detail
+//	layoutd -debug-addr 127.0.0.1:6060                                 # net/http/pprof
 //	layoutd -store-dir /tmp/s -fault-spec 'write:every=1,err=ENOSPC'   # smoke-test degraded mode
 //
 // On SIGTERM/SIGINT the daemon stops accepting work and drains queued
@@ -24,22 +31,23 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"codelayout/internal/fault"
+	"codelayout/internal/obs"
 	"codelayout/internal/server"
 	"codelayout/internal/store"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("layoutd: ")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	jobs := flag.Int("jobs", 0, "concurrent optimization jobs: 0 = all cores")
 	queue := flag.Int("queue", server.DefaultQueueDepth, "queued-job limit before submissions get 429")
@@ -50,26 +58,43 @@ func main() {
 	jobTTL := flag.Duration("job-ttl", server.DefaultJobTTL, "retention of completed-job status records")
 	maxJobs := flag.Int("max-jobs", server.DefaultMaxJobs, "tracked-job cap; oldest completed jobs evicted first")
 	readyFile := flag.String("ready-file", "", "write the bound address to this file once listening")
+	logLevel := flag.String("log-level", "info", "structured-log threshold: debug, info, warn, or error")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+	spanBuffer := flag.Int("span-buffer", 0, "per-job trace span capacity (0 = default; overflow counted in layoutd_spans_dropped_total)")
 	storeDir := flag.String("store-dir", "", "directory for the durable result store (empty = memory-only)")
 	storeMaxBytes := flag.Int64("store-max-bytes", store.DefaultMaxBytes, "LRU byte bound on the durable store")
 	storeQueue := flag.Int("store-queue", store.DefaultQueueDepth, "write-behind queue depth of the durable store")
 	faultSpec := flag.String("fault-spec", "", "DEBUG: inject store filesystem faults, e.g. 'write:every=1,err=ENOSPC' (requires -store-dir)")
 	flag.Parse()
 
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "layoutd:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
 	var st *store.Store
 	if *storeDir != "" {
+		storeLog := logger.With("subsys", "store")
 		scfg := store.Config{
 			Dir:        *storeDir,
 			MaxBytes:   *storeMaxBytes,
 			QueueDepth: *storeQueue,
-			Logf:       log.Printf,
+			Logf: func(format string, args ...any) {
+				storeLog.Info(fmt.Sprintf(format, args...))
+			},
 		}
 		if *faultSpec != "" {
 			rules, err := fault.ParseSpec(*faultSpec)
 			if err != nil {
-				log.Fatal(err)
+				fatal("bad -fault-spec", err)
 			}
-			log.Printf("DEBUG: store filesystem faults active: %s", *faultSpec)
+			logger.Warn("DEBUG: store filesystem faults active", "spec", *faultSpec)
 			scfg.FS = fault.NewInjector(fault.OS(), rules...)
 		}
 		var err error
@@ -78,37 +103,68 @@ func main() {
 			// A broken store directory must not take the service down:
 			// run memory-only, exactly like the degraded mode a runtime
 			// failure produces.
-			log.Printf("durable store disabled (running memory-only): %v", err)
+			logger.Warn("durable store disabled (running memory-only)", "err", err)
 		} else {
 			stats := st.Stats()
-			log.Printf("durable store %s: %d blobs (%d bytes), %d quarantined",
-				*storeDir, stats.Blobs, stats.Bytes, stats.Quarantined)
+			logger.Info("durable store opened", "dir", *storeDir,
+				"blobs", stats.Blobs, "bytes", stats.Bytes, "quarantined", stats.Quarantined)
 		}
 	} else if *faultSpec != "" {
-		log.Fatal("-fault-spec requires -store-dir")
+		fatal("flag error", errors.New("-fault-spec requires -store-dir"))
 	}
 
-	if err := run(*addr, *readyFile, *drainTimeout, server.Config{
-		JobWorkers:    *jobs,
-		QueueDepth:    *queue,
-		JobTimeout:    *jobTimeout,
-		OptWorkers:    *optWorkers,
-		MaxTraceBytes: *maxTrace,
-		JobTTL:        *jobTTL,
-		MaxJobs:       *maxJobs,
-		Store:         st,
+	if *debugAddr != "" {
+		// pprof lives on its own listener so profiling endpoints are
+		// never exposed on the service address.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal("debug listener", err)
+		}
+		logger.Info("pprof debug server listening", "addr", dln.Addr().String())
+		go func() {
+			if err := http.Serve(dln, http.DefaultServeMux); err != nil {
+				logger.Error("debug server exited", "err", err)
+			}
+		}()
+	}
+
+	if err := run(logger, *addr, *readyFile, *drainTimeout, server.Config{
+		JobWorkers:     *jobs,
+		QueueDepth:     *queue,
+		JobTimeout:     *jobTimeout,
+		OptWorkers:     *optWorkers,
+		MaxTraceBytes:  *maxTrace,
+		JobTTL:         *jobTTL,
+		MaxJobs:        *maxJobs,
+		Store:          st,
+		Logger:         logger,
+		SpanBufferSize: *spanBuffer,
 	}); err != nil {
-		log.Fatal(err)
+		fatal("layoutd exited", err)
 	}
 }
 
-func run(addr, readyFile string, drainTimeout time.Duration, cfg server.Config) error {
+func parseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", s)
+}
+
+func run(logger *slog.Logger, addr, readyFile string, drainTimeout time.Duration, cfg server.Config) error {
 	s := server.New(cfg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("listening on %s", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
 	if readyFile != "" {
 		if err := os.WriteFile(readyFile, []byte(ln.Addr().String()), 0o644); err != nil {
 			return err
@@ -127,18 +183,18 @@ func run(addr, readyFile string, drainTimeout time.Duration, cfg server.Config) 
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("signal received; draining (bound %s)", drainTimeout)
+	logger.Info("signal received; draining", "bound", drainTimeout.String())
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	if err := s.Shutdown(drainCtx); err != nil {
 		// Wedged workers were abandoned: surface it to the supervisor.
 		return err
 	}
-	log.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

@@ -28,6 +28,7 @@ import (
 	"sort"
 
 	"codelayout/internal/flathash"
+	"codelayout/internal/obs"
 	"codelayout/internal/parallel"
 	"codelayout/internal/trace"
 )
@@ -169,7 +170,11 @@ func BuildHierarchyCtx(ctx context.Context, t *trace.Trace, opt Options) (*Hiera
 	if wmax <= 0 {
 		wmax = DefaultWMax
 	}
+	sp := obs.StartSpan(ctx, "affinity.hierarchy")
+	defer sp.End()
 	tt := t.Trimmed()
+	sp.SetAttr("trace_len", int64(len(tt.Syms)))
+	sp.SetAttr("wmax", int64(wmax))
 	h := newHierarchyShell(tt, wmax)
 	if len(tt.Syms) == 0 {
 		return h, nil

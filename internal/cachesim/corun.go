@@ -1,7 +1,10 @@
 package cachesim
 
 import (
+	"context"
+
 	"codelayout/internal/layout"
+	"codelayout/internal/obs"
 	"codelayout/internal/parallel"
 )
 
@@ -42,6 +45,16 @@ func SimulateSolo(cfg Config, r *layout.Replayer) SoloResult {
 		}
 		res.Blocks += int64(blocks)
 	}
+}
+
+// SimulateSoloCtx is SimulateSolo recorded as a cachesim.replay span on
+// ctx's obs recorder, for callers inside an instrumented pipeline.
+func SimulateSoloCtx(ctx context.Context, cfg Config, r *layout.Replayer) SoloResult {
+	sp := obs.StartSpan(ctx, "cachesim.replay")
+	defer sp.End()
+	res := SimulateSolo(cfg, r)
+	sp.SetAttr("blocks", res.Blocks)
+	return res
 }
 
 // PeerLineOffset separates the two co-run processes' address spaces: the

@@ -20,6 +20,7 @@ import (
 	"codelayout/internal/interp"
 	"codelayout/internal/ir"
 	"codelayout/internal/layout"
+	"codelayout/internal/obs"
 	"codelayout/internal/progen"
 	"codelayout/internal/search"
 	"codelayout/internal/trace"
@@ -274,6 +275,7 @@ func (o Optimizer) OptimizeCtx(ctx context.Context, prof *Profile) (*layout.Layo
 	}
 
 	// 1. Granularity-specific trimmed trace (Definition 1).
+	psp := obs.StartSpan(ctx, "trace.prune")
 	var tt *trace.Trace
 	switch o.Gran {
 	case GranFunction:
@@ -281,6 +283,7 @@ func (o Optimizer) OptimizeCtx(ctx context.Context, prof *Profile) (*layout.Layo
 	case GranBasicBlock:
 		tt = prof.Blocks.Trimmed()
 	default:
+		psp.End()
 		return nil, rep, fmt.Errorf("core: unknown granularity %v", o.Gran)
 	}
 
@@ -290,6 +293,8 @@ func (o Optimizer) OptimizeCtx(ctx context.Context, prof *Profile) (*layout.Layo
 	pruned = pruned.Trimmed()
 	rep.TraceLen = pruned.Len()
 	rep.Retention = retention
+	psp.SetAttr("kept", int64(pruned.Len()))
+	psp.End()
 
 	// 3. Locality model.
 	var seq []int32
@@ -314,12 +319,16 @@ func (o Optimizer) OptimizeCtx(ctx context.Context, prof *Profile) (*layout.Layo
 	case ModelCMG:
 		params := trg.DefaultParams(o.trgBlockBytes())
 		params.WindowScale = o.TRGWindowScale
+		csp := obs.StartSpan(ctx, "cmg.sequence")
 		seq = cmg.Sequence(pruned, params)
+		csp.End()
 	case ModelCallGraph:
 		if o.Gran != GranFunction {
 			return nil, rep, fmt.Errorf("core: call-graph placement reorders functions only")
 		}
+		gsp := obs.StartSpan(ctx, "callgraph.build")
 		seq = callgraph.Build(prof.Prog, prof.Blocks).Order()
+		gsp.End()
 	case ModelSearch:
 		if o.Gran != GranFunction {
 			return nil, rep, fmt.Errorf("core: layout search reorders functions only")
@@ -336,6 +345,8 @@ func (o Optimizer) OptimizeCtx(ctx context.Context, prof *Profile) (*layout.Layo
 	rep.Sequence = seq
 
 	// 4. Transformation.
+	esp := obs.StartSpan(ctx, "layout.emit")
+	esp.SetAttr("seq_len", int64(len(seq)))
 	var l *layout.Layout
 	switch o.Gran {
 	case GranFunction:
@@ -356,9 +367,11 @@ func (o Optimizer) OptimizeCtx(ctx context.Context, prof *Profile) (*layout.Layo
 		}
 	}
 	if err := l.Validate(); err != nil {
+		esp.End()
 		return nil, rep, fmt.Errorf("core: %s produced invalid layout: %w", o.Name(), err)
 	}
 	rep.JumpOverheadBytes = l.JumpOverheadBytes()
+	esp.End()
 	return l, rep, nil
 }
 
@@ -386,7 +399,9 @@ func searchSequence(ctx context.Context, o Optimizer, prof *Profile, pruned *tra
 		initial = append(initial, ir.FuncID(s))
 	}
 	initial = layout.CompleteFuncOrder(prof.Prog, initial)
+	ssp := obs.StartSpan(ctx, "search.improve")
 	res := search.Improve(initial, cost, search.Options{Seed: 1})
+	ssp.End()
 	out := make([]int32, len(res.Order))
 	for i, f := range res.Order {
 		out[i] = int32(f)

@@ -13,7 +13,12 @@
 // block sizes are supplied.
 package footprint
 
-import "codelayout/internal/parallel"
+import (
+	"context"
+
+	"codelayout/internal/obs"
+	"codelayout/internal/parallel"
+)
 
 // Scratch is a reusable distinct-symbol marker for window footprint
 // queries. The naive analyses ask for the footprint of many overlapping
@@ -111,6 +116,15 @@ type Curve struct {
 // curve is bit-identical to the serial computation (see NewCurveWorkers).
 func NewCurve(syms []int32, weights []int32) *Curve {
 	return NewCurveWorkers(syms, weights, 0)
+}
+
+// NewCurveCtx is NewCurveWorkers recorded as a footprint.curve span on
+// ctx's obs recorder, for callers inside an instrumented pipeline.
+func NewCurveCtx(ctx context.Context, syms []int32, weights []int32, workers int) *Curve {
+	sp := obs.StartSpan(ctx, "footprint.curve")
+	defer sp.End()
+	sp.SetAttr("trace_len", int64(len(syms)))
+	return NewCurveWorkers(syms, weights, workers)
 }
 
 // NewCurveWorkers is NewCurve with bounded concurrency: 0 workers means

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"regexp"
+	"testing"
+)
+
+func TestNewTraceID(t *testing.T) {
+	re := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if !re.MatchString(id) {
+			t.Fatalf("trace id %q not 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceIDCarriage(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceID(ctx); got != "" {
+		t.Fatalf("empty ctx trace id = %q, want \"\"", got)
+	}
+	ctx = WithTraceID(ctx, "abc123")
+	if got := TraceID(ctx); got != "abc123" {
+		t.Fatalf("trace id = %q, want abc123", got)
+	}
+}
+
+func TestLoggerCarriage(t *testing.T) {
+	ctx := context.Background()
+	if got := Logger(ctx); got != NopLogger {
+		t.Fatalf("empty ctx logger = %v, want NopLogger", got)
+	}
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelInfo)
+	ctx = WithLogger(ctx, l.With("trace_id", "t1"))
+	Logger(ctx).Info("hello", "k", 42)
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["trace_id"] != "t1" || rec["k"] != float64(42) {
+		t.Fatalf("log line missing fields: %v", rec)
+	}
+}
+
+func TestNewLoggerLevel(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelWarn)
+	l.Info("dropped")
+	if buf.Len() != 0 {
+		t.Fatalf("info line emitted at warn level: %s", buf.String())
+	}
+	l.Warn("kept")
+	if buf.Len() == 0 {
+		t.Fatal("warn line dropped at warn level")
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	// Must not panic and must report disabled at every level.
+	NopLogger.Info("x")
+	NopLogger.Error("x")
+	if NopLogger.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("NopLogger claims to be enabled")
+	}
+}
+
+func TestRecorderCarriage(t *testing.T) {
+	ctx := context.Background()
+	if RecorderFrom(ctx) != nil {
+		t.Fatal("empty ctx recorder != nil")
+	}
+	rec := NewRecorder(8)
+	ctx = WithRecorder(ctx, rec)
+	if RecorderFrom(ctx) != rec {
+		t.Fatal("recorder not carried")
+	}
+}

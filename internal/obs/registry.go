@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. Families are registered once (duplicate names
+// panic — a wiring bug, not a runtime condition) and rendered in
+// registration order so scrapes are stable and diffable.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+var nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// family is one metric name: its metadata plus every series under it.
+type family struct {
+	name     string
+	help     string
+	kind     metricKind
+	labelKey string    // "" for unlabeled families
+	buckets  []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]any // label value ("" when unlabeled) -> metric
+	fn     func() int64   // callback-backed value (unlabeled only)
+}
+
+func (r *Registry) register(name, help string, kind metricKind, labelKey string, buckets []float64) *family {
+	if !nameRe.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if labelKey != "" && !nameRe.MatchString(labelKey) {
+		panic(fmt.Sprintf("obs: invalid label name %q", labelKey))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labelKey: labelKey,
+		buckets:  buckets,
+		series:   make(map[string]any),
+	}
+	r.byName[name] = f
+	r.fams = append(r.fams, f)
+	return f
+}
+
+// ---- counters ----
+
+// Counter is a monotonically increasing value. Inc/Add are lock-free
+// and allocation-free.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, "", nil)
+	c := &Counter{}
+	f.series[""] = c
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at render
+// time — for counters owned by another subsystem (the durable store's
+// write totals).
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	f := r.register(name, help, kindCounter, "", nil)
+	f.fn = fn
+}
+
+// CounterVec is a counter family with one label dimension.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help, labelKey string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, kindCounter, labelKey, nil)}
+}
+
+// With returns the counter for the label value, creating it on first
+// use. Hot paths should hold the returned *Counter rather than calling
+// With per increment.
+func (v *CounterVec) With(label string) *Counter {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if c, ok := v.f.series[label]; ok {
+		return c.(*Counter)
+	}
+	c := &Counter{}
+	v.f.series[label] = c
+	return c
+}
+
+// ---- gauges ----
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, "", nil)
+	g := &Gauge{}
+	f.series[""] = g
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at render
+// time — for live values owned elsewhere (pool queue depth, store
+// state).
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	f := r.register(name, help, kindGauge, "", nil)
+	f.fn = fn
+}
+
+// ---- histograms ----
+
+// DefBuckets are the default histogram bounds in seconds, spanning
+// sub-millisecond span phases to minute-scale optimizations.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram counts observations into fixed buckets. Observe is
+// lock-free and allocation-free.
+type Histogram struct {
+	buckets []float64
+	counts  []atomic.Int64 // len(buckets)+1; last is +Inf
+	sumBits atomic.Uint64  // float64 bits of the observation sum
+	count   atomic.Int64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram buckets not strictly increasing at %d", i))
+		}
+	}
+	return &Histogram{buckets: buckets, counts: make([]atomic.Int64, len(buckets)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := len(h.buckets)
+	for i, ub := range h.buckets {
+		if v <= ub {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Histogram registers an unlabeled histogram with the given bucket
+// upper bounds (nil means DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.register(name, help, kindHistogram, "", buckets)
+	h := newHistogram(buckets)
+	f.series[""] = h
+	return h
+}
+
+// HistogramVec is a histogram family with one label dimension.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family (nil buckets means
+// DefBuckets).
+func (r *Registry) HistogramVec(name, help, labelKey string, buckets []float64) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labelKey, buckets)}
+}
+
+// With returns the histogram for the label value, creating it on first
+// use.
+func (v *HistogramVec) With(label string) *Histogram {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if h, ok := v.f.series[label]; ok {
+		return h.(*Histogram)
+	}
+	h := newHistogram(v.f.buckets)
+	v.f.series[label] = h
+	return h
+}
+
+// ---- exposition ----
+
+// WritePrometheus renders a snapshot of every family in the Prometheus
+// text exposition format (version 0.0.4): HELP and TYPE per family,
+// series sorted by label value, histogram buckets cumulative with +Inf,
+// _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		f.render(bw)
+	}
+	return bw.Flush()
+}
+
+func (f *family) render(w io.Writer) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fn != nil {
+		fmt.Fprintf(w, "%s %d\n", f.name, f.fn())
+		return
+	}
+	labels := make([]string, 0, len(f.series))
+	for l := range f.series {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		switch m := f.series[l].(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, f.labelPair(l, ""), m.Value())
+		case *Gauge:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, f.labelPair(l, ""), m.Value())
+		case *Histogram:
+			cum := int64(0)
+			for i, ub := range m.buckets {
+				cum += m.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, f.labelPair(l, formatFloat(ub)), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, f.labelPair(l, "+Inf"), m.Count())
+			fmt.Fprintf(w, "%s_sum%s %g\n", f.name, f.labelPair(l, ""), m.Sum())
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, f.labelPair(l, ""), m.Count())
+		}
+	}
+}
+
+// labelPair renders the series label set: the family's label (if any)
+// plus the histogram le bound (if any).
+func (f *family) labelPair(labelValue, le string) string {
+	switch {
+	case f.labelKey == "" && le == "":
+		return ""
+	case f.labelKey == "":
+		return fmt.Sprintf(`{le=%q}`, le)
+	case le == "":
+		return fmt.Sprintf(`{%s=%q}`, f.labelKey, labelValue)
+	default:
+		return fmt.Sprintf(`{%s=%q,le=%q}`, f.labelKey, labelValue, le)
+	}
+}
+
+// formatFloat renders a bucket bound the way Prometheus clients do:
+// shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

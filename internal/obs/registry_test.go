@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistryCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Ops.")
+	g := r.Gauge("test_depth", "Depth.")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-2)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP test_ops_total Ops.",
+		"# TYPE test_ops_total counter",
+		"test_ops_total 5",
+		"# TYPE test_depth gauge",
+		"test_depth 5",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := int64(0)
+	r.CounterFunc("test_live_total", "Live counter.", func() int64 { return n })
+	r.GaugeFunc("test_live_gauge", "Live gauge.", func() int64 { return n * 2 })
+	n = 21
+	out := render(t, r)
+	if !strings.Contains(out, "test_live_total 21\n") || !strings.Contains(out, "test_live_gauge 42\n") {
+		t.Fatalf("func metrics not rendered live:\n%s", out)
+	}
+}
+
+func TestRegistryCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_by_kind_total", "By kind.", "kind")
+	v.With("b").Add(2)
+	v.With("a").Inc()
+	if got := v.With("b"); got.Value() != 2 {
+		t.Fatalf("With not cached: %d", got.Value())
+	}
+	out := render(t, r)
+	ia := strings.Index(out, `test_by_kind_total{kind="a"} 1`)
+	ib := strings.Index(out, `test_by_kind_total{kind="b"} 2`)
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("labeled series missing or unsorted:\n%s", out)
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-55.55) > 1e-9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		`test_lat_seconds_bucket{le="0.1"} 1`,
+		`test_lat_seconds_bucket{le="1"} 2`,
+		`test_lat_seconds_bucket{le="10"} 3`,
+		`test_lat_seconds_bucket{le="+Inf"} 4`,
+		`test_lat_seconds_sum 55.55`,
+		`test_lat_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("test_phase_seconds", "Phase.", "phase", []float64{1})
+	v.With("decode").Observe(0.5)
+	v.With("emit").Observe(2)
+	out := render(t, r)
+	for _, want := range []string{
+		`test_phase_seconds_bucket{phase="decode",le="1"} 1`,
+		`test_phase_seconds_bucket{phase="decode",le="+Inf"} 1`,
+		`test_phase_seconds_bucket{phase="emit",le="1"} 0`,
+		`test_phase_seconds_bucket{phase="emit",le="+Inf"} 1`,
+		`test_phase_seconds_sum{phase="emit"} 2`,
+		`test_phase_seconds_count{phase="decode"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("test_dup_total", "y")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid name did not panic")
+		}
+	}()
+	r.Counter("bad-name", "x")
+}
+
+func TestRegistryBadBucketsPanic(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing buckets did not panic")
+		}
+	}()
+	r.Histogram("test_bad_seconds", "x", []float64{1, 1})
+}
+
+// TestRegistryExpositionLints is the strict end-to-end check: a registry
+// exercising every metric kind must produce output our own linter (and
+// therefore a Prometheus scraper) accepts.
+func TestRegistryExpositionLints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_a_total", "A.").Inc()
+	r.Gauge("test_b", "B.").Set(3)
+	r.CounterFunc("test_c_total", "C.", func() int64 { return 9 })
+	v := r.CounterVec("test_d_total", "D.", "kind")
+	v.With("x").Inc()
+	v.With("y").Add(2)
+	r.Histogram("test_e_seconds", "E.", nil).Observe(0.42)
+	hv := r.HistogramVec("test_f_seconds", "F.", "phase", []float64{0.1, 1})
+	hv.With("p1").Observe(0.05)
+	hv.With("p2").Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := LintPrometheusText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition failed lint: %v\n%s", err, buf.String())
+	}
+	if exp.Types["test_e_seconds"] != "histogram" {
+		t.Fatalf("types = %v", exp.Types)
+	}
+}
+
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	h := newHistogram(DefBuckets)
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(0.01) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocs = %v, want 0", allocs)
+	}
+}
+
+func TestCounterIncZeroAlloc(t *testing.T) {
+	c := &Counter{}
+	allocs := testing.AllocsPerRun(1000, func() { c.Inc() })
+	if allocs != 0 {
+		t.Fatalf("Inc allocs = %v, want 0", allocs)
+	}
+}
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func BenchmarkRegistryCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "x")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkRegistryHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "x", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) / 1024)
+	}
+}

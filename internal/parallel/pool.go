@@ -20,13 +20,24 @@ type Task func(ctx context.Context)
 // caller can apply backpressure (HTTP 429), and drains gracefully on
 // shutdown.
 type Pool struct {
-	tasks   chan Task
+	tasks   chan queuedTask
 	ctx     context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	closed  bool
 	running atomic.Int64
+	// waitHook, when set, observes each task's queue wait (enqueue to
+	// worker pickup) — the latency a full pool hides from callers.
+	waitHook atomic.Pointer[func(time.Duration)]
+}
+
+// queuedTask carries the task plus its enqueue timestamp so workers can
+// report queue wait. The channel send happens-before the receive, so
+// the worker's reading of enqueued is race-free.
+type queuedTask struct {
+	fn       Task
+	enqueued time.Time
 }
 
 // NewPool starts workers goroutines consuming a queue of at most depth
@@ -40,7 +51,7 @@ func NewPool(workers, depth int) *Pool {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Pool{
-		tasks:  make(chan Task, depth),
+		tasks:  make(chan queuedTask, depth),
 		ctx:    ctx,
 		cancel: cancel,
 	}
@@ -50,13 +61,27 @@ func NewPool(workers, depth int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for t := range p.tasks {
+				if h := p.waitHook.Load(); h != nil {
+					(*h)(time.Since(t.enqueued))
+				}
 				p.running.Add(1)
-				t(p.ctx)
+				t.fn(p.ctx)
 				p.running.Add(-1)
 			}
 		}()
 	}
 	return p
+}
+
+// SetQueueWaitHook registers f to observe every task's queue wait, e.g.
+// feeding a layoutd_queue_wait_seconds histogram. Safe to call at any
+// time; nil clears the hook.
+func (p *Pool) SetQueueWaitHook(f func(wait time.Duration)) {
+	if f == nil {
+		p.waitHook.Store(nil)
+		return
+	}
+	p.waitHook.Store(&f)
 }
 
 // TrySubmit enqueues t without blocking. It reports false when the
@@ -69,7 +94,7 @@ func (p *Pool) TrySubmit(t Task) bool {
 		return false
 	}
 	select {
-	case p.tasks <- t:
+	case p.tasks <- queuedTask{fn: t, enqueued: time.Now()}:
 		return true
 	default:
 		return false

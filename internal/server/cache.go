@@ -1,12 +1,14 @@
 package server
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"sync"
 
+	"codelayout/internal/obs"
 	"codelayout/internal/store"
 )
 
@@ -43,15 +45,19 @@ func resultDigest(traceDigest, prog, optimizer string, pruneTopN int) string {
 }
 
 // get returns the cached result for the digest, if present, consulting
-// the durable tier on a memory miss.
-func (c *resultCache) get(digest string) (*Result, bool) {
+// the durable tier on a memory miss. The disk read is recorded as a
+// store.read span on ctx's recorder, if any.
+func (c *resultCache) get(ctx context.Context, digest string) (*Result, bool) {
 	c.mu.RLock()
 	r, ok := c.results[digest]
 	c.mu.RUnlock()
 	if ok || c.disk == nil {
 		return r, ok
 	}
+	sp := obs.StartSpan(ctx, "store.read")
 	data, ok := c.disk.Get(digest)
+	sp.SetAttr("bytes", int64(len(data)))
+	sp.End()
 	if !ok {
 		return nil, false
 	}
@@ -68,15 +74,19 @@ func (c *resultCache) get(digest string) (*Result, bool) {
 }
 
 // put stores a completed result under its digest in both tiers. The
-// durable write is write-behind: it never blocks the job path.
-func (c *resultCache) put(r *Result) {
+// durable write is write-behind: the store.write span covers only the
+// marshal and enqueue, never the disk.
+func (c *resultCache) put(ctx context.Context, r *Result) {
 	c.mu.Lock()
 	c.results[r.Digest] = r
 	c.mu.Unlock()
 	if c.disk != nil {
+		sp := obs.StartSpan(ctx, "store.write")
 		if data, err := json.Marshal(r); err == nil {
+			sp.SetAttr("bytes", int64(len(data)))
 			c.disk.Put(r.Digest, data)
 		}
+		sp.End()
 	}
 }
 

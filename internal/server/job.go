@@ -2,11 +2,13 @@ package server
 
 import (
 	"context"
+	"log/slog"
 	"sync"
 	"time"
 
 	"codelayout/internal/core"
 	"codelayout/internal/ir"
+	"codelayout/internal/obs"
 	"codelayout/internal/trace"
 )
 
@@ -62,8 +64,10 @@ type jobRequest struct {
 	ctx context.Context
 }
 
-// Job is one submission's mutable state. All fields behind mu; the
-// JSON view is built under the lock.
+// Job is one submission's mutable state. All fields behind mu except
+// the observability handles (traceID, rec, logger), which are set once
+// at creation and read-only after; the JSON view is built under the
+// lock.
 type Job struct {
 	mu       sync.Mutex
 	id       string
@@ -78,29 +82,96 @@ type Job struct {
 	// cancel tears down the job's context (jobRequest.ctx); set for
 	// every queued job, called by DELETE and by job completion.
 	cancel func()
+
+	// traceID correlates every log line, span, and debug summary the
+	// job produces.
+	traceID string
+	// rec is the job's bounded span buffer, served at
+	// GET /v1/jobs/{id}/trace.
+	rec *obs.Recorder
+	// logger is pre-bound with trace_id and job id.
+	logger *slog.Logger
+	// progName/optName feed the debug-ring summary.
+	progName string
+	optName  string
+	// traceBytes is the upload size counted in layoutd_inflight_bytes
+	// while the job is queued or running (0 for cache hits).
+	traceBytes int64
 }
 
 // jobView is the wire representation of a job.
 type jobView struct {
-	ID     string  `json:"id"`
-	Status string  `json:"status"`
-	Digest string  `json:"digest"`
-	Cached bool    `json:"cached"`
-	Error  string  `json:"error,omitempty"`
-	Result *Result `json:"result,omitempty"`
+	ID      string  `json:"id"`
+	Status  string  `json:"status"`
+	Digest  string  `json:"digest"`
+	TraceID string  `json:"traceId,omitempty"`
+	Cached  bool    `json:"cached"`
+	Error   string  `json:"error,omitempty"`
+	Result  *Result `json:"result,omitempty"`
 }
 
 func (j *Job) view() jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return jobView{
-		ID:     j.id,
-		Status: j.status,
-		Digest: j.digest,
-		Cached: j.cached,
-		Error:  j.err,
-		Result: j.result,
+		ID:      j.id,
+		Status:  j.status,
+		Digest:  j.digest,
+		TraceID: j.traceID,
+		Cached:  j.cached,
+		Error:   j.err,
+		Result:  j.result,
 	}
+}
+
+// spanView is one span in the wire timeline.
+type spanView struct {
+	Name    string           `json:"name"`
+	StartMS float64          `json:"start_ms"`
+	DurMS   float64          `json:"dur_ms"` // -1 while still in progress
+	Attrs   map[string]int64 `json:"attrs,omitempty"`
+}
+
+// traceView is the wire representation of GET /v1/jobs/{id}/trace:
+// the job's recorded span timeline, offsets relative to submission.
+type traceView struct {
+	JobID   string     `json:"job_id"`
+	TraceID string     `json:"trace_id"`
+	Status  string     `json:"status"`
+	Spans   []spanView `json:"spans"`
+	Dropped int64      `json:"dropped,omitempty"`
+}
+
+func (j *Job) traceTimeline() traceView {
+	tv := traceView{
+		JobID:   j.id,
+		TraceID: j.traceID,
+		Status:  j.statusNow(),
+	}
+	if j.rec == nil {
+		return tv
+	}
+	spans, dropped := j.rec.Snapshot()
+	tv.Dropped = dropped
+	tv.Spans = make([]spanView, len(spans))
+	for i, sd := range spans {
+		sv := spanView{
+			Name:    sd.Name,
+			StartMS: float64(sd.Start) / float64(time.Millisecond),
+			DurMS:   float64(sd.Dur) / float64(time.Millisecond),
+		}
+		if sd.Dur < 0 {
+			sv.DurMS = -1
+		}
+		if sd.NAttr > 0 {
+			sv.Attrs = make(map[string]int64, sd.NAttr)
+			for a := 0; a < sd.NAttr; a++ {
+				sv.Attrs[sd.Attrs[a].Key] = sd.Attrs[a].Value
+			}
+		}
+		tv.Spans[i] = sv
+	}
+	return tv
 }
 
 // tryStart moves a queued job to running; it reports false when the

@@ -1,142 +1,111 @@
 package server
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
-	"time"
+	"codelayout/internal/obs"
+	"codelayout/internal/store"
 )
 
-// metrics is layoutd's dependency-free telemetry: monotonic counters,
-// one gauge read from the pool, and a per-optimizer latency histogram,
-// rendered in the Prometheus text exposition format so any scraper (or
-// grep in the smoke test) can consume it.
-type metrics struct {
-	mu        sync.Mutex
-	accepted  int64
-	completed int64
-	failed    int64
-	rejected  int64
-	canceled  int64
-	cacheHits int64
-	latency   map[string]*histogram
+// latencyBucketsMS are the per-optimizer latency histogram upper bounds
+// in milliseconds (kept from the pre-registry exposition so dashboards
+// survive the migration).
+var latencyBucketsMS = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+
+// serverMetrics is layoutd's telemetry, registered on one obs.Registry
+// so job, pool, store, and phase metrics share a namespace and a single
+// Prometheus exposition. Counters the request path increments live here
+// as *obs.Counter (lock-free); values owned by other subsystems — pool
+// queue depth, store stats — are registered as funcs read live at
+// scrape time.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	accepted     *obs.Counter
+	completed    *obs.Counter
+	failed       *obs.Counter
+	rejected     *obs.Counter
+	canceled     *obs.Counter
+	cacheHits    *obs.Counter
+	spansDropped *obs.Counter
+
+	inflightBytes *obs.Gauge
+
+	queueWait *obs.Histogram
+	phase     *obs.HistogramVec
+	latency   *obs.HistogramVec
 }
 
-// latencyBucketsMS are the histogram upper bounds in milliseconds.
-var latencyBucketsMS = [...]float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+// newServerMetrics registers every family. Registration order is
+// exposition order. The store family is registered only when the server
+// has a durable tier, matching the pre-registry behavior of omitting it
+// when running memory-only.
+func newServerMetrics(s *Server) *serverMetrics {
+	r := obs.NewRegistry()
+	m := &serverMetrics{reg: r}
 
-type histogram struct {
-	counts [len(latencyBucketsMS) + 1]int64 // one per bucket plus +Inf
-	sumMS  float64
-	total  int64
-}
+	m.accepted = r.Counter("layoutd_jobs_accepted_total", "Jobs accepted into the queue.")
+	m.completed = r.Counter("layoutd_jobs_completed_total", "Jobs that produced a layout.")
+	m.failed = r.Counter("layoutd_jobs_failed_total", "Jobs that errored.")
+	m.rejected = r.Counter("layoutd_jobs_rejected_total", "Submissions rejected with 429 (queue full).")
+	m.canceled = r.Counter("layoutd_jobs_canceled_total", "Queued jobs canceled via DELETE /v1/jobs/{id}.")
+	m.cacheHits = r.Counter("layoutd_cache_hits_total", "Submissions served from the content-addressed cache.")
+	r.GaugeFunc("layoutd_queue_depth", "Jobs accepted but not yet running.",
+		func() int64 { return int64(s.pool.QueueDepth()) })
+	r.GaugeFunc("layoutd_jobs_running", "Jobs currently optimizing.",
+		func() int64 { return int64(s.pool.Running()) })
+	r.GaugeFunc("layoutd_jobs_tracked", "Job-status records held (bounded by retention).",
+		func() int64 { return int64(s.JobsTracked()) })
+	m.inflightBytes = r.Gauge("layoutd_inflight_bytes",
+		"Trace bytes held by queued and running jobs.")
+	m.spansDropped = r.Counter("layoutd_spans_dropped_total",
+		"Spans lost to per-job trace buffer bounds.")
 
-func newMetrics() *metrics {
-	return &metrics{latency: make(map[string]*histogram)}
-}
-
-func (m *metrics) incAccepted()  { m.mu.Lock(); m.accepted++; m.mu.Unlock() }
-func (m *metrics) incCompleted() { m.mu.Lock(); m.completed++; m.mu.Unlock() }
-func (m *metrics) incFailed()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }
-func (m *metrics) incRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
-func (m *metrics) incCanceled()  { m.mu.Lock(); m.canceled++; m.mu.Unlock() }
-func (m *metrics) incCacheHit()  { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
-
-// observeLatency records one completed optimization of the named
-// optimizer.
-func (m *metrics) observeLatency(optimizer string, d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h, ok := m.latency[optimizer]
-	if !ok {
-		h = &histogram{}
-		m.latency[optimizer] = h
+	if s.disk != nil {
+		d := s.disk
+		r.GaugeFunc("layoutd_store_state", "Durable store state: 1 = ok, 0 = degraded (memory-only).",
+			func() int64 {
+				if d.State() == store.StateOK {
+					return 1
+				}
+				return 0
+			})
+		r.GaugeFunc("layoutd_store_blobs", "Layout blobs held on disk.",
+			func() int64 { return int64(d.Stats().Blobs) })
+		r.GaugeFunc("layoutd_store_bytes", "Payload bytes held on disk (LRU-bounded).",
+			func() int64 { return d.Stats().Bytes })
+		r.CounterFunc("layoutd_store_hits_total", "Cache lookups served from the on-disk store.",
+			func() int64 { return d.Stats().Hits })
+		r.CounterFunc("layoutd_store_writes_total", "Blobs durably written.",
+			func() int64 { return d.Stats().Writes })
+		r.CounterFunc("layoutd_store_write_errors_total", "Failed blob writes (each trips the breaker).",
+			func() int64 { return d.Stats().WriteErrors })
+		r.CounterFunc("layoutd_store_read_errors_total", "Blob read I/O errors (repeats trip the breaker).",
+			func() int64 { return d.Stats().ReadErrors })
+		r.CounterFunc("layoutd_store_dropped_writes_total", "Writes dropped (queue full or store degraded).",
+			func() int64 { return d.Stats().Dropped })
+		r.CounterFunc("layoutd_store_evictions_total", "Blobs evicted by the byte bound.",
+			func() int64 { return d.Stats().Evictions })
+		r.CounterFunc("layoutd_store_quarantined_total", "Blobs quarantined as truncated or corrupt.",
+			func() int64 { return d.Stats().Quarantined })
+		r.CounterFunc("layoutd_store_recoveries_total", "Degraded-to-ok breaker transitions.",
+			func() int64 { return d.Stats().Recoveries })
 	}
-	h.sumMS += ms
-	h.total++
-	for i, ub := range latencyBucketsMS {
-		if ms <= ub {
-			h.counts[i]++
-			return
+
+	m.queueWait = r.Histogram("layoutd_queue_wait_seconds",
+		"Time jobs spend in the pool queue before a worker picks them up.", nil)
+	m.phase = r.HistogramVec("layoutd_phase_seconds",
+		"Wall time per pipeline phase, from per-job trace spans.", "phase", nil)
+	m.latency = r.HistogramVec("layoutd_optimize_latency_ms",
+		"Optimization latency per optimizer.", "optimizer", latencyBucketsMS)
+	return m
+}
+
+// observePhases folds a job's completed trace spans into the per-phase
+// histograms (in-progress spans, Dur < 0, are skipped).
+func (m *serverMetrics) observePhases(spans []obs.SpanData) {
+	for _, sd := range spans {
+		if sd.Dur < 0 {
+			continue
 		}
+		m.phase.With(sd.Name).Observe(sd.Dur.Seconds())
 	}
-	h.counts[len(latencyBucketsMS)]++
-}
-
-// storeView is the snapshot of the durable tier render needs; nil
-// means the daemon runs memory-only and the store metric family is
-// omitted.
-type storeView struct {
-	ok          bool // breaker closed (disk trusted)
-	blobs       int
-	bytes       int64
-	hits        int64
-	writes      int64
-	writeErrors int64
-	dropped     int64
-	evictions   int64
-	quarantined int64
-	recoveries  int64
-}
-
-// render writes the exposition text. queueDepth, running, jobsTracked
-// and sv are read live by the caller.
-func (m *metrics) render(queueDepth, running, jobsTracked int, sv *storeView) string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var b strings.Builder
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-	counter("layoutd_jobs_accepted_total", "Jobs accepted into the queue.", m.accepted)
-	counter("layoutd_jobs_completed_total", "Jobs that produced a layout.", m.completed)
-	counter("layoutd_jobs_failed_total", "Jobs that errored.", m.failed)
-	counter("layoutd_jobs_rejected_total", "Submissions rejected with 429 (queue full).", m.rejected)
-	counter("layoutd_jobs_canceled_total", "Queued jobs canceled via DELETE /v1/jobs/{id}.", m.canceled)
-	counter("layoutd_cache_hits_total", "Submissions served from the content-addressed cache.", m.cacheHits)
-	gauge("layoutd_queue_depth", "Jobs accepted but not yet running.", int64(queueDepth))
-	gauge("layoutd_jobs_running", "Jobs currently optimizing.", int64(running))
-	gauge("layoutd_jobs_tracked", "Job-status records held (bounded by retention).", int64(jobsTracked))
-	if sv != nil {
-		state := int64(0)
-		if sv.ok {
-			state = 1
-		}
-		gauge("layoutd_store_state", "Durable store state: 1 = ok, 0 = degraded (memory-only).", state)
-		gauge("layoutd_store_blobs", "Layout blobs held on disk.", int64(sv.blobs))
-		gauge("layoutd_store_bytes", "Payload bytes held on disk (LRU-bounded).", sv.bytes)
-		counter("layoutd_store_hits_total", "Cache lookups served from the on-disk store.", sv.hits)
-		counter("layoutd_store_writes_total", "Blobs durably written.", sv.writes)
-		counter("layoutd_store_write_errors_total", "Failed blob writes (each trips the breaker).", sv.writeErrors)
-		counter("layoutd_store_dropped_writes_total", "Writes dropped (queue full or store degraded).", sv.dropped)
-		counter("layoutd_store_evictions_total", "Blobs evicted by the byte bound.", sv.evictions)
-		counter("layoutd_store_quarantined_total", "Blobs quarantined as truncated or corrupt.", sv.quarantined)
-		counter("layoutd_store_recoveries_total", "Degraded-to-ok breaker transitions.", sv.recoveries)
-	}
-
-	names := make([]string, 0, len(m.latency))
-	for n := range m.latency {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	if len(names) > 0 {
-		b.WriteString("# HELP layoutd_optimize_latency_ms Optimization latency per optimizer.\n# TYPE layoutd_optimize_latency_ms histogram\n")
-	}
-	for _, n := range names {
-		h := m.latency[n]
-		cum := int64(0)
-		for i, ub := range latencyBucketsMS {
-			cum += h.counts[i]
-			fmt.Fprintf(&b, "layoutd_optimize_latency_ms_bucket{optimizer=%q,le=\"%g\"} %d\n", n, ub, cum)
-		}
-		fmt.Fprintf(&b, "layoutd_optimize_latency_ms_bucket{optimizer=%q,le=\"+Inf\"} %d\n", n, h.total)
-		fmt.Fprintf(&b, "layoutd_optimize_latency_ms_sum{optimizer=%q} %g\n", n, h.sumMS)
-		fmt.Fprintf(&b, "layoutd_optimize_latency_ms_count{optimizer=%q} %d\n", n, h.total)
-	}
-	return b.String()
 }

@@ -10,13 +10,23 @@
 // the same profile never recomputes. GET /metrics exposes counters and
 // per-optimizer latency histograms with no external dependencies.
 //
+// Observability (internal/obs) is threaded through the whole job path:
+// every submission gets a trace_id carried on context.Context into the
+// pool workers, the optimizer pipeline, and the store; pipeline phases
+// are recorded as spans in a bounded per-job buffer and folded into
+// per-phase latency histograms; and all metrics live on one
+// obs.Registry rendered at /metrics.
+//
 // Endpoints:
 //
 //	POST /v1/jobs?prog=<suite program>&opt=<optimizer>[&prune=<topN>]
 //	     body: raw CLTR trace, or multipart/form-data with a "trace" file
 //	GET  /v1/jobs/{id}        job status and, when done, the result
+//	GET  /v1/jobs/{id}/trace  the job's span timeline
+//	DELETE /v1/jobs/{id}      cancel a still-queued job
 //	GET  /v1/layouts/{digest} cached result by content address
 //	GET  /v1/optimizers       the optimizer registry
+//	GET  /v1/debug/jobs       ring of recent job summaries
 //	GET  /healthz             liveness
 //	GET  /metrics             Prometheus-format text
 package server
@@ -27,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"mime"
 	"mime/multipart"
 	"net/http"
@@ -41,6 +52,7 @@ import (
 	"codelayout/internal/core"
 	"codelayout/internal/ir"
 	"codelayout/internal/layout"
+	"codelayout/internal/obs"
 	"codelayout/internal/parallel"
 	"codelayout/internal/stats"
 	"codelayout/internal/store"
@@ -75,6 +87,17 @@ type Config struct {
 	// server takes ownership: Shutdown drains its write-behind queue and
 	// closes it. Nil means the cache is memory-only.
 	Store *store.Store
+	// Logger receives structured request/job logs; nil means silent
+	// (obs.NopLogger). Per-job loggers derived from it carry trace_id
+	// and job id on every line.
+	Logger *slog.Logger
+	// SpanBufferSize bounds each job's span recorder; spans beyond it
+	// are dropped and counted in layoutd_spans_dropped_total. 0 means
+	// obs.DefaultSpanCapacity.
+	SpanBufferSize int
+	// DebugJobRing bounds the recent-job summaries at /v1/debug/jobs;
+	// 0 means DefaultDebugJobRing.
+	DebugJobRing int
 }
 
 // Defaults for zero Config fields.
@@ -93,7 +116,9 @@ type Server struct {
 	pool    *parallel.Pool
 	cache   *resultCache
 	disk    *store.Store // nil: memory-only
-	metrics *metrics
+	metrics *serverMetrics
+	logger  *slog.Logger
+	ring    *debugRing
 	mux     *http.ServeMux
 
 	mu     sync.Mutex
@@ -141,23 +166,33 @@ func New(cfg Config) *Server {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = DefaultMaxJobs
 	}
-	s := &Server{
-		cfg:     cfg,
-		pool:    parallel.NewPool(cfg.JobWorkers, cfg.QueueDepth),
-		cache:   newResultCache(cfg.Store),
-		disk:    cfg.Store,
-		metrics: newMetrics(),
-		jobs:    make(map[string]*Job),
-		progs:   make(map[string]*progEntry),
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger
 	}
+	s := &Server{
+		cfg:    cfg,
+		pool:   parallel.NewPool(cfg.JobWorkers, cfg.QueueDepth),
+		cache:  newResultCache(cfg.Store),
+		disk:   cfg.Store,
+		logger: cfg.Logger,
+		ring:   newDebugRing(cfg.DebugJobRing),
+		jobs:   make(map[string]*Job),
+		progs:  make(map[string]*progEntry),
+	}
+	s.metrics = newServerMetrics(s)
+	s.pool.SetQueueWaitHook(func(wait time.Duration) {
+		s.metrics.queueWait.Observe(wait.Seconds())
+	})
 	s.optimize = s.runOptimize
 	s.now = time.Now
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/layouts/{digest}", s.handleLayout)
 	mux.HandleFunc("GET /v1/optimizers", s.handleOptimizers)
+	mux.HandleFunc("GET /v1/debug/jobs", s.handleDebugJobs)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
@@ -195,6 +230,14 @@ func (s *Server) StoreState() (store.State, bool) {
 // ---- submission ----
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Every submission gets a trace ID and a bounded span recorder up
+	// front, so even the decode of a rejected upload is attributed.
+	traceID := obs.NewTraceID()
+	logger := s.logger.With("trace_id", traceID)
+	rec := obs.NewRecorder(s.cfg.SpanBufferSize)
+	rec.SetDropHook(s.metrics.spansDropped.Inc)
+	ctx := obs.WithTraceID(obs.WithLogger(obs.WithRecorder(r.Context(), rec), logger), traceID)
+
 	progName := r.URL.Query().Get("prog")
 	optName := r.URL.Query().Get("opt")
 	pruneStr := r.URL.Query().Get("prune")
@@ -229,20 +272,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Decode the upload incrementally while fingerprinting the bytes.
-	hr := trace.NewHashingReader(body)
-	dec, err := trace.NewDecoder(hr)
+	tr, hr, err := decodeUpload(ctx, body)
 	if err != nil {
-		httpError(w, badBodyStatus(err), err)
-		return
-	}
-	tr, err := dec.Decode()
-	if err != nil {
-		httpError(w, badBodyStatus(err), err)
-		return
-	}
-	// Drain trailing bytes so the digest covers the whole upload.
-	if _, err := io.Copy(io.Discard, hr); err != nil {
+		logger.Warn("trace decode failed", "error", err)
 		httpError(w, badBodyStatus(err), err)
 		return
 	}
@@ -271,25 +303,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	req.ctx = jobCtx
 
 	j := &Job{
-		id:      fmt.Sprintf("job-%d", s.nextID.Add(1)),
-		status:  StatusQueued,
-		digest:  req.digest,
-		created: time.Now(),
-		cancel:  jobCancel,
+		id:       fmt.Sprintf("job-%d", s.nextID.Add(1)),
+		status:   StatusQueued,
+		digest:   req.digest,
+		created:  time.Now(),
+		cancel:   jobCancel,
+		traceID:  traceID,
+		rec:      rec,
+		progName: progName,
+		optName:  optName,
 	}
+	j.logger = logger.With("job", j.id)
 
 	// Content-addressed fast path: an identical (trace, optimizer,
 	// params) submission completes instantly from the cache.
-	if res, ok := s.cache.get(req.digest); ok {
+	if res, ok := s.cache.get(ctx, req.digest); ok {
 		j.cached = true
 		j.complete(res)
 		s.storeJob(j)
-		s.metrics.incAccepted()
-		s.metrics.incCacheHit()
+		s.metrics.accepted.Inc()
+		s.metrics.cacheHits.Inc()
+		s.finish(j)
 		writeJSON(w, http.StatusOK, j.view())
 		return
 	}
 
+	// Account the trace bytes as in flight before the submit: once the
+	// pool has the task, a worker may reach finish (which releases them)
+	// at any moment.
+	j.traceBytes = hr.BytesRead()
+	s.metrics.inflightBytes.Add(j.traceBytes)
 	s.storeJob(j)
 	accepted := s.pool.TrySubmit(func(poolCtx context.Context) {
 		s.runJob(poolCtx, j, req)
@@ -297,13 +340,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !accepted {
 		s.dropJob(j.id)
 		jobCancel()
-		s.metrics.incRejected()
+		s.metrics.inflightBytes.Add(-j.traceBytes)
+		s.metrics.rejected.Inc()
+		logger.Warn("job rejected: queue full", "job", j.id)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, errors.New("job queue full"))
 		return
 	}
-	s.metrics.incAccepted()
+	s.metrics.accepted.Inc()
+	j.logger.Info("job accepted",
+		"prog", progName, "opt", optName, "prune", pruneTopN,
+		"trace_bytes", hr.BytesRead(), "trace_refs", tr.Len(), "digest", req.digest)
 	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// decodeUpload decodes the streamed CLTR body while fingerprinting and
+// counting its bytes, under a trace.decode span. Trailing bytes are
+// drained so the digest covers the whole upload.
+func decodeUpload(ctx context.Context, body io.Reader) (*trace.Trace, *trace.HashingReader, error) {
+	sp := obs.StartSpan(ctx, "trace.decode")
+	defer sp.End()
+	hr := trace.NewHashingReader(body)
+	dec, err := trace.NewDecoder(hr)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := dec.Decode()
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := io.Copy(io.Discard, hr); err != nil {
+		return nil, nil, err
+	}
+	sp.SetAttr("bytes", hr.BytesRead())
+	sp.SetAttr("refs", int64(tr.Len()))
+	return tr, hr, nil
 }
 
 // traceBody returns the reader holding the CLTR bytes, resolving
@@ -371,35 +442,93 @@ func badBodyStatus(err error) int {
 
 // runJob is the pool task: honor the job deadline (queue wait counts)
 // and the job's own context (DELETE cancellation), run the
-// optimization, publish the result to the cache.
+// optimization, publish the result to the cache. The job's recorder,
+// logger, and trace ID ride the pipeline context from here down.
 func (s *Server) runJob(poolCtx context.Context, j *Job, req *jobRequest) {
+	// The time between acceptance and this worker picking the task up
+	// is queue wait; record it into the job's own timeline (the pool
+	// hook feeds the histogram).
+	if j.rec != nil {
+		j.rec.Record("queue.wait", j.created, time.Since(j.created))
+	}
 	ctx, cancel := context.WithDeadline(poolCtx, req.deadline)
 	defer cancel()
 	// Propagate a DELETE arriving after the job started into the
 	// pipeline context.
 	stop := context.AfterFunc(req.ctx, cancel)
 	defer stop()
+	ctx = obs.WithTraceID(obs.WithLogger(obs.WithRecorder(ctx, j.rec), j.logger), j.traceID)
 	if err := ctx.Err(); err != nil {
 		j.fail(fmt.Errorf("job expired before running: %w", err))
-		s.metrics.incFailed()
+		s.metrics.failed.Inc()
+		s.finish(j)
 		return
 	}
 	if !j.tryStart() {
 		// Canceled while queued: the DELETE handler already counted it.
 		return
 	}
+	j.logger.Info("job started",
+		"opt", req.opt.Name(), "queue_wait_ms", float64(time.Since(j.created))/float64(time.Millisecond))
 	start := time.Now()
+	sp := obs.StartSpan(ctx, "optimize")
 	res, err := s.optimize(ctx, req)
+	sp.End()
 	if err != nil {
 		j.fail(err)
-		s.metrics.incFailed()
+		s.metrics.failed.Inc()
+		s.finish(j)
 		return
 	}
-	res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
-	s.cache.put(res)
+	elapsed := time.Since(start)
+	res.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	s.cache.put(ctx, res)
 	j.complete(res)
-	s.metrics.incCompleted()
-	s.metrics.observeLatency(req.opt.Name(), time.Since(start))
+	s.metrics.completed.Inc()
+	s.metrics.latency.With(req.opt.Name()).Observe(res.ElapsedMS)
+	s.finish(j)
+}
+
+// finish is the single exit point for every terminal job: fold the
+// job's spans into the per-phase histograms, release its in-flight
+// bytes, push a summary onto the debug ring, and log the outcome. Call
+// exactly once per job, after its terminal status is set.
+func (s *Server) finish(j *Job) {
+	var spans []obs.SpanData
+	if j.rec != nil {
+		spans, _ = j.rec.Snapshot()
+	}
+	s.metrics.observePhases(spans)
+	if j.traceBytes > 0 {
+		s.metrics.inflightBytes.Add(-j.traceBytes)
+	}
+	v := j.view()
+	sum := jobSummary{
+		ID:        v.ID,
+		TraceID:   v.TraceID,
+		Status:    v.Status,
+		Prog:      j.progName,
+		Optimizer: j.optName,
+		Cached:    v.Cached,
+		Error:     v.Error,
+	}
+	if v.Result != nil {
+		sum.ElapsedMS = v.Result.ElapsedMS
+	}
+	s.ring.push(sum)
+	logger := j.logger
+	if logger == nil {
+		logger = obs.NopLogger
+	}
+	switch v.Status {
+	case StatusFailed:
+		logger.Error("job failed", "error", v.Error, "spans", len(spans))
+	case StatusCanceled:
+		logger.Info("job canceled", "spans", len(spans))
+	default:
+		logger.Info("job finished",
+			"cached", v.Cached, "elapsed_ms", sum.ElapsedMS, "spans", len(spans))
+	}
 }
 
 // runOptimize is the real pipeline: optimize the uploaded profile, then
@@ -420,9 +549,9 @@ func (s *Server) runOptimize(ctx context.Context, req *jobRequest) (*Result, err
 		return nil, fmt.Errorf("job deadline exceeded after optimization: %w", err)
 	}
 	cfg := cachesim.L1IDefault
-	before := cachesim.SimulateSolo(cfg,
+	before := cachesim.SimulateSoloCtx(ctx, cfg,
 		layout.NewReplayer(layout.Original(req.prog), req.trace, cfg.LineBytes, false)).Stats.MissRatio()
-	after := cachesim.SimulateSolo(cfg,
+	after := cachesim.SimulateSoloCtx(ctx, cfg,
 		layout.NewReplayer(l, req.trace, cfg.LineBytes, false)).Stats.MissRatio()
 	return &Result{
 		Digest:        req.digest,
@@ -468,13 +597,35 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("job %s is %s; only queued jobs can be canceled", id, j.statusNow()))
 		return
 	}
-	s.metrics.incCanceled()
+	s.metrics.canceled.Inc()
+	s.finish(j)
 	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleJobTrace is GET /v1/jobs/{id}/trace: the job's recorded span
+// timeline. Available at any point in the job's life — an in-progress
+// job shows its open spans with dur_ms = -1.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.traceTimeline())
+}
+
+// handleDebugJobs is GET /v1/debug/jobs: the bounded ring of recent
+// terminal-job summaries, newest first.
+func (s *Server) handleDebugJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]jobSummary{"jobs": s.ring.snapshot()})
 }
 
 func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
 	digest := r.PathValue("digest")
-	res, ok := s.cache.get(digest)
+	res, ok := s.cache.get(r.Context(), digest)
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no cached layout %q", digest))
 		return
@@ -502,23 +653,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	var sv *storeView
-	if s.disk != nil {
-		st := s.disk.Stats()
-		sv = &storeView{
-			ok:          st.State == store.StateOK,
-			blobs:       st.Blobs,
-			bytes:       st.Bytes,
-			hits:        st.Hits,
-			writes:      st.Writes,
-			writeErrors: st.WriteErrors,
-			dropped:     st.Dropped,
-			evictions:   st.Evictions,
-			quarantined: st.Quarantined,
-			recoveries:  st.Recoveries,
-		}
-	}
-	io.WriteString(w, s.metrics.render(s.pool.QueueDepth(), s.pool.Running(), s.JobsTracked(), sv))
+	_ = s.metrics.reg.WritePrometheus(w)
 }
 
 // ---- helpers ----

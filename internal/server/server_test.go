@@ -5,8 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
+	"log/slog"
 	"mime/multipart"
 	"net/http"
 	"net/http/httptest"
@@ -19,6 +19,7 @@ import (
 	"codelayout/internal/cachesim"
 	"codelayout/internal/core"
 	"codelayout/internal/layout"
+	"codelayout/internal/obs"
 	"codelayout/internal/trace"
 )
 
@@ -130,24 +131,37 @@ func waitJob(t *testing.T, ts *httptest.Server, id string) jobView {
 	return jobView{}
 }
 
-func metricValue(t *testing.T, ts *httptest.Server, name string) float64 {
+// scrapeMetrics fetches /metrics and parses it with the strict
+// Prometheus text parser, linting the whole exposition — every scrape
+// in the suite revalidates the full format, not just the lines a test
+// happens to look at.
+func scrapeMetrics(t *testing.T, ts *httptest.Server) *obs.Exposition {
 	t.Helper()
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
 	raw, _ := io.ReadAll(resp.Body)
-	for _, line := range strings.Split(string(raw), "\n") {
-		if strings.HasPrefix(line, name+" ") {
-			var v float64
-			if _, err := fmt.Sscanf(line, name+" %f", &v); err != nil {
-				t.Fatalf("parsing metric line %q: %v", line, err)
-			}
-			return v
+	exp, err := obs.LintPrometheusText(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("strict parse/lint of /metrics failed: %v\n%s", err, raw)
+	}
+	return exp
+}
+
+func metricValue(t *testing.T, ts *httptest.Server, name string) float64 {
+	t.Helper()
+	exp := scrapeMetrics(t, ts)
+	for _, s := range exp.Series {
+		if s.Name == name && len(s.Labels) == 0 {
+			return s.Value
 		}
 	}
-	t.Fatalf("metric %s not found in:\n%s", name, raw)
+	t.Fatalf("metric %s not found in exposition", name)
 	return 0
 }
 
@@ -492,22 +506,260 @@ func TestHealthAndRegistry(t *testing.T) {
 	}
 }
 
-// TestMetricsHistogram: latency observations land in the per-optimizer
-// histogram with consistent bucket cumulation.
-func TestMetricsHistogram(t *testing.T) {
-	m := newMetrics()
-	m.observeLatency("func-trg", 3*time.Millisecond)
-	m.observeLatency("func-trg", 30*time.Millisecond)
-	m.observeLatency("func-trg", time.Minute)
-	out := m.render(0, 0, 0, nil)
-	for _, want := range []string{
-		`layoutd_optimize_latency_ms_bucket{optimizer="func-trg",le="5"} 1`,
-		`layoutd_optimize_latency_ms_bucket{optimizer="func-trg",le="50"} 2`,
-		`layoutd_optimize_latency_ms_bucket{optimizer="func-trg",le="+Inf"} 3`,
-		`layoutd_optimize_latency_ms_count{optimizer="func-trg"} 3`,
-	} {
-		if !strings.Contains(out, want) {
-			t.Errorf("metrics missing %q in:\n%s", want, out)
+// seriesValue finds one series by name and exact label set in a parsed
+// exposition.
+func seriesValue(t *testing.T, exp *obs.Exposition, name string, labels map[string]string) float64 {
+	t.Helper()
+	for _, s := range exp.Series {
+		if s.Name != name || len(s.Labels) != len(labels) {
+			continue
 		}
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value
+		}
+	}
+	t.Fatalf("series %s%v not found in exposition", name, labels)
+	return 0
+}
+
+// TestMetricsHistogram: latency observations land in the per-optimizer
+// histogram with consistent bucket cumulation, and the whole exposition
+// survives the strict parser + linter.
+func TestMetricsHistogram(t *testing.T) {
+	s, ts := newTestServer(t, Config{JobWorkers: 1, QueueDepth: 1})
+	s.metrics.latency.With("func-trg").Observe(3)
+	s.metrics.latency.With("func-trg").Observe(30)
+	s.metrics.latency.With("func-trg").Observe(60000)
+	exp := scrapeMetrics(t, ts)
+	for le, want := range map[string]float64{"5": 1, "50": 2, "+Inf": 3} {
+		got := seriesValue(t, exp, "layoutd_optimize_latency_ms_bucket",
+			map[string]string{"optimizer": "func-trg", "le": le})
+		if got != want {
+			t.Errorf("latency bucket le=%s = %v, want %v", le, got, want)
+		}
+	}
+	if got := seriesValue(t, exp, "layoutd_optimize_latency_ms_count",
+		map[string]string{"optimizer": "func-trg"}); got != 3 {
+		t.Errorf("latency count = %v, want 3", got)
+	}
+	if typ := exp.Types["layoutd_optimize_latency_ms"]; typ != "histogram" {
+		t.Errorf("latency TYPE = %q, want histogram", typ)
+	}
+}
+
+// TestJobTraceTimeline: a finished job exposes its span timeline at
+// /v1/jobs/{id}/trace — pipeline phases nested under the optimize span
+// — and the same phase names land in layoutd_phase_seconds.
+func TestJobTraceTimeline(t *testing.T) {
+	raw, _ := recordedTrace(t)
+	_, ts := newTestServer(t, Config{JobWorkers: 1, QueueDepth: 4, OptWorkers: 1})
+
+	v, code := submitRaw(t, ts, raw, "prog="+testProg+"&opt=func-affinity")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	if len(v.TraceID) != 16 {
+		t.Fatalf("submit response traceId = %q, want 16 hex chars", v.TraceID)
+	}
+	done := waitJob(t, ts, v.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("job failed: %+v", done)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace = %d", resp.StatusCode)
+	}
+	var tv traceView
+	if err := json.NewDecoder(resp.Body).Decode(&tv); err != nil {
+		t.Fatal(err)
+	}
+	if tv.JobID != v.ID || tv.TraceID != v.TraceID {
+		t.Fatalf("trace identity = %s/%s, want %s/%s", tv.JobID, tv.TraceID, v.ID, v.TraceID)
+	}
+
+	byName := map[string]spanView{}
+	for _, sp := range tv.Spans {
+		if sp.DurMS < 0 {
+			t.Errorf("span %s still in progress on a finished job", sp.Name)
+		}
+		byName[sp.Name] = sp
+	}
+	for _, want := range []string{
+		"queue.wait", "trace.decode", "optimize",
+		"trace.prune", "affinity.hierarchy", "layout.emit", "cachesim.replay",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("trace missing span %q (have %v)", want, spanNames(tv.Spans))
+		}
+	}
+	opt := byName["optimize"]
+	for _, child := range []string{"trace.prune", "affinity.hierarchy", "layout.emit"} {
+		c, ok := byName[child]
+		if !ok {
+			continue
+		}
+		if c.StartMS < opt.StartMS || c.DurMS > opt.DurMS+1 {
+			t.Errorf("phase %s [%v +%vms] not nested in optimize [%v +%vms]",
+				child, c.StartMS, c.DurMS, opt.StartMS, opt.DurMS)
+		}
+	}
+	if hier := byName["affinity.hierarchy"]; hier.Attrs["trace_len"] <= 0 {
+		t.Errorf("affinity.hierarchy attrs = %v, want trace_len > 0", hier.Attrs)
+	}
+
+	// The phases the trace shows are the phases the histogram counts.
+	exp := scrapeMetrics(t, ts)
+	for _, phase := range []string{"optimize", "affinity.hierarchy", "layout.emit"} {
+		if got := seriesValue(t, exp, "layoutd_phase_seconds_count",
+			map[string]string{"phase": phase}); got < 1 {
+			t.Errorf("layoutd_phase_seconds_count{phase=%q} = %v, want >= 1", phase, got)
+		}
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/jobs/nope/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("trace of unknown job = %d, want 404", resp2.StatusCode)
+	}
+}
+
+func spanNames(spans []spanView) []string {
+	names := make([]string, len(spans))
+	for i, sp := range spans {
+		names[i] = sp.Name
+	}
+	return names
+}
+
+// syncBuffer makes a bytes.Buffer safe for the server's logging
+// goroutines to race against the test's reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestJobLogsCarryTraceID: every structured log line a job emits
+// carries the job's trace_id, end to end from accept to finish.
+func TestJobLogsCarryTraceID(t *testing.T) {
+	raw, _ := recordedTrace(t)
+	var logs syncBuffer
+	_, ts := newTestServer(t, Config{
+		JobWorkers: 1, QueueDepth: 4, OptWorkers: 1,
+		Logger: obs.NewLogger(&logs, slog.LevelInfo),
+	})
+
+	v, code := submitRaw(t, ts, raw, "prog="+testProg+"&opt=func-trg")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	done := waitJob(t, ts, v.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("job failed: %+v", done)
+	}
+
+	// The finish log is written after the status flips to done; wait for
+	// it rather than racing it.
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(logs.String(), "job finished") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no 'job finished' log line; logs:\n%s", logs.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var jobLines int
+	for _, line := range strings.Split(strings.TrimSpace(logs.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %q: %v", line, err)
+		}
+		if _, ok := rec["job"]; !ok {
+			continue
+		}
+		jobLines++
+		if rec["trace_id"] != v.TraceID {
+			t.Errorf("log line %q trace_id = %v, want %s", rec["msg"], rec["trace_id"], v.TraceID)
+		}
+		if rec["job"] != v.ID {
+			t.Errorf("log line %q job = %v, want %s", rec["msg"], rec["job"], v.ID)
+		}
+	}
+	if jobLines < 3 { // accepted, started, finished
+		t.Errorf("only %d job log lines; logs:\n%s", jobLines, logs.String())
+	}
+}
+
+// TestDebugJobsRing: finished jobs appear in the bounded debug ring,
+// newest first, with their trace identity.
+func TestDebugJobsRing(t *testing.T) {
+	raw, _ := recordedTrace(t)
+	_, ts := newTestServer(t, Config{JobWorkers: 1, QueueDepth: 4, OptWorkers: 1})
+
+	v, code := submitRaw(t, ts, raw, "prog="+testProg+"&opt=func-callgraph")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	done := waitJob(t, ts, v.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("job failed: %+v", done)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/debug/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Jobs []jobSummary `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	var found *jobSummary
+	for i := range body.Jobs {
+		if body.Jobs[i].ID == v.ID {
+			found = &body.Jobs[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("job %s not in debug ring: %+v", v.ID, body.Jobs)
+	}
+	if found.TraceID != v.TraceID || found.Status != StatusDone ||
+		found.Prog != testProg || found.Optimizer != "func-callgraph" {
+		t.Errorf("debug summary = %+v", *found)
+	}
+	if found.ElapsedMS <= 0 {
+		t.Errorf("debug summary elapsed_ms = %v, want > 0", found.ElapsedMS)
 	}
 }

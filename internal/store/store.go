@@ -19,11 +19,15 @@
 //     a background writer owns all disk mutation. The request path
 //     never blocks on the disk, and a full queue drops the write (the
 //     result still lives in the in-memory tier) rather than stalling.
-//   - A disk-failure circuit breaker: any write failure trips the
-//     store to degraded (memory-only) mode. While degraded the store
-//     skips disk work and fast-fails reads; it re-probes with the next
-//     queued write after an exponentially backed-off interval and
-//     closes the circuit on the first success.
+//   - A disk-failure circuit breaker: any write failure — or a run of
+//     consecutive read I/O errors (a dead disk fails reads too, and
+//     per-blob quarantine alone would grind through every blob) —
+//     trips the store to degraded (memory-only) mode. While degraded
+//     the store skips disk work and fast-fails reads; it re-probes
+//     with the next queued write after an exponentially backed-off
+//     interval and closes the circuit on the first success. Read
+//     errors that are content rot (bad checksum, truncation) still
+//     quarantine the blob without implicating the disk.
 //   - An LRU byte bound: Get refreshes recency; inserts past MaxBytes
 //     evict the least-recently-used blobs from disk.
 package store
@@ -33,8 +37,10 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"log"
 	"path/filepath"
 	"strings"
@@ -65,6 +71,10 @@ const (
 	DefaultQueueDepth   = 256
 	DefaultProbeBackoff = time.Second
 	DefaultMaxBackoff   = time.Minute
+	// DefaultReadTripThreshold is how many consecutive read I/O errors
+	// open the breaker. One flaky read shouldn't take the disk tier
+	// down, but a short run of them is a dead disk, not bad luck.
+	DefaultReadTripThreshold = 3
 )
 
 // State is the circuit-breaker position.
@@ -100,6 +110,11 @@ type Config struct {
 	// DefaultProbeBackoff / DefaultMaxBackoff.
 	ProbeBackoff time.Duration
 	MaxBackoff   time.Duration
+	// ReadTripThreshold is how many consecutive read I/O errors trip
+	// the breaker; 0 means DefaultReadTripThreshold. Verification
+	// failures (checksum, truncation) never count — they quarantine the
+	// blob instead.
+	ReadTripThreshold int
 	// FS is the filesystem; nil means fault.OS(). Tests inject faults
 	// here.
 	FS fault.FS
@@ -119,6 +134,7 @@ type Stats struct {
 	Misses      int64 // Get found nothing (or store degraded)
 	Writes      int64 // blobs durably written
 	WriteErrors int64 // failed write attempts (each trips the breaker)
+	ReadErrors  int64 // read I/O errors (enough in a row trip the breaker)
 	Dropped     int64 // Puts dropped: full queue, or degraded pre-probe
 	Evictions   int64 // blobs evicted by the LRU byte bound
 	Quarantined int64 // blobs quarantined (startup scan or failed Get)
@@ -153,6 +169,7 @@ type Store struct {
 	state      State
 	probeAt    time.Time     // earliest next disk attempt while degraded
 	backoff    time.Duration // next backoff step
+	readFails  int           // consecutive read I/O errors since last good read
 	stats      Stats
 
 	queue chan writeReq
@@ -177,6 +194,9 @@ func Open(cfg Config) (*Store, error) {
 	}
 	if cfg.MaxBackoff <= 0 {
 		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	if cfg.ReadTripThreshold <= 0 {
+		cfg.ReadTripThreshold = DefaultReadTripThreshold
 	}
 	if cfg.FS == nil {
 		cfg.FS = fault.OS()
@@ -311,12 +331,26 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	}
 	payload, err := s.readBlob(s.blobPath(key))
 	if err != nil {
+		s.stats.Misses++
+		var perr *fs.PathError
+		if errors.As(err, &perr) {
+			// The disk itself failed (open/read error), not the blob's
+			// content. The index entry may still be good, so keep it;
+			// enough of these in a row and the disk is sick — open the
+			// breaker like a write failure would.
+			s.stats.ReadErrors++
+			s.readFails++
+			if s.readFails >= s.cfg.ReadTripThreshold {
+				s.openBreakerLocked(err, "read")
+			}
+			return nil, false
+		}
 		// The blob rotted under us: quarantine it and miss.
 		s.dropLocked(e)
 		s.quarantine(s.blobPath(key), key+blobSuffix, err)
-		s.stats.Misses++
 		return nil, false
 	}
+	s.readFails = 0
 	s.lru.MoveToFront(e.elem)
 	s.stats.Hits++
 	return payload, true
@@ -447,6 +481,7 @@ func (s *Store) writer() {
 		if probing {
 			s.state = StateOK
 			s.backoff = s.cfg.ProbeBackoff
+			s.readFails = 0
 			s.stats.Recoveries++
 			s.logf("store: disk recovered; leaving degraded mode")
 		}
@@ -460,17 +495,25 @@ func (s *Store) writer() {
 	}
 }
 
-// tripLocked opens the circuit: the store goes memory-only and the
-// next probe is scheduled with exponential backoff.
+// tripLocked opens the circuit after a write failure: the store goes
+// memory-only and the next probe is scheduled with exponential backoff.
 func (s *Store) tripLocked(cause error) {
 	s.stats.WriteErrors++
+	s.openBreakerLocked(cause, "write")
+}
+
+// openBreakerLocked opens the circuit regardless of which side (read or
+// write) observed the disk failure. Recovery is always probed by a
+// write: a successful durable write is the strongest evidence the disk
+// is back.
+func (s *Store) openBreakerLocked(cause error, op string) {
 	s.probeAt = s.clock.Now().Add(s.backoff)
 	wasOK := s.state == StateOK
 	s.state = StateDegraded
 	if wasOK {
-		s.logf("store: write failed (%v); degrading to memory-only, next probe in %s", cause, s.backoff)
+		s.logf("store: %s failed (%v); degrading to memory-only, next probe in %s", op, cause, s.backoff)
 	} else {
-		s.logf("store: probe failed (%v); next probe in %s", cause, s.backoff)
+		s.logf("store: %s probe failed (%v); next probe in %s", op, cause, s.backoff)
 	}
 	s.backoff *= 2
 	if s.backoff > s.cfg.MaxBackoff {

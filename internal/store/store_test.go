@@ -372,3 +372,81 @@ func TestCloseDrainsQueuedWrites(t *testing.T) {
 		t.Errorf("after drain+restart %d blobs, want 10", got)
 	}
 }
+
+// TestReadErrorsTripBreaker: repeated read-side I/O errors open the
+// same circuit breaker as write failures. Per-blob quarantine alone is
+// the wrong response to a dead disk — it would grind through (and
+// forget) every blob one failed read at a time, so consecutive EIO
+// reads degrade the store while keeping the index intact for recovery.
+func TestReadErrorsTripBreaker(t *testing.T) {
+	dir := t.TempDir()
+	clk := fault.NewFakeClock(time.Unix(0, 0))
+	inj := fault.NewInjector(fault.OS())
+	s := openStore(t, Config{
+		Dir: dir, FS: inj, Clock: clk,
+		ProbeBackoff: 10 * time.Second,
+	})
+	s.Put("k", []byte("v"))
+	s.Flush()
+
+	rules, err := fault.ParseSpec("read:every=1,err=EIO")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A sub-threshold run of failures followed by a good read must not
+	// trip: the consecutive counter resets on success.
+	inj.SetRules(rules...)
+	for i := 0; i < DefaultReadTripThreshold-1; i++ {
+		if _, ok := s.Get("k"); ok {
+			t.Fatal("Get succeeded under EIO injection")
+		}
+	}
+	inj.SetRules()
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("Get failed after injection cleared")
+	}
+	if s.State() != StateOK {
+		t.Fatalf("breaker opened below the consecutive threshold")
+	}
+
+	// A full run of consecutive failures trips it.
+	inj.SetRules(rules...)
+	for i := 0; i < DefaultReadTripThreshold; i++ {
+		if s.State() != StateOK {
+			t.Fatalf("breaker opened after %d read errors, threshold %d", i, DefaultReadTripThreshold)
+		}
+		if _, ok := s.Get("k"); ok {
+			t.Fatal("Get succeeded under EIO injection")
+		}
+	}
+	if s.State() != StateDegraded {
+		t.Fatal("consecutive read errors did not trip the breaker")
+	}
+	st := s.Stats()
+	if st.ReadErrors != int64(2*DefaultReadTripThreshold-1) {
+		t.Errorf("read errors = %d, want %d", st.ReadErrors, 2*DefaultReadTripThreshold-1)
+	}
+	if st.WriteErrors != 0 {
+		t.Errorf("read-side trip counted write errors: %+v", st)
+	}
+	if st.Quarantined != 0 || st.Blobs != 1 {
+		t.Errorf("I/O errors must not quarantine or drop blobs: %+v", st)
+	}
+
+	// Disk heals; the next write past the backoff probes, closes the
+	// circuit, and the never-dropped blob is served again.
+	inj.SetRules()
+	clk.Advance(11 * time.Second)
+	s.Put("k2", []byte("v2"))
+	s.Flush()
+	if s.State() != StateOK {
+		t.Fatal("probe write did not close the read-tripped breaker")
+	}
+	if got, ok := s.Get("k"); !ok || string(got) != "v" {
+		t.Fatalf("blob lost across read trip + recovery: %q, %v", got, ok)
+	}
+	if st := s.Stats(); st.Recoveries != 1 {
+		t.Errorf("recoveries = %d, want 1", st.Recoveries)
+	}
+}

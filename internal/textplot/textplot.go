@@ -80,3 +80,95 @@ func abs(x float64) float64 {
 	}
 	return x
 }
+
+// Span is one labeled interval on a waterfall timeline.
+type Span struct {
+	Label string
+	// Start is the offset from the timeline origin; Dur is the span
+	// length, in the same (arbitrary) unit. Dur < 0 marks a span still
+	// in progress, drawn open-ended to the edge of the timeline.
+	Start, Dur float64
+}
+
+// Waterfall renders a span timeline — e.g. a layoutd job trace — as an
+// ASCII waterfall: one row per span, bars positioned by start offset on
+// a shared time axis.
+type Waterfall struct {
+	Title string
+	Spans []Span
+	// Width is the timeline width in characters (default 50).
+	Width int
+	// Format formats the start/duration annotation after each bar;
+	// default "%.1f".
+	Format string
+}
+
+// Add appends a span.
+func (w *Waterfall) Add(label string, start, dur float64) {
+	w.Spans = append(w.Spans, Span{label, start, dur})
+}
+
+// String renders the waterfall.
+func (w *Waterfall) String() string {
+	width := w.Width
+	if width <= 0 {
+		width = 50
+	}
+	format := w.Format
+	if format == "" {
+		format = "%.1f"
+	}
+	labelW, total := 0, 0.0
+	for _, sp := range w.Spans {
+		if len(sp.Label) > labelW {
+			labelW = len(sp.Label)
+		}
+		end := sp.Start + sp.Dur
+		if sp.Dur < 0 {
+			end = sp.Start
+		}
+		if end > total {
+			total = end
+		}
+	}
+	var sb strings.Builder
+	if w.Title != "" {
+		sb.WriteString(w.Title + "\n")
+	}
+	for _, sp := range w.Spans {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		off, n := 0, width
+		if total > 0 {
+			off = int(float64(width) * sp.Start / total)
+			if off >= width {
+				off = width - 1
+			}
+			if sp.Dur >= 0 {
+				n = int(float64(width)*sp.Dur/total + 0.5)
+			} else {
+				n = width - off // open-ended: runs to the timeline edge
+			}
+		}
+		if n < 1 {
+			n = 1 // even a sub-cell span stays visible
+		}
+		fill := byte('#')
+		if sp.Dur < 0 {
+			fill = '>'
+		}
+		for i := off; i < off+n && i < width; i++ {
+			row[i] = fill
+		}
+		dur := format
+		if sp.Dur >= 0 {
+			dur = fmt.Sprintf("+"+format, sp.Dur)
+		} else {
+			dur = "+?"
+		}
+		fmt.Fprintf(&sb, "%-*s |%s| "+format+" %s\n", labelW, sp.Label, row, sp.Start, dur)
+	}
+	return sb.String()
+}

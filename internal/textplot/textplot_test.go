@@ -50,3 +50,52 @@ func TestChartDefaults(t *testing.T) {
 		t.Errorf("default format not applied:\n%s", out)
 	}
 }
+
+func TestWaterfallLayout(t *testing.T) {
+	w := Waterfall{Title: "trace", Width: 20, Format: "%.0fms"}
+	w.Add("queue.wait", 0, 5)
+	w.Add("optimize", 5, 15)
+	w.Add("layout.emit", 15, 5)
+	out := w.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 || lines[0] != "trace" {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	// Bars are positioned on a shared axis: optimize starts where
+	// queue.wait ends, and layout.emit occupies the final quarter.
+	if !strings.Contains(lines[1], "|#####               |") {
+		t.Errorf("queue.wait bar misplaced: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "|     ###############|") {
+		t.Errorf("optimize bar misplaced: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "|               #####|") {
+		t.Errorf("layout.emit bar misplaced: %q", lines[3])
+	}
+	if !strings.Contains(lines[2], "5ms +15ms") {
+		t.Errorf("optimize annotation missing: %q", lines[2])
+	}
+}
+
+func TestWaterfallInProgressAndTiny(t *testing.T) {
+	w := Waterfall{Width: 10}
+	w.Add("done", 0, 100)
+	w.Add("tiny", 50, 0.01) // sub-cell spans stay visible
+	w.Add("running", 60, -1)
+	out := w.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "#") {
+		t.Errorf("tiny span invisible: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], ">>>>") || !strings.Contains(lines[2], "+?") {
+		t.Errorf("in-progress span not open-ended: %q", lines[2])
+	}
+	// Zero spans and zero totals must not divide by zero.
+	empty := Waterfall{}
+	_ = empty.String()
+	zero := Waterfall{}
+	zero.Add("a", 0, 0)
+	if !strings.Contains(zero.String(), "#") {
+		t.Error("zero-duration-only waterfall lost its bar")
+	}
+}

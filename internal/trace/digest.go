@@ -19,10 +19,12 @@ func (t *Trace) Digest() string {
 }
 
 // HashingReader tees every byte read from R into H, so a streamed upload
-// can be decoded and fingerprinted in one pass.
+// can be decoded and fingerprinted in one pass, and counts the bytes for
+// telemetry.
 type HashingReader struct {
 	R io.Reader
 	H hash.Hash
+	n int64
 }
 
 // NewHashingReader wraps r with a SHA-256 hasher.
@@ -34,9 +36,13 @@ func (h *HashingReader) Read(p []byte) (int, error) {
 	n, err := h.R.Read(p)
 	if n > 0 {
 		h.H.Write(p[:n])
+		h.n += int64(n)
 	}
 	return n, err
 }
+
+// BytesRead returns the number of bytes consumed so far.
+func (h *HashingReader) BytesRead() int64 { return h.n }
 
 // Sum returns the hex digest of the bytes read so far.
 func (h *HashingReader) Sum() string { return hex.EncodeToString(h.H.Sum(nil)) }

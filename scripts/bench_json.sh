@@ -20,9 +20,11 @@ OUT_DEFAULT=BENCH_PR3.json
 BENCHTIME=${BENCHTIME:-3x}
 
 # The kernel benchmarks the harness tracks, one per analysis subsystem
-# plus the end-to-end worker sweeps in the root package.
-BENCH_RE='^(BenchmarkBuildHierarchyWorkers|BenchmarkTRGBuildWorkers|BenchmarkFootprintCurveWorkers|BenchmarkCorunBatchWorkers|BenchmarkShardPairHists|BenchmarkBuildHierarchyArena|BenchmarkBuildShard|BenchmarkBuildArena|BenchmarkWindowFootprintScratch)$'
-PKGS='. ./internal/affinity ./internal/trg ./internal/footprint'
+# plus the end-to-end worker sweeps in the root package and the
+# observability hot paths (span start/end, counter, histogram), which
+# ride on every instrumented kernel and must stay allocation-free.
+BENCH_RE='^(BenchmarkBuildHierarchyWorkers|BenchmarkTRGBuildWorkers|BenchmarkFootprintCurveWorkers|BenchmarkCorunBatchWorkers|BenchmarkShardPairHists|BenchmarkBuildHierarchyArena|BenchmarkBuildShard|BenchmarkBuildArena|BenchmarkWindowFootprintScratch|BenchmarkSpanStartEnd|BenchmarkSpanStartEndDropped|BenchmarkRegistryCounterInc|BenchmarkRegistryHistogramObserve)$'
+PKGS='. ./internal/affinity ./internal/trg ./internal/footprint ./internal/obs'
 
 run() {
     out=${1:-$OUT_DEFAULT}

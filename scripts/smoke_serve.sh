@@ -6,8 +6,12 @@
 #   2. record a trace with tracedump,
 #   3. start layoutd on a random port,
 #   4. submit the trace via layoutctl and wait for a 200 result,
-#   5. resubmit the identical trace and assert a cache hit via /metrics,
-#   6. SIGTERM the daemon and require a clean drain.
+#   5. fetch the job's span timeline (/v1/jobs/{id}/trace), render it
+#      with `layoutctl -trace`, and assert the pipeline phases landed
+#      in layoutd_phase_seconds,
+#   6. resubmit the identical trace and assert a cache hit via /metrics,
+#   7. SIGTERM the daemon and require a clean drain with every job log
+#      line carrying a trace_id.
 set -eu
 
 WORK=$(mktemp -d)
@@ -70,6 +74,34 @@ echo "smoke-serve: submitting job"
 grep -q '"status": "done"' "$WORK/result1.json"
 grep -q '"missBefore"' "$WORK/result1.json"
 
+JOB_ID=$(grep -o '"id": "[^"]*"' "$WORK/result1.json" | head -1 | cut -d'"' -f4)
+[ -n "$JOB_ID" ] || { echo "smoke-serve: no job id in result" >&2; exit 1; }
+
+echo "smoke-serve: fetching span timeline for $JOB_ID"
+fetch "$ADDR/v1/jobs/$JOB_ID/trace" >"$WORK/trace.json"
+grep -q '"trace_id"' "$WORK/trace.json"
+grep -q '"name": "queue.wait"' "$WORK/trace.json"
+grep -q '"name": "optimize"' "$WORK/trace.json"
+grep -q '"name": "affinity.hierarchy"' "$WORK/trace.json"
+grep -q '"name": "layout.emit"' "$WORK/trace.json"
+grep -q '"name": "cachesim.replay"' "$WORK/trace.json"
+
+echo "smoke-serve: rendering the waterfall via layoutctl -trace"
+"$WORK/layoutctl" -addr "$ADDR" -trace "$JOB_ID" >"$WORK/waterfall.txt"
+grep -q "job $JOB_ID (done) trace " "$WORK/waterfall.txt"
+grep -q 'optimize' "$WORK/waterfall.txt"
+grep -q '#' "$WORK/waterfall.txt"
+
+echo "smoke-serve: checking phase histograms in /metrics"
+fetch "$ADDR/metrics" >"$WORK/metrics-phase.txt"
+grep -q '^layoutd_phase_seconds_count{phase="optimize"} 1$' "$WORK/metrics-phase.txt"
+grep -q 'layoutd_phase_seconds_bucket{phase="affinity.hierarchy"' "$WORK/metrics-phase.txt"
+grep -q 'layoutd_phase_seconds_bucket{phase="layout.emit"' "$WORK/metrics-phase.txt"
+grep -q '^layoutd_queue_wait_seconds_count 1$' "$WORK/metrics-phase.txt"
+
+echo "smoke-serve: checking debug job ring"
+fetch "$ADDR/v1/debug/jobs" | grep -q "\"id\": \"$JOB_ID\""
+
 echo "smoke-serve: resubmitting identical trace (expect cache hit)"
 "$WORK/layoutctl" -addr "$ADDR" -submit "$WORK/t.trace" \
     -prog "$PROG" -opt "$OPT" -wait >"$WORK/result2.json"
@@ -94,5 +126,14 @@ done
 wait "$DAEMON_PID" 2>/dev/null || true
 grep -q 'drained cleanly' "$WORK/layoutd.log"
 DAEMON_PID=""
+
+echo "smoke-serve: checking structured logs carry trace IDs"
+grep -q '"msg":"job accepted"' "$WORK/layoutd.log"
+grep -q '"msg":"job finished"' "$WORK/layoutd.log"
+if grep '"job":' "$WORK/layoutd.log" | grep -qv '"trace_id":'; then
+    echo "smoke-serve: job log line without trace_id" >&2
+    grep '"job":' "$WORK/layoutd.log" | grep -v '"trace_id":' >&2
+    exit 1
+fi
 
 echo "smoke-serve: OK"
