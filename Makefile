@@ -2,13 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-json-ci smoke-serve smoke-durable ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-json-ci smoke-serve smoke-durable smoke-schedule ci
 
 # Allocation budget for the CI regression gate: the per-window affinity
 # analysis (serial path) must stay under this allocs/op. The committed
 # BENCH_PR3.json baseline is ~9.4k; the budget leaves headroom for Go
 # version variance, not for real regressions.
 BENCH_ALLOC_BUDGET ?= 12000
+
+# Allocation budgets for the scheduling surfaces: one co-run batch
+# simulation (baseline ~108 allocs/op) and one 32-program placement
+# solve (baseline ~40 allocs/op). Headroom for Go version variance only.
+CORUN_ALLOC_BUDGET ?= 256
+SCHEDULE_ALLOC_BUDGET ?= 64
 
 all: build
 
@@ -48,6 +54,8 @@ bench-json:
 	sh scripts/bench_json.sh check BENCH_PR3.json 'SpanStartEnd' 0
 	sh scripts/bench_json.sh check BENCH_PR3.json 'RegistryCounterInc' 0
 	sh scripts/bench_json.sh check BENCH_PR3.json 'RegistryHistogramObserve' 0
+	sh scripts/bench_json.sh check BENCH_PR3.json 'CorunBatchWorkers/workers=1' $(CORUN_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check BENCH_PR3.json 'ScheduleSolve' $(SCHEDULE_ALLOC_BUDGET)
 
 # End-to-end service smoke: start layoutd, submit a recorded trace via
 # layoutctl, assert a completed result and a cache hit on resubmission,
@@ -72,5 +80,14 @@ bench-json-ci:
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'SpanStartEnd' 0
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'RegistryCounterInc' 0
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'RegistryHistogramObserve' 0
+	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'CorunBatchWorkers/workers=1' $(CORUN_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'ScheduleSolve' $(SCHEDULE_ALLOC_BUDGET)
 
-ci: build vet fmt-check test race bench-smoke bench-json-ci smoke-serve smoke-durable
+# Scheduling-service smoke: optimize a trace under two optimizers, pair
+# them via /v1/corun, place {A, B, A, B} via /v1/schedule, and assert a
+# symmetric matrix, a better-than-worst-case placement, and pair-cache
+# reuse across both endpoints.
+smoke-schedule:
+	sh scripts/smoke_schedule.sh
+
+ci: build vet fmt-check test race bench-smoke bench-json-ci smoke-serve smoke-durable smoke-schedule

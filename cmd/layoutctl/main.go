@@ -18,6 +18,9 @@
 //	layoutctl -addr http://127.0.0.1:8080 -cancel job-2
 //	layoutctl -addr http://127.0.0.1:8080 -layout <digest>
 //	layoutctl -addr http://127.0.0.1:8080 -optimizers
+//	layoutctl -addr http://127.0.0.1:8080 -corun <digestA>,<digestB>
+//	layoutctl -addr http://127.0.0.1:8080 -pair <pairDigest>
+//	layoutctl -addr http://127.0.0.1:8080 -schedule <d1>,<d2>,... -domains 2 -slots 2
 //
 // Exit codes: 0 on success, 1 when the server or the job fails (bad
 // response, failed/canceled job, retry budget exhausted), 2 on usage
@@ -56,6 +59,12 @@ func main() {
 	cancelID := flag.String("cancel", "", "queued job ID to cancel")
 	layoutDigest := flag.String("layout", "", "layout digest to fetch")
 	optimizers := flag.Bool("optimizers", false, "list the server's optimizer registry")
+	corunPair := flag.String("corun", "", "two comma-separated layout digests to co-run analyze")
+	pairDigest := flag.String("pair", "", "pair-document digest to fetch (from a prior -corun)")
+	scheduleList := flag.String("schedule", "", "comma-separated layout digests to place (with -domains and -slots)")
+	domains := flag.Int("domains", 0, "shared-cache domains in the topology (with -schedule)")
+	slots := flag.Int("slots", 0, "cores per shared-cache domain (with -schedule)")
+	cacheGeom := flag.String("cache", "", "cache geometry sizeBytes/assoc/lineBytes, e.g. 32768/4/64 (with -corun/-schedule)")
 	jsonOut := flag.Bool("json", false, "print raw JSON responses instead of human-readable output")
 	retries := flag.Int("retries", 4, "retry budget for transient failures (connection errors, 429, 503)")
 	retryBase := flag.Duration("retry-base", 500*time.Millisecond, "base of the jittered exponential retry backoff")
@@ -86,6 +95,12 @@ Exit codes:
 		err = printGET(r, base+"/v1/layouts/"+url.PathEscape(*layoutDigest))
 	case *optimizers:
 		err = printGET(r, base+"/v1/optimizers")
+	case *corunPair != "":
+		err = doCorun(r, base, *corunPair, *cacheGeom, *timeout, *jsonOut)
+	case *pairDigest != "":
+		err = doPairDoc(r, base, *pairDigest)
+	case *scheduleList != "":
+		err = doSchedule(r, base, *scheduleList, *domains, *slots, *cacheGeom, *timeout, *jsonOut)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -316,7 +331,9 @@ func doCancel(r *retrier, base, id string) error {
 	}
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK {
+	// 200: a queued job was canceled; 202: a running corun/schedule job
+	// is winding down and will land in "canceled".
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
 		return fmt.Errorf("cancel %s: %s: %s", id, resp.Status, strings.TrimSpace(string(raw)))
 	}
 	os.Stdout.Write(raw)

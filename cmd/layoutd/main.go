@@ -65,6 +65,8 @@ func main() {
 	storeMaxBytes := flag.Int64("store-max-bytes", store.DefaultMaxBytes, "LRU byte bound on the durable store")
 	storeQueue := flag.Int("store-queue", store.DefaultQueueDepth, "write-behind queue depth of the durable store")
 	faultSpec := flag.String("fault-spec", "", "DEBUG: inject store filesystem faults, e.g. 'write:every=1,err=ENOSPC' (requires -store-dir)")
+	traceCache := flag.Int("trace-cache", server.DefaultTraceCacheEntries, "decoded traces retained in memory for /v1/corun and /v1/schedule replay")
+	maxSchedule := flag.Int("max-schedule", server.DefaultMaxScheduleDigests, "layout digests accepted per /v1/schedule request")
 	flag.Parse()
 
 	level, err := parseLevel(*logLevel)
@@ -139,6 +141,9 @@ func main() {
 		Store:          st,
 		Logger:         logger,
 		SpanBufferSize: *spanBuffer,
+
+		TraceCacheEntries:  *traceCache,
+		MaxScheduleDigests: *maxSchedule,
 	}); err != nil {
 		fatal("layoutd exited", err)
 	}

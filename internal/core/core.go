@@ -419,6 +419,46 @@ func (o Optimizer) trgBlockBytes() int {
 	return 64
 }
 
+// LayoutFromSequence rebuilds the layout a cached Report describes: the
+// optimizer name picks the transformation (function vs. block
+// granularity, intra restriction) and seq is the Report.Sequence it
+// recorded. This is how the serving layer turns a stored optimization
+// result back into an address map without rerunning the analysis.
+func LayoutFromSequence(p *ir.Program, optName string, seq []int32) (*layout.Layout, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: nil program")
+	}
+	o, err := OptimizerByName(optName)
+	if err != nil {
+		return nil, err
+	}
+	var l *layout.Layout
+	switch o.Gran {
+	case GranFunction:
+		order := make([]ir.FuncID, len(seq))
+		for i, s := range seq {
+			order[i] = ir.FuncID(s)
+		}
+		l = layout.ReorderFunctions(p, order)
+	case GranBasicBlock:
+		order := make([]ir.BlockID, len(seq))
+		for i, s := range seq {
+			order[i] = ir.BlockID(s)
+		}
+		if o.Intra {
+			l = layout.ReorderBlocksIntra(p, order)
+		} else {
+			l = layout.ReorderBlocks(p, order)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown granularity %v", o.Gran)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("core: sequence for %s does not fit %s: %w", optName, p.Name, err)
+	}
+	return l, nil
+}
+
 // LoadProgram generates a named suite program — a convenience for the
 // CLI tools and examples.
 func LoadProgram(name string) (*ir.Program, error) {

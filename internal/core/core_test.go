@@ -194,6 +194,36 @@ func TestOptimizerByName(t *testing.T) {
 // TestOptimizerNamesUniqueStable: names are unique (the registry is a
 // bijection, so content-addressed cache keys cannot collide across
 // optimizers) and stable across calls (clients may hardcode them).
+// TestLayoutFromSequenceRoundTrip: rebuilding a layout from the cached
+// Report.Sequence must reproduce the optimizer's layout exactly — the
+// serving layer depends on this to replay co-runs from stored results.
+func TestLayoutFromSequenceRoundTrip(t *testing.T) {
+	prof := profileNamed(t, "458.sjeng")
+	for _, o := range AllWithBaselines() {
+		l, rep, err := o.Optimize(prof)
+		if err != nil {
+			t.Fatalf("%s: %v", o.Name(), err)
+		}
+		rebuilt, err := LayoutFromSequence(prof.Prog, o.Name(), rep.Sequence)
+		if err != nil {
+			t.Fatalf("%s: rebuild: %v", o.Name(), err)
+		}
+		if !reflect.DeepEqual(l.Addr, rebuilt.Addr) || !reflect.DeepEqual(l.Order(), rebuilt.Order()) {
+			t.Errorf("%s: rebuilt layout diverges from original", o.Name())
+		}
+	}
+}
+
+func TestLayoutFromSequenceErrors(t *testing.T) {
+	prof := profileNamed(t, "458.sjeng")
+	if _, err := LayoutFromSequence(nil, "func-affinity", nil); err == nil {
+		t.Error("nil program should be rejected")
+	}
+	if _, err := LayoutFromSequence(prof.Prog, "no-such-optimizer", nil); err == nil {
+		t.Error("unknown optimizer should be rejected")
+	}
+}
+
 func TestOptimizerNamesUniqueStable(t *testing.T) {
 	names := OptimizerNames()
 	if len(names) != len(AllWithBaselines()) {

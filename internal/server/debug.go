@@ -11,6 +11,7 @@ const DefaultDebugJobRing = 64
 // glance, without holding the full result.
 type jobSummary struct {
 	ID        string  `json:"id"`
+	Kind      string  `json:"kind,omitempty"`
 	TraceID   string  `json:"trace_id"`
 	Status    string  `json:"status"`
 	Prog      string  `json:"prog,omitempty"`

@@ -35,15 +35,27 @@ type Result struct {
 	ElapsedMS float64 `json:"elapsedMS"`
 }
 
-// Job states, in lifecycle order. Canceled is reachable only from
-// Queued (via DELETE /v1/jobs/{id}); a running job is past the point
-// of no return.
+// Job states, in lifecycle order. For optimization jobs, Canceled is
+// reachable only from Queued (via DELETE /v1/jobs/{id}); a running
+// optimization is past the point of no return. Co-run and schedule jobs
+// are additionally cancelable while running: DELETE moves them to
+// Canceling (their context fires), and the worker finalizes to Canceled
+// when the pipeline observes the cancellation.
 const (
-	StatusQueued   = "queued"
-	StatusRunning  = "running"
-	StatusDone     = "done"
-	StatusFailed   = "failed"
-	StatusCanceled = "canceled"
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusCanceling = "canceling"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCanceled  = "canceled"
+)
+
+// Job kinds. The zero value is an optimization job, keeping the wire
+// format of the original endpoint unchanged.
+const (
+	jobKindOptimize = ""
+	jobKindCorun    = "corun"
+	jobKindSchedule = "schedule"
 )
 
 // jobRequest carries everything a worker needs to run one job. The
@@ -71,10 +83,13 @@ type jobRequest struct {
 type Job struct {
 	mu       sync.Mutex
 	id       string
+	kind     string // jobKindOptimize (zero), jobKindCorun, jobKindSchedule
 	status   string
 	cached   bool
 	err      string
 	result   *Result
+	corun    *CorunDoc
+	schedule *ScheduleDoc
 	digest   string
 	created  time.Time
 	started  time.Time
@@ -99,28 +114,36 @@ type Job struct {
 	traceBytes int64
 }
 
-// jobView is the wire representation of a job.
+// jobView is the wire representation of a job. Kind is empty for
+// optimization jobs, so their wire format is unchanged; corun and
+// schedule jobs carry their documents in dedicated fields.
 type jobView struct {
-	ID      string  `json:"id"`
-	Status  string  `json:"status"`
-	Digest  string  `json:"digest"`
-	TraceID string  `json:"traceId,omitempty"`
-	Cached  bool    `json:"cached"`
-	Error   string  `json:"error,omitempty"`
-	Result  *Result `json:"result,omitempty"`
+	ID       string       `json:"id"`
+	Kind     string       `json:"kind,omitempty"`
+	Status   string       `json:"status"`
+	Digest   string       `json:"digest"`
+	TraceID  string       `json:"traceId,omitempty"`
+	Cached   bool         `json:"cached"`
+	Error    string       `json:"error,omitempty"`
+	Result   *Result      `json:"result,omitempty"`
+	Corun    *CorunDoc    `json:"corun,omitempty"`
+	Schedule *ScheduleDoc `json:"schedule,omitempty"`
 }
 
 func (j *Job) view() jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return jobView{
-		ID:      j.id,
-		Status:  j.status,
-		Digest:  j.digest,
-		TraceID: j.traceID,
-		Cached:  j.cached,
-		Error:   j.err,
-		Result:  j.result,
+		ID:       j.id,
+		Kind:     j.kind,
+		Status:   j.status,
+		Digest:   j.digest,
+		TraceID:  j.traceID,
+		Cached:   j.cached,
+		Error:    j.err,
+		Result:   j.result,
+		Corun:    j.corun,
+		Schedule: j.schedule,
 	}
 }
 
@@ -208,6 +231,34 @@ func (j *Job) cancelQueued(now time.Time) bool {
 	return true
 }
 
+// cancelRunning moves a running cancelable job to canceling and fires
+// its context; the worker observes the cancellation in its pipeline and
+// finalizes to canceled. It reports false when the job is not running.
+func (j *Job) cancelRunning() bool {
+	j.mu.Lock()
+	if j.status != StatusRunning {
+		j.mu.Unlock()
+		return false
+	}
+	j.status = StatusCanceling
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// finalizeCanceled completes a canceling job's teardown: the worker
+// calls it after the pipeline unwound from the fired context.
+func (j *Job) finalizeCanceled() {
+	j.mu.Lock()
+	j.status = StatusCanceled
+	j.err = "canceled while running"
+	j.finished = time.Now()
+	j.mu.Unlock()
+}
+
 // statusNow returns the current status string.
 func (j *Job) statusNow() string {
 	j.mu.Lock()
@@ -224,6 +275,30 @@ func (j *Job) complete(r *Result) {
 	j.mu.Unlock()
 	if cancel != nil {
 		cancel() // release the job context's resources
+	}
+}
+
+func (j *Job) completeCorun(doc *CorunDoc) {
+	j.mu.Lock()
+	j.status = StatusDone
+	j.corun = doc
+	j.finished = time.Now()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+func (j *Job) completeSchedule(doc *ScheduleDoc) {
+	j.mu.Lock()
+	j.status = StatusDone
+	j.schedule = doc
+	j.finished = time.Now()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
 	}
 }
 

@@ -27,6 +27,12 @@ type serverMetrics struct {
 	cacheHits    *obs.Counter
 	spansDropped *obs.Counter
 
+	corunJobs     *obs.Counter
+	scheduleJobs  *obs.Counter
+	schedulePairs *obs.Counter
+	pairHits      *obs.Counter
+	pairMisses    *obs.Counter
+
 	inflightBytes *obs.Gauge
 
 	queueWait *obs.Histogram
@@ -48,6 +54,11 @@ func newServerMetrics(s *Server) *serverMetrics {
 	m.rejected = r.Counter("layoutd_jobs_rejected_total", "Submissions rejected with 429 (queue full).")
 	m.canceled = r.Counter("layoutd_jobs_canceled_total", "Queued jobs canceled via DELETE /v1/jobs/{id}.")
 	m.cacheHits = r.Counter("layoutd_cache_hits_total", "Submissions served from the content-addressed cache.")
+	m.corunJobs = r.Counter("layoutd_corun_jobs_total", "Co-run analysis requests accepted at POST /v1/corun.")
+	m.scheduleJobs = r.Counter("layoutd_schedule_jobs_total", "Placement requests accepted at POST /v1/schedule.")
+	m.schedulePairs = r.Counter("layoutd_schedule_pairs_total", "Interference-matrix pairs computed by co-run simulation for schedule jobs.")
+	m.pairHits = r.Counter("layoutd_pair_cache_hits_total", "Pair lookups served from the content-addressed pair cache.")
+	m.pairMisses = r.Counter("layoutd_pair_cache_misses_total", "Pair lookups that required a co-run analysis.")
 	r.GaugeFunc("layoutd_queue_depth", "Jobs accepted but not yet running.",
 		func() int64 { return int64(s.pool.QueueDepth()) })
 	r.GaugeFunc("layoutd_jobs_running", "Jobs currently optimizing.",

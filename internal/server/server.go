@@ -98,28 +98,41 @@ type Config struct {
 	// DebugJobRing bounds the recent-job summaries at /v1/debug/jobs;
 	// 0 means DefaultDebugJobRing.
 	DebugJobRing int
+	// TraceCacheEntries bounds the in-memory tier of retained decoded
+	// traces (the inputs /v1/corun and /v1/schedule replay); 0 means
+	// DefaultTraceCacheEntries. With a Store, evicted traces remain
+	// reachable from disk.
+	TraceCacheEntries int
+	// MaxScheduleDigests bounds the layouts one /v1/schedule request may
+	// place; 0 means DefaultMaxScheduleDigests.
+	MaxScheduleDigests int
 }
 
 // Defaults for zero Config fields.
 const (
-	DefaultJobTimeout    = 5 * time.Minute
-	DefaultMaxTraceBytes = 64 << 20
-	DefaultQueueDepth    = 64
-	DefaultJobTTL        = 15 * time.Minute
-	DefaultMaxJobs       = 4096
+	DefaultJobTimeout         = 5 * time.Minute
+	DefaultMaxTraceBytes      = 64 << 20
+	DefaultQueueDepth         = 64
+	DefaultJobTTL             = 15 * time.Minute
+	DefaultMaxJobs            = 4096
+	DefaultTraceCacheEntries  = 32
+	DefaultMaxScheduleDigests = 32
 )
 
 // Server is the layoutd service state. Create with New, serve
 // Handler(), stop with Shutdown.
 type Server struct {
-	cfg     Config
-	pool    *parallel.Pool
-	cache   *resultCache
-	disk    *store.Store // nil: memory-only
-	metrics *serverMetrics
-	logger  *slog.Logger
-	ring    *debugRing
-	mux     *http.ServeMux
+	cfg       Config
+	pool      *parallel.Pool
+	cache     *resultCache
+	traces    *traceCache
+	pairs     *docCache[CorunDoc]
+	schedules *docCache[ScheduleDoc]
+	disk      *store.Store // nil: memory-only
+	metrics   *serverMetrics
+	logger    *slog.Logger
+	ring      *debugRing
+	mux       *http.ServeMux
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -135,6 +148,11 @@ type Server struct {
 	// optimize runs one validated job request; tests substitute it to
 	// control timing and failure modes.
 	optimize func(ctx context.Context, req *jobRequest) (*Result, error)
+
+	// pairAnalysis runs one co-run pair analysis; tests substitute it to
+	// control timing and failure modes (e.g. blocking a schedule job
+	// mid-matrix to exercise cancellation).
+	pairAnalysis func(ctx context.Context, cfg cachesim.Config, a, b *corunEntry, workers int) (*CorunDoc, error)
 
 	// now returns the current time; tests substitute it to drive the
 	// retention clock.
@@ -169,21 +187,28 @@ func New(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = obs.NopLogger
 	}
+	if cfg.MaxScheduleDigests <= 0 {
+		cfg.MaxScheduleDigests = DefaultMaxScheduleDigests
+	}
 	s := &Server{
-		cfg:    cfg,
-		pool:   parallel.NewPool(cfg.JobWorkers, cfg.QueueDepth),
-		cache:  newResultCache(cfg.Store),
-		disk:   cfg.Store,
-		logger: cfg.Logger,
-		ring:   newDebugRing(cfg.DebugJobRing),
-		jobs:   make(map[string]*Job),
-		progs:  make(map[string]*progEntry),
+		cfg:       cfg,
+		pool:      parallel.NewPool(cfg.JobWorkers, cfg.QueueDepth),
+		cache:     newResultCache(cfg.Store),
+		traces:    newTraceCache(cfg.TraceCacheEntries, cfg.Store),
+		pairs:     newDocCache[CorunDoc](cfg.Store, pairStoreKey),
+		schedules: newDocCache[ScheduleDoc](cfg.Store, scheduleStoreKey),
+		disk:      cfg.Store,
+		logger:    cfg.Logger,
+		ring:      newDebugRing(cfg.DebugJobRing),
+		jobs:      make(map[string]*Job),
+		progs:     make(map[string]*progEntry),
 	}
 	s.metrics = newServerMetrics(s)
 	s.pool.SetQueueWaitHook(func(wait time.Duration) {
 		s.metrics.queueWait.Observe(wait.Seconds())
 	})
 	s.optimize = s.runOptimize
+	s.pairAnalysis = s.computePair
 	s.now = time.Now
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -191,6 +216,9 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/layouts/{digest}", s.handleLayout)
+	mux.HandleFunc("POST /v1/corun", s.handleCorun)
+	mux.HandleFunc("GET /v1/corun/{digest}", s.handleCorunDoc)
+	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	mux.HandleFunc("GET /v1/optimizers", s.handleOptimizers)
 	mux.HandleFunc("GET /v1/debug/jobs", s.handleDebugJobs)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -288,6 +316,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				max, progName, prog.NumBlocks()))
 		return
 	}
+
+	// Retain the decoded trace so /v1/corun and /v1/schedule can replay
+	// this profile later by digest, without a re-upload.
+	s.traces.put(ctx, hr.Sum(), tr)
 
 	req := &jobRequest{
 		prog:        prog,
@@ -440,36 +472,66 @@ func badBodyStatus(err error) int {
 
 // ---- job execution ----
 
-// runJob is the pool task: honor the job deadline (queue wait counts)
-// and the job's own context (DELETE cancellation), run the
-// optimization, publish the result to the cache. The job's recorder,
-// logger, and trace ID ride the pipeline context from here down.
-func (s *Server) runJob(poolCtx context.Context, j *Job, req *jobRequest) {
+// beginJob is the shared front half of every pool task: record queue
+// wait into the job's timeline, bind the deadline and the job's own
+// context (DELETE cancellation) onto the pipeline context, and move the
+// job to running. It reports false — after finalizing the job when
+// needed — if the work must be skipped (expired in queue, or canceled
+// while queued); on true the caller owns cleanup and must defer it.
+func (s *Server) beginJob(poolCtx context.Context, j *Job, deadline time.Time, reqCtx context.Context) (context.Context, func(), bool) {
 	// The time between acceptance and this worker picking the task up
 	// is queue wait; record it into the job's own timeline (the pool
 	// hook feeds the histogram).
 	if j.rec != nil {
 		j.rec.Record("queue.wait", j.created, time.Since(j.created))
 	}
-	ctx, cancel := context.WithDeadline(poolCtx, req.deadline)
-	defer cancel()
+	ctx, cancel := context.WithDeadline(poolCtx, deadline)
 	// Propagate a DELETE arriving after the job started into the
 	// pipeline context.
-	stop := context.AfterFunc(req.ctx, cancel)
-	defer stop()
+	stop := context.AfterFunc(reqCtx, cancel)
+	cleanup := func() { stop(); cancel() }
 	ctx = obs.WithTraceID(obs.WithLogger(obs.WithRecorder(ctx, j.rec), j.logger), j.traceID)
 	if err := ctx.Err(); err != nil {
+		cleanup()
 		j.fail(fmt.Errorf("job expired before running: %w", err))
 		s.metrics.failed.Inc()
 		s.finish(j)
-		return
+		return nil, nil, false
 	}
 	if !j.tryStart() {
 		// Canceled while queued: the DELETE handler already counted it.
-		return
+		cleanup()
+		return nil, nil, false
 	}
 	j.logger.Info("job started",
-		"opt", req.opt.Name(), "queue_wait_ms", float64(time.Since(j.created))/float64(time.Millisecond))
+		"queue_wait_ms", float64(time.Since(j.created))/float64(time.Millisecond))
+	return ctx, cleanup, true
+}
+
+// failOrCancel finalizes a job whose pipeline returned an error: a job
+// the client moved to canceling lands in canceled, anything else in
+// failed.
+func (s *Server) failOrCancel(j *Job, err error) {
+	if j.statusNow() == StatusCanceling {
+		j.finalizeCanceled()
+		s.metrics.canceled.Inc()
+	} else {
+		j.fail(err)
+		s.metrics.failed.Inc()
+	}
+	s.finish(j)
+}
+
+// runJob is the pool task behind POST /v1/jobs: run the optimization
+// and publish the result to the content-addressed cache. The job's
+// recorder, logger, and trace ID ride the pipeline context from here
+// down.
+func (s *Server) runJob(poolCtx context.Context, j *Job, req *jobRequest) {
+	ctx, cleanup, ok := s.beginJob(poolCtx, j, req.deadline, req.ctx)
+	if !ok {
+		return
+	}
+	defer cleanup()
 	start := time.Now()
 	sp := obs.StartSpan(ctx, "optimize")
 	res, err := s.optimize(ctx, req)
@@ -505,6 +567,7 @@ func (s *Server) finish(j *Job) {
 	v := j.view()
 	sum := jobSummary{
 		ID:        v.ID,
+		Kind:      v.Kind,
 		TraceID:   v.TraceID,
 		Status:    v.Status,
 		Prog:      j.progName,
@@ -512,8 +575,13 @@ func (s *Server) finish(j *Job) {
 		Cached:    v.Cached,
 		Error:     v.Error,
 	}
-	if v.Result != nil {
+	switch {
+	case v.Result != nil:
 		sum.ElapsedMS = v.Result.ElapsedMS
+	case v.Corun != nil:
+		sum.ElapsedMS = v.Corun.ElapsedMS
+	case v.Schedule != nil:
+		sum.ElapsedMS = v.Schedule.ElapsedMS
 	}
 	s.ring.push(sum)
 	logger := j.logger
@@ -579,10 +647,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.view())
 }
 
-// handleCancel is DELETE /v1/jobs/{id}: cancel a still-queued job.
-// Unknown IDs get 404; jobs that already started, finished, or were
-// previously canceled get 409 — a running optimization is not torn
-// down mid-flight, and a completed result is immutable.
+// handleCancel is DELETE /v1/jobs/{id}: cancel a job. Queued jobs of
+// any kind cancel immediately. Running co-run and schedule jobs move to
+// canceling — their context fires mid-matrix and the worker finalizes
+// to canceled. A running *optimization* is not torn down mid-flight
+// (409): its result is about to land in the content-addressed cache
+// anyway. Unknown IDs get 404; terminal jobs 409.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
@@ -592,14 +662,21 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 		return
 	}
-	if !j.cancelQueued(s.now()) {
-		httpError(w, http.StatusConflict,
-			fmt.Errorf("job %s is %s; only queued jobs can be canceled", id, j.statusNow()))
+	if j.cancelQueued(s.now()) {
+		s.metrics.canceled.Inc()
+		s.finish(j)
+		writeJSON(w, http.StatusOK, j.view())
 		return
 	}
-	s.metrics.canceled.Inc()
-	s.finish(j)
-	writeJSON(w, http.StatusOK, j.view())
+	if (j.kind == jobKindCorun || j.kind == jobKindSchedule) && j.cancelRunning() {
+		// The worker observes the fired context, finalizes the status to
+		// canceled, and counts it; the client polls GET /v1/jobs/{id}.
+		writeJSON(w, http.StatusAccepted, j.view())
+		return
+	}
+	httpError(w, http.StatusConflict,
+		fmt.Errorf("job %s is %s; only queued jobs (or running corun/schedule jobs) can be canceled", id, j.statusNow()))
+	return
 }
 
 // handleJobTrace is GET /v1/jobs/{id}/trace: the job's recorded span

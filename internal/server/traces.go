@@ -1,0 +1,123 @@
+package server
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"sync"
+
+	"codelayout/internal/obs"
+	"codelayout/internal/store"
+	"codelayout/internal/trace"
+)
+
+// traceStoreKey prefixes trace blobs in the durable store so they share
+// the directory with layout results ("p-" pair docs and "s-" schedule
+// docs likewise) without key collisions: result digests are bare hex.
+const traceStoreKey = "t-"
+
+// traceCache retains decoded uploads keyed by their trace digest so the
+// scheduling endpoints can replay a profile that was submitted earlier
+// without the client re-uploading it. Like resultCache it is two-tiered:
+// a bounded in-memory LRU of decoded traces in front of the durable
+// store, which holds the canonical CLTR encoding. A memory miss decodes
+// from disk and repopulates memory; an evicted or quarantined blob means
+// the trace is gone and the caller reports 404.
+type traceCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	disk    *store.Store
+}
+
+type traceEntry struct {
+	digest string
+	tr     *trace.Trace
+}
+
+func newTraceCache(max int, disk *store.Store) *traceCache {
+	if max <= 0 {
+		max = DefaultTraceCacheEntries
+	}
+	return &traceCache{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+		disk:    disk,
+	}
+}
+
+// put retains a freshly decoded upload under the upload's digest (the
+// key Result.TraceDigest records). The durable write re-encodes the
+// trace to canonical CLTR behind the request path (store.Put is
+// write-behind); a digest already held in memory is only refreshed in
+// LRU order, its bytes are not re-encoded.
+func (c *traceCache) put(ctx context.Context, digest string, tr *trace.Trace) {
+	if !c.putMemory(digest, tr) || c.disk == nil {
+		return
+	}
+	sp := obs.StartSpan(ctx, "store.write")
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err == nil {
+		sp.SetAttr("bytes", int64(buf.Len()))
+		c.disk.Put(traceStoreKey+digest, buf.Bytes())
+	}
+	sp.End()
+}
+
+// putMemory inserts into the LRU tier only; it reports false when the
+// digest was already held (refreshed in place, nothing to persist).
+func (c *traceCache) putMemory(digest string, tr *trace.Trace) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[digest]; ok {
+		c.order.MoveToFront(e)
+		return false
+	}
+	c.entries[digest] = c.order.PushFront(&traceEntry{digest: digest, tr: tr})
+	for len(c.entries) > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*traceEntry).digest)
+	}
+	return true
+}
+
+// get returns the retained trace for the digest, consulting the durable
+// tier on a memory miss.
+func (c *traceCache) get(ctx context.Context, digest string) (*trace.Trace, bool) {
+	c.mu.Lock()
+	if e, ok := c.entries[digest]; ok {
+		c.order.MoveToFront(e)
+		tr := e.Value.(*traceEntry).tr
+		c.mu.Unlock()
+		return tr, true
+	}
+	c.mu.Unlock()
+	if c.disk == nil {
+		return nil, false
+	}
+	sp := obs.StartSpan(ctx, "store.read")
+	data, ok := c.disk.Get(traceStoreKey + digest)
+	sp.SetAttr("bytes", int64(len(data)))
+	sp.End()
+	if !ok {
+		return nil, false
+	}
+	tr, err := trace.ReadFrom(bytes.NewReader(data))
+	if err != nil {
+		// The store verified the blob's checksum, so a decode failure is
+		// format drift or a foreign file, not corruption; treat as gone.
+		return nil, false
+	}
+	c.putMemory(digest, tr) // already on disk
+	return tr, true
+}
+
+// len reports the number of traces held in memory (for tests).
+func (c *traceCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -81,6 +81,68 @@ func abs(x float64) float64 {
 	return x
 }
 
+// Matrix renders a square labeled grid of values — e.g. the pairwise
+// interference matrix behind a schedule — with right-aligned numeric
+// cells so columns line up in a terminal.
+type Matrix struct {
+	Title  string
+	Labels []string
+	Cells  [][]float64
+	// Format formats each cell; default "%.3g".
+	Format string
+}
+
+// String renders the matrix.
+func (m *Matrix) String() string {
+	format := m.Format
+	if format == "" {
+		format = "%.3g"
+	}
+	n := len(m.Cells)
+	labels := make([]string, n)
+	for i := range labels {
+		if i < len(m.Labels) {
+			labels[i] = m.Labels[i]
+		} else {
+			labels[i] = fmt.Sprintf("#%d", i)
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	cells := make([][]string, n)
+	cellW := labelW
+	for i, row := range m.Cells {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			cells[i][j] = fmt.Sprintf(format, v)
+			if len(cells[i][j]) > cellW {
+				cellW = len(cells[i][j])
+			}
+		}
+	}
+	var sb strings.Builder
+	if m.Title != "" {
+		sb.WriteString(m.Title + "\n")
+	}
+	fmt.Fprintf(&sb, "%-*s", labelW, "")
+	for _, l := range labels {
+		fmt.Fprintf(&sb, " %*s", cellW, l)
+	}
+	sb.WriteByte('\n')
+	for i, row := range cells {
+		fmt.Fprintf(&sb, "%-*s", labelW, labels[i])
+		for _, c := range row {
+			fmt.Fprintf(&sb, " %*s", cellW, c)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
 // Span is one labeled interval on a waterfall timeline.
 type Span struct {
 	Label string

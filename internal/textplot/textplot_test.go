@@ -51,6 +51,44 @@ func TestChartDefaults(t *testing.T) {
 	}
 }
 
+func TestMatrix(t *testing.T) {
+	m := Matrix{
+		Title:  "interference",
+		Labels: []string{"a", "bb"},
+		Cells:  [][]float64{{0, 12.5}, {12.5, 0}},
+		Format: "%.1f",
+	}
+	out := m.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 || lines[0] != "interference" {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	for _, want := range []string{"a", "bb", "12.5", "0.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Header and rows line up: every line is the same width.
+	w := len(lines[1])
+	for _, l := range lines[2:] {
+		if len(l) != w {
+			t.Errorf("ragged columns:\n%s", out)
+		}
+	}
+}
+
+func TestMatrixMissingLabels(t *testing.T) {
+	m := Matrix{Cells: [][]float64{{0, 1}, {1, 0}}}
+	out := m.String()
+	if !strings.Contains(out, "#0") || !strings.Contains(out, "#1") {
+		t.Errorf("fallback labels missing:\n%s", out)
+	}
+	empty := Matrix{}
+	if empty.String() != "\n" {
+		t.Errorf("empty matrix should render a bare header line, got %q", empty.String())
+	}
+}
+
 func TestWaterfallLayout(t *testing.T) {
 	w := Waterfall{Title: "trace", Width: 20, Format: "%.0fms"}
 	w.Add("queue.wait", 0, 5)

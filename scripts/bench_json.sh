@@ -4,7 +4,8 @@
 #
 #   bench_json.sh run [out.json]
 #       Run the kernel benchmarks (affinity stack passes, TRG
-#       construction, footprint curve, co-run simulation) with -benchmem
+#       construction, footprint curve, co-run simulation, placement
+#       solver) with -benchmem
 #       and write one JSON document with ns/op, B/op and allocs/op per
 #       benchmark. BENCHTIME overrides -benchtime (default 3x; CI uses
 #       1x).
@@ -23,8 +24,8 @@ BENCHTIME=${BENCHTIME:-3x}
 # plus the end-to-end worker sweeps in the root package and the
 # observability hot paths (span start/end, counter, histogram), which
 # ride on every instrumented kernel and must stay allocation-free.
-BENCH_RE='^(BenchmarkBuildHierarchyWorkers|BenchmarkTRGBuildWorkers|BenchmarkFootprintCurveWorkers|BenchmarkCorunBatchWorkers|BenchmarkShardPairHists|BenchmarkBuildHierarchyArena|BenchmarkBuildShard|BenchmarkBuildArena|BenchmarkWindowFootprintScratch|BenchmarkSpanStartEnd|BenchmarkSpanStartEndDropped|BenchmarkRegistryCounterInc|BenchmarkRegistryHistogramObserve)$'
-PKGS='. ./internal/affinity ./internal/trg ./internal/footprint ./internal/obs'
+BENCH_RE='^(BenchmarkBuildHierarchyWorkers|BenchmarkTRGBuildWorkers|BenchmarkFootprintCurveWorkers|BenchmarkCorunBatchWorkers|BenchmarkShardPairHists|BenchmarkBuildHierarchyArena|BenchmarkBuildShard|BenchmarkBuildArena|BenchmarkWindowFootprintScratch|BenchmarkSpanStartEnd|BenchmarkSpanStartEndDropped|BenchmarkRegistryCounterInc|BenchmarkRegistryHistogramObserve|BenchmarkScheduleSolve)$'
+PKGS='. ./internal/affinity ./internal/trg ./internal/footprint ./internal/obs ./internal/schedule'
 
 run() {
     out=${1:-$OUT_DEFAULT}

@@ -12,15 +12,26 @@
 #   5. start a second daemon with -fault-spec forcing every write to
 #      ENOSPC and require it to keep serving in degraded mode,
 #   6. SIGTERM and require a clean drain.
+#
+# Set SMOKE_WORK to redirect the scratch dir somewhere that survives the
+# run (CI points it at a directory uploaded as an artifact on failure);
+# without it a mktemp dir is used and removed.
 set -eu
 
-WORK=$(mktemp -d)
+if [ -n "${SMOKE_WORK:-}" ]; then
+    WORK=$SMOKE_WORK
+    mkdir -p "$WORK"
+    KEEP_WORK=1
+else
+    WORK=$(mktemp -d)
+    KEEP_WORK=0
+fi
 DAEMON_PID=""
 cleanup() {
     if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
         kill -9 "$DAEMON_PID" 2>/dev/null || true
     fi
-    rm -rf "$WORK"
+    [ "$KEEP_WORK" = 1 ] || rm -rf "$WORK"
 }
 trap cleanup EXIT
 
@@ -79,9 +90,10 @@ grep -q '"status": "done"' "$WORK/result1.json"
 DIGEST=$(grep -o '"digest": "[0-9a-f]*"' "$WORK/result1.json" | head -1 | cut -d'"' -f4)
 [ -n "$DIGEST" ] || { echo "smoke-durable: no digest in result" >&2; exit 1; }
 
-echo "smoke-durable: waiting for the write-behind to land the blob"
+echo "smoke-durable: waiting for the write-behind to land the blobs"
+# Two writes per submission: the retained trace and the result.
 i=0
-while ! fetch "$ADDR/metrics" | grep -q '^layoutd_store_writes_total 1$'; do
+while ! fetch "$ADDR/metrics" | grep -q '^layoutd_store_writes_total 2$'; do
     i=$((i + 1))
     if [ "$i" -gt 100 ]; then
         echo "smoke-durable: blob never hit disk" >&2

@@ -12,15 +12,26 @@
 #   6. resubmit the identical trace and assert a cache hit via /metrics,
 #   7. SIGTERM the daemon and require a clean drain with every job log
 #      line carrying a trace_id.
+#
+# Set SMOKE_WORK to redirect the scratch dir somewhere that survives the
+# run (CI points it at a directory uploaded as an artifact on failure);
+# without it a mktemp dir is used and removed.
 set -eu
 
-WORK=$(mktemp -d)
+if [ -n "${SMOKE_WORK:-}" ]; then
+    WORK=$SMOKE_WORK
+    mkdir -p "$WORK"
+    KEEP_WORK=1
+else
+    WORK=$(mktemp -d)
+    KEEP_WORK=0
+fi
 DAEMON_PID=""
 cleanup() {
     if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
         kill -9 "$DAEMON_PID" 2>/dev/null || true
     fi
-    rm -rf "$WORK"
+    [ "$KEEP_WORK" = 1 ] || rm -rf "$WORK"
 }
 trap cleanup EXIT
 
