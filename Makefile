@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-json-ci smoke-serve smoke-durable smoke-schedule ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-json-ci smoke-serve smoke-durable smoke-schedule smoke-cluster ci
 
 # Allocation budget for the CI regression gate: the per-window affinity
 # analysis (serial path) must stay under this allocs/op. The committed
@@ -90,4 +90,11 @@ bench-json-ci:
 smoke-schedule:
 	sh scripts/smoke_schedule.sh
 
-ci: build vet fmt-check test race bench-smoke bench-json-ci smoke-serve smoke-durable smoke-schedule
+# Cluster smoke: 3 layoutd nodes with static membership, submit to a
+# non-owner and require transparent forwarding plus write-behind
+# replication, SIGKILL the owner, and require survivors to serve the
+# layout with zero recompute.
+smoke-cluster:
+	sh scripts/smoke_cluster.sh
+
+ci: build vet fmt-check test race bench-smoke bench-json-ci smoke-serve smoke-durable smoke-schedule smoke-cluster

@@ -21,6 +21,12 @@
 //	layoutctl -addr http://127.0.0.1:8080 -corun <digestA>,<digestB>
 //	layoutctl -addr http://127.0.0.1:8080 -pair <pairDigest>
 //	layoutctl -addr http://127.0.0.1:8080 -schedule <d1>,<d2>,... -domains 2 -slots 2
+//	layoutctl -addr http://127.0.0.1:8080 -health
+//	layoutctl -cluster http://127.0.0.1:8080,http://127.0.0.1:8081 -layout <digest>
+//
+// With -cluster, the first endpoint whose /healthz answers is used as
+// the base URL; any node of a layoutd cluster serves any request, so
+// picking a live node is all the client-side routing needed.
 //
 // Exit codes: 0 on success, 1 when the server or the job fails (bad
 // response, failed/canceled job, retry budget exhausted), 2 on usage
@@ -33,14 +39,13 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"math/rand"
 	"net/http"
 	"net/url"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
+	"codelayout/internal/cluster"
 	"codelayout/internal/textplot"
 )
 
@@ -65,6 +70,8 @@ func main() {
 	domains := flag.Int("domains", 0, "shared-cache domains in the topology (with -schedule)")
 	slots := flag.Int("slots", 0, "cores per shared-cache domain (with -schedule)")
 	cacheGeom := flag.String("cache", "", "cache geometry sizeBytes/assoc/lineBytes, e.g. 32768/4/64 (with -corun/-schedule)")
+	health := flag.Bool("health", false, "print the server's /healthz document (node identity, build, degraded reason)")
+	clusterList := flag.String("cluster", "", "comma-separated layoutd base URLs; the first live one overrides -addr")
 	jsonOut := flag.Bool("json", false, "print raw JSON responses instead of human-readable output")
 	retries := flag.Int("retries", 4, "retry budget for transient failures (connection errors, 429, 503)")
 	retryBase := flag.Duration("retry-base", 500*time.Millisecond, "base of the jittered exponential retry backoff")
@@ -79,10 +86,19 @@ Exit codes:
 	}
 	flag.Parse()
 
-	r := &retrier{max: *retries, base: *retryBase, sleep: time.Sleep, logf: log.Printf}
+	r := &retrier{Max: *retries, Base: *retryBase, Logf: log.Printf}
 	base := strings.TrimRight(*addr, "/")
+	if *clusterList != "" {
+		picked, err := pickEndpoint(strings.Split(*clusterList, ","))
+		if err != nil {
+			log.Fatal(err)
+		}
+		base = picked
+	}
 	var err error
 	switch {
+	case *health:
+		err = doHealth(r, base, *jsonOut)
 	case *submit != "":
 		err = doSubmit(r, base, *submit, *prog, *opt, *prune, *wait, *timeout, *jsonOut)
 	case *job != "":
@@ -110,79 +126,12 @@ Exit codes:
 	}
 }
 
-// retrier runs HTTP attempts with jittered exponential backoff. An
-// attempt is retried on transport errors and on 429/503 responses; any
-// other response is returned to the caller as-is.
-type retrier struct {
-	max   int
-	base  time.Duration
-	sleep func(time.Duration)
-	logf  func(format string, args ...any)
-}
-
-// retryable reports whether the status code signals "try again later".
-func retryable(code int) bool {
-	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
-}
-
-// backoff computes the wait before retry attempt (0-based): an
-// exponentially growing window with half-width jitter, so a burst of
-// rejected clients spreads out instead of stampeding the queue in
-// lockstep. A server-provided Retry-After floor is respected.
-func (r *retrier) backoff(attempt int, retryAfter time.Duration) time.Duration {
-	d := r.base << attempt
-	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
-	if d < retryAfter {
-		d = retryAfter
-	}
-	return d
-}
-
-// parseRetryAfter reads a Retry-After header: either delay-seconds or
-// an HTTP date. Zero means absent or unparseable.
-func parseRetryAfter(resp *http.Response) time.Duration {
-	v := resp.Header.Get("Retry-After")
-	if v == "" {
-		return 0
-	}
-	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
-		return time.Duration(secs) * time.Second
-	}
-	if t, err := http.ParseTime(v); err == nil {
-		if d := time.Until(t); d > 0 {
-			return d
-		}
-	}
-	return 0
-}
-
-// do runs attempt until it yields a non-retryable outcome or the retry
-// budget is spent. attempt must produce a fresh request each call (the
-// body of a failed attempt has already been consumed).
-func (r *retrier) do(what string, attempt func() (*http.Response, error)) (*http.Response, error) {
-	var lastErr error
-	for i := 0; ; i++ {
-		resp, err := attempt()
-		if err == nil && !retryable(resp.StatusCode) {
-			return resp, nil
-		}
-		var retryAfter time.Duration
-		if err != nil {
-			lastErr = err
-		} else {
-			retryAfter = parseRetryAfter(resp)
-			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-			resp.Body.Close()
-			lastErr = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
-		}
-		if i >= r.max {
-			return nil, fmt.Errorf("%s: %w (after %d retries)", what, lastErr, r.max)
-		}
-		wait := r.backoff(i, retryAfter)
-		r.logf("%s: %v; retrying in %s (%d/%d)", what, lastErr, wait.Round(time.Millisecond), i+1, r.max)
-		r.sleep(wait)
-	}
-}
+// retrier is the shared retry/backoff engine (internal/cluster): the
+// same semantics layoutd peers use for forwarding and replication.
+// Transport errors and 429/503 responses are retried with jittered
+// exponential backoff honoring Retry-After; content addressing makes
+// every retried request idempotent.
+type retrier = cluster.Retrier
 
 // jobView mirrors the server's wire format, loosely (unknown fields are
 // ignored, so the client tolerates additive server changes).
@@ -207,7 +156,7 @@ func doSubmit(r *retrier, base, path, prog, opt string, prune int, wait bool, ti
 	// Each attempt re-opens the trace file: a retried POST needs the
 	// body from byte zero, and content addressing makes the resubmit
 	// idempotent on the server.
-	resp, err := r.do("submit", func() (*http.Response, error) {
+	resp, err := r.Do("submit", func() (*http.Response, error) {
 		f, err := os.Open(path)
 		if err != nil {
 			return nil, err
@@ -285,7 +234,7 @@ type traceView struct {
 
 func doTrace(r *retrier, base, id string, jsonOut bool) error {
 	u := base + "/v1/jobs/" + url.PathEscape(id) + "/trace"
-	resp, err := r.do("GET "+u, func() (*http.Response, error) {
+	resp, err := r.Do("GET "+u, func() (*http.Response, error) {
 		return http.Get(u)
 	})
 	if err != nil {
@@ -319,7 +268,7 @@ func doTrace(r *retrier, base, id string, jsonOut bool) error {
 }
 
 func doCancel(r *retrier, base, id string) error {
-	resp, err := r.do("cancel", func() (*http.Response, error) {
+	resp, err := r.Do("cancel", func() (*http.Response, error) {
 		req, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+url.PathEscape(id), nil)
 		if err != nil {
 			return nil, err
@@ -341,7 +290,7 @@ func doCancel(r *retrier, base, id string) error {
 }
 
 func getJob(r *retrier, base, id string) (jobView, []byte, error) {
-	resp, err := r.do("poll "+id, func() (*http.Response, error) {
+	resp, err := r.Do("poll "+id, func() (*http.Response, error) {
 		return http.Get(base + "/v1/jobs/" + url.PathEscape(id))
 	})
 	if err != nil {
@@ -359,8 +308,90 @@ func getJob(r *retrier, base, id string) (jobView, []byte, error) {
 	return v, raw, nil
 }
 
+// healthView mirrors the server's /healthz wire format, loosely.
+type healthView struct {
+	Status   string `json:"status"`
+	NodeID   string `json:"node_id"`
+	Build    string `json:"build"`
+	Degraded string `json:"degraded"`
+}
+
+// pickEndpoint probes each base URL's /healthz with a short timeout and
+// returns the first that answers 200, preferring a non-degraded node
+// when one exists. Forwarding is transparent server-side, so liveness
+// is the only thing worth selecting on.
+func pickEndpoint(endpoints []string) (string, error) {
+	client := &http.Client{Timeout: 2 * time.Second}
+	firstLive := ""
+	for _, ep := range endpoints {
+		ep = strings.TrimRight(strings.TrimSpace(ep), "/")
+		if ep == "" {
+			continue
+		}
+		resp, err := client.Get(ep + "/healthz")
+		if err != nil {
+			log.Printf("cluster endpoint %s unreachable: %v", ep, err)
+			continue
+		}
+		var v healthView
+		err = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&v)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || err != nil {
+			log.Printf("cluster endpoint %s unhealthy: %s", ep, resp.Status)
+			continue
+		}
+		if v.Status == "ok" {
+			return ep, nil
+		}
+		if firstLive == "" {
+			firstLive = ep
+		}
+	}
+	if firstLive != "" {
+		return firstLive, nil
+	}
+	return "", fmt.Errorf("no live endpoint among %s", strings.Join(endpoints, ", "))
+}
+
+func doHealth(r *retrier, base string, jsonOut bool) error {
+	u := base + "/healthz"
+	resp, err := r.Do("GET "+u, func() (*http.Response, error) {
+		return http.Get(u)
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if jsonOut {
+		os.Stdout.Write(append(raw, '\n'))
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %s", u, resp.Status)
+		}
+		return nil
+	}
+	var v healthView
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return fmt.Errorf("health: bad response %q: %w", raw, err)
+	}
+	fmt.Printf("status   %s\n", v.Status)
+	if v.NodeID != "" {
+		fmt.Printf("node_id  %s\n", v.NodeID)
+	}
+	if v.Build != "" {
+		fmt.Printf("build    %s\n", v.Build)
+	}
+	if v.Degraded != "" {
+		fmt.Printf("degraded %s\n", v.Degraded)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", u, resp.Status)
+	}
+	return nil
+}
+
 func printGET(r *retrier, u string) error {
-	resp, err := r.do("GET "+u, func() (*http.Response, error) {
+	resp, err := r.Do("GET "+u, func() (*http.Response, error) {
 		return http.Get(u)
 	})
 	if err != nil {

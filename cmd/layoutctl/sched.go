@@ -44,7 +44,7 @@ func postJob(r *retrier, base, path string, body any, timeout time.Duration) (jo
 	if err != nil {
 		return jobView{}, nil, err
 	}
-	resp, err := r.do("POST "+path, func() (*http.Response, error) {
+	resp, err := r.Do("POST "+path, func() (*http.Response, error) {
 		return http.Post(base+path, "application/json", bytes.NewReader(data))
 	})
 	if err != nil {

@@ -21,6 +21,13 @@
 //	layoutd -log-level debug                                           # per-request detail
 //	layoutd -debug-addr 127.0.0.1:6060                                 # net/http/pprof
 //	layoutd -store-dir /tmp/s -fault-spec 'write:every=1,err=ENOSPC'   # smoke-test degraded mode
+//	layoutd -node-id n1 -peers 'n1=http://127.0.0.1:8080,n2=http://127.0.0.1:8081,n3=http://127.0.0.1:8082' \
+//	        -replicas 2 -store-dir /var/lib/layoutd-n1               # one member of a 3-node cluster
+//
+// With -peers, the daemon joins a static cluster: every digest has an
+// owner chosen by rendezvous hashing, non-owners forward requests to
+// it transparently, and completed results replicate to -replicas nodes
+// so any member can serve any digest — including after the owner dies.
 //
 // On SIGTERM/SIGINT the daemon stops accepting work and drains queued
 // and in-flight jobs, bounded by -drain-timeout; a drain that has to
@@ -38,9 +45,11 @@ import (
 	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"codelayout/internal/cluster"
 	"codelayout/internal/fault"
 	"codelayout/internal/obs"
 	"codelayout/internal/server"
@@ -67,6 +76,10 @@ func main() {
 	faultSpec := flag.String("fault-spec", "", "DEBUG: inject store filesystem faults, e.g. 'write:every=1,err=ENOSPC' (requires -store-dir)")
 	traceCache := flag.Int("trace-cache", server.DefaultTraceCacheEntries, "decoded traces retained in memory for /v1/corun and /v1/schedule replay")
 	maxSchedule := flag.Int("max-schedule", server.DefaultMaxScheduleDigests, "layout digests accepted per /v1/schedule request")
+	nodeID := flag.String("node-id", "", "this node's cluster ID (required with -peers)")
+	peersSpec := flag.String("peers", "", "static cluster membership as comma-separated id=url pairs, self included, e.g. 'n1=http://127.0.0.1:8080,n2=http://127.0.0.1:8081'")
+	replicas := flag.Int("replicas", 2, "nodes that should hold each blob, owner included (with -peers)")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "peer /healthz poll period (with -peers)")
 	flag.Parse()
 
 	level, err := parseLevel(*logLevel)
@@ -115,6 +128,31 @@ func main() {
 		fatal("flag error", errors.New("-fault-spec requires -store-dir"))
 	}
 
+	var cl *cluster.Cluster
+	if *peersSpec != "" {
+		peers, err := parsePeers(*peersSpec)
+		if err != nil {
+			fatal("bad -peers", err)
+		}
+		clusterLog := logger.With("subsys", "cluster")
+		cl, err = cluster.New(cluster.Config{
+			SelfID:            *nodeID,
+			Peers:             peers,
+			ReplicationFactor: *replicas,
+			HealthInterval:    *healthInterval,
+			Logf: func(format string, args ...any) {
+				clusterLog.Info(fmt.Sprintf(format, args...))
+			},
+		})
+		if err != nil {
+			fatal("cluster setup", err)
+		}
+		logger.Info("cluster member", "node_id", *nodeID,
+			"peers", len(peers), "replicas", cl.ReplicationFactor())
+	} else if *nodeID != "" {
+		logger.Info("running single-node", "node_id", *nodeID)
+	}
+
 	if *debugAddr != "" {
 		// pprof lives on its own listener so profiling endpoints are
 		// never exposed on the service address.
@@ -144,9 +182,29 @@ func main() {
 
 		TraceCacheEntries:  *traceCache,
 		MaxScheduleDigests: *maxSchedule,
+
+		Cluster: cl,
+		NodeID:  *nodeID,
 	}); err != nil {
 		fatal("layoutd exited", err)
 	}
+}
+
+// parsePeers turns 'id=url,id=url,...' into the static peer set.
+func parsePeers(spec string) ([]cluster.Peer, error) {
+	var peers []cluster.Peer
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, u, ok := strings.Cut(part, "=")
+		if !ok || id == "" || u == "" {
+			return nil, fmt.Errorf("peer %q: want id=url", part)
+		}
+		peers = append(peers, cluster.Peer{ID: id, URL: strings.TrimRight(u, "/")})
+	}
+	return peers, nil
 }
 
 func parseLevel(s string) (slog.Level, error) {

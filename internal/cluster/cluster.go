@@ -1,0 +1,453 @@
+// Package cluster is the peer-group layer for layoutd: N statically
+// configured instances share the serving load by content address.
+//
+// Ownership of every digest is decided by rendezvous (highest-random-
+// weight) hashing: each peer is scored against the key, and the ranked
+// order is identical no matter which node computes it. The first ranked
+// peer that is healthy is the effective owner; non-owners forward
+// requests to it. When the peer set shrinks by one node, only the keys
+// that node owned move — the defining property of rendezvous hashing,
+// and the reason no ring state needs to be stored or gossiped.
+//
+// Because every blob is content-addressed, all cluster writes are
+// last-write-wins safe: two nodes writing the same key are writing
+// identical bytes, so replication and forwarding can retry blindly.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Wire headers used between peers.
+const (
+	// ForwardHeader marks a request already forwarded once; a receiver
+	// never forwards it again (loop prevention). The value is the
+	// forwarding node's ID.
+	ForwardHeader = "X-Layoutd-Forward"
+	// ForwardedToHeader is set on responses that were served by proxying
+	// to another node, naming that node, so cluster-aware clients can
+	// re-base follow-up requests onto the owner.
+	ForwardedToHeader = "X-Layoutd-Forwarded-To"
+	// DigestHeader carries sha256(body) on replication pushes and raw
+	// store reads; the receiver recomputes and rejects mismatches.
+	DigestHeader = "X-Layoutd-Digest"
+)
+
+// Peer is one statically configured cluster member.
+type Peer struct {
+	ID  string
+	URL string // base URL, no trailing slash
+}
+
+// State is a peer's last observed health.
+type State int32
+
+const (
+	// StateUp: last health poll answered "ok".
+	StateUp State = iota
+	// StateDegraded: the peer answered, but its store circuit breaker
+	// has tripped (memory-only mode). Routing prefers other owners.
+	StateDegraded
+	// StateDown: the peer did not answer, or a forward to it failed.
+	StateDown
+)
+
+func (s State) String() string {
+	switch s {
+	case StateUp:
+		return "up"
+	case StateDegraded:
+		return "degraded"
+	default:
+		return "down"
+	}
+}
+
+// Config configures a Cluster.
+type Config struct {
+	SelfID string // this node's ID; must appear in Peers
+	Peers  []Peer // every member of the static cluster, including self
+
+	// ReplicationFactor is the total number of nodes that should hold
+	// each blob (owner included). 0 means 2. Values above len(Peers)
+	// are clamped.
+	ReplicationFactor int
+	// HealthInterval is the poll period for peer /healthz. 0 means 2s.
+	HealthInterval time.Duration
+	// QueueDepth bounds the write-behind replication queue. 0 means 256.
+	QueueDepth int
+	// Client is the HTTP client for peer traffic. nil means a client
+	// with a 10s timeout.
+	Client *http.Client
+	// Logf receives diagnostics. nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// Cluster tracks the static peer set, their health, and the write-
+// behind replication queue. Create with New, then Start, then Close.
+type Cluster struct {
+	self     Peer
+	peers    []Peer // sorted by ID, includes self
+	others   []Peer // peers minus self, same order
+	rf       int
+	interval time.Duration
+	client   *http.Client
+	logf     func(format string, args ...any)
+
+	states    map[string]*atomic.Int32 // peer ID -> State
+	reasons   sync.Map                 // peer ID -> string (degraded reason)
+	stateHook atomic.Value             // func(id string, st State)
+
+	repl *replicator
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     sync.WaitGroup
+}
+
+// New validates the peer set and builds a Cluster. It does not start
+// background work; call Start for health polling and replication.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.SelfID == "" {
+		return nil, fmt.Errorf("cluster: empty SelfID")
+	}
+	if len(cfg.Peers) < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 peers, have %d", len(cfg.Peers))
+	}
+	seen := make(map[string]bool, len(cfg.Peers))
+	var self Peer
+	peers := make([]Peer, 0, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		if p.ID == "" {
+			return nil, fmt.Errorf("cluster: peer with empty ID (url %q)", p.URL)
+		}
+		if strings.ContainsAny(p.ID, " .,=/") {
+			return nil, fmt.Errorf("cluster: peer ID %q contains reserved characters", p.ID)
+		}
+		if seen[p.ID] {
+			return nil, fmt.Errorf("cluster: duplicate peer ID %q", p.ID)
+		}
+		seen[p.ID] = true
+		u, err := url.Parse(p.URL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %s: bad URL %q", p.ID, p.URL)
+		}
+		p.URL = strings.TrimRight(p.URL, "/")
+		peers = append(peers, p)
+		if p.ID == cfg.SelfID {
+			self = p
+		}
+	}
+	if self.ID == "" {
+		return nil, fmt.Errorf("cluster: SelfID %q not in peer set", cfg.SelfID)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+
+	rf := cfg.ReplicationFactor
+	if rf <= 0 {
+		rf = 2
+	}
+	if rf > len(peers) {
+		rf = len(peers)
+	}
+	interval := cfg.HealthInterval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 256
+	}
+
+	c := &Cluster{
+		self:     self,
+		peers:    peers,
+		rf:       rf,
+		interval: interval,
+		client:   client,
+		logf:     logf,
+		states:   make(map[string]*atomic.Int32, len(peers)),
+		stop:     make(chan struct{}),
+	}
+	for _, p := range peers {
+		c.states[p.ID] = &atomic.Int32{} // optimistic: everyone starts Up
+		if p.ID != self.ID {
+			c.others = append(c.others, p)
+		}
+	}
+	c.repl = newReplicator(c, depth)
+	return c, nil
+}
+
+// Start launches the health poller and the replication worker.
+func (c *Cluster) Start() {
+	c.done.Add(2)
+	go c.pollLoop()
+	go c.repl.run()
+}
+
+// Close stops background work and waits for it to exit.
+func (c *Cluster) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.done.Wait()
+}
+
+// SelfID returns this node's peer ID.
+func (c *Cluster) SelfID() string { return c.self.ID }
+
+// Self returns this node's peer record.
+func (c *Cluster) Self() Peer { return c.self }
+
+// Peers returns the full member list (including self), sorted by ID.
+func (c *Cluster) Peers() []Peer {
+	out := make([]Peer, len(c.peers))
+	copy(out, c.peers)
+	return out
+}
+
+// PeerByID returns the peer with the given ID, if any.
+func (c *Cluster) PeerByID(id string) (Peer, bool) {
+	for _, p := range c.peers {
+		if p.ID == id {
+			return p, true
+		}
+	}
+	return Peer{}, false
+}
+
+// ReplicationFactor returns the effective (clamped) replication factor.
+func (c *Cluster) ReplicationFactor() int { return c.rf }
+
+// State returns the last observed health of a peer. Self is always Up
+// from the cluster's perspective — local degradation is advertised via
+// /healthz for the other nodes to observe.
+func (c *Cluster) State(id string) State {
+	if s, ok := c.states[id]; ok {
+		return State(s.Load())
+	}
+	return StateDown
+}
+
+// DegradedReason returns the reason string a degraded peer advertised.
+func (c *Cluster) DegradedReason(id string) string {
+	if v, ok := c.reasons.Load(id); ok {
+		return v.(string)
+	}
+	return ""
+}
+
+// SetStateHook installs fn, called (from the poller goroutine and from
+// ReportFailure) whenever a peer's observed state changes. Used to
+// export per-peer health gauges.
+func (c *Cluster) SetStateHook(fn func(id string, st State)) {
+	c.stateHook.Store(fn)
+}
+
+func (c *Cluster) setState(id string, st State) {
+	s, ok := c.states[id]
+	if !ok {
+		return
+	}
+	if State(s.Swap(int32(st))) == st {
+		return
+	}
+	c.logf("cluster: peer %s -> %s", id, st)
+	if fn, ok := c.stateHook.Load().(func(string, State)); ok && fn != nil {
+		fn(id, st)
+	}
+}
+
+// ReportFailure marks a peer Down immediately — called when a forward
+// or replication push fails at request time, so routing stops sending
+// traffic there before the next health poll notices.
+func (c *Cluster) ReportFailure(id string) {
+	if id == c.self.ID {
+		return
+	}
+	c.setState(id, StateDown)
+}
+
+// ---- rendezvous hashing ----
+
+// rankScore is FNV-1a over peerID, a separator, and the key. Every node
+// computes the identical score for (peer, key), so the ranking needs no
+// coordination.
+func rankScore(peerID, key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(peerID); i++ {
+		h ^= uint64(peerID[i])
+		h *= prime64
+	}
+	h ^= 0xff // separator: "ab"+"c" must not collide with "a"+"bc"
+	h *= prime64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// RankedPeers returns every peer ordered by rendezvous score for key,
+// highest first. The order is identical on every node. Health is not
+// consulted — see Owner for the effective routing decision.
+func (c *Cluster) RankedPeers(key string) []Peer {
+	type scored struct {
+		p Peer
+		s uint64
+	}
+	sc := make([]scored, len(c.peers))
+	for i, p := range c.peers {
+		sc[i] = scored{p, rankScore(p.ID, key)}
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].s != sc[j].s {
+			return sc[i].s > sc[j].s
+		}
+		return sc[i].p.ID < sc[j].p.ID
+	})
+	out := make([]Peer, len(sc))
+	for i, s := range sc {
+		out[i] = s.p
+	}
+	return out
+}
+
+// Owner returns the effective owner of key: the first ranked peer that
+// is Up. If none is Up, the first ranked peer that is merely degraded
+// (it can still compute, memory-only); if every peer looks down, self —
+// serving locally beats refusing.
+func (c *Cluster) Owner(key string) Peer {
+	ranked := c.RankedPeers(key)
+	for _, p := range ranked {
+		if c.State(p.ID) == StateUp {
+			return p
+		}
+	}
+	for _, p := range ranked {
+		if c.State(p.ID) != StateDown {
+			return p
+		}
+	}
+	return c.self
+}
+
+// IsOwner reports whether this node is the effective owner of key.
+func (c *Cluster) IsOwner(key string) bool {
+	return c.Owner(key).ID == c.self.ID
+}
+
+// ReplicaTargets returns the peers (never self) that should hold a copy
+// of key: the top ReplicationFactor ranked peers for the key, skipping
+// peers currently marked Down. The compute node pushes to all of them
+// even when it is not itself in the ranked set, so the key's owner by
+// hash always converges on holding the blob.
+func (c *Cluster) ReplicaTargets(key string) []Peer {
+	ranked := c.RankedPeers(key)
+	if len(ranked) > c.rf {
+		ranked = ranked[:c.rf]
+	}
+	out := make([]Peer, 0, len(ranked))
+	for _, p := range ranked {
+		if p.ID == c.self.ID || c.State(p.ID) == StateDown {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// ---- health polling ----
+
+// healthView mirrors the server's /healthz JSON, loosely.
+type healthView struct {
+	Status   string `json:"status"`
+	NodeID   string `json:"node_id"`
+	Degraded string `json:"degraded"`
+}
+
+func (c *Cluster) pollLoop() {
+	defer c.done.Done()
+	c.pollAll()
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.pollAll()
+		}
+	}
+}
+
+func (c *Cluster) pollAll() {
+	var wg sync.WaitGroup
+	for _, p := range c.others {
+		wg.Add(1)
+		go func(p Peer) {
+			defer wg.Done()
+			c.pollPeer(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+func (c *Cluster) pollPeer(p Peer) {
+	req, err := http.NewRequest(http.MethodGet, p.URL+"/healthz", nil)
+	if err != nil {
+		c.setState(p.ID, StateDown)
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.setState(p.ID, StateDown)
+		return
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		c.setState(p.ID, StateDown)
+		return
+	}
+	var hv healthView
+	if err := json.Unmarshal(body, &hv); err != nil {
+		// Pre-cluster layoutd answered plain "ok\n"; accept it.
+		if strings.HasPrefix(strings.TrimSpace(string(body)), "ok") {
+			c.setState(p.ID, StateUp)
+			return
+		}
+		c.setState(p.ID, StateDown)
+		return
+	}
+	switch hv.Status {
+	case "ok":
+		c.reasons.Delete(p.ID)
+		c.setState(p.ID, StateUp)
+	case "degraded":
+		c.reasons.Store(p.ID, hv.Degraded)
+		c.setState(p.ID, StateDegraded)
+	default:
+		c.setState(p.ID, StateDown)
+	}
+}

@@ -1,0 +1,397 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func threePeers(t *testing.T) []Peer {
+	t.Helper()
+	return []Peer{
+		{ID: "n1", URL: "http://127.0.0.1:1"},
+		{ID: "n2", URL: "http://127.0.0.1:2"},
+		{ID: "n3", URL: "http://127.0.0.1:3"},
+	}
+}
+
+func newTestCluster(t *testing.T, self string, peers []Peer, rf int) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		SelfID:            self,
+		Peers:             peers,
+		ReplicationFactor: rf,
+		HealthInterval:    time.Hour, // tests poll manually
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	peers := threePeers(t)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"empty self", Config{Peers: peers}},
+		{"self not in set", Config{SelfID: "nope", Peers: peers}},
+		{"single peer", Config{SelfID: "n1", Peers: peers[:1]}},
+		{"dup id", Config{SelfID: "n1", Peers: []Peer{peers[0], peers[0]}}},
+		{"bad url", Config{SelfID: "n1", Peers: []Peer{peers[0], {ID: "nx", URL: "::::"}}}},
+		{"reserved id", Config{SelfID: "a.b", Peers: []Peer{{ID: "a.b", URL: "http://h:1"}, peers[0]}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: New accepted invalid config", tc.name)
+		}
+	}
+}
+
+// Every node must compute the identical ranking for a key — that is the
+// whole coordination-free point of rendezvous hashing.
+func TestRankingIdenticalAcrossPerspectives(t *testing.T) {
+	peers := threePeers(t)
+	a := newTestCluster(t, "n1", peers, 2)
+	// Same membership, different self, different input order.
+	b := newTestCluster(t, "n3", []Peer{peers[2], peers[0], peers[1]}, 2)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("%064x", i)
+		ra, rb := a.RankedPeers(key), b.RankedPeers(key)
+		for j := range ra {
+			if ra[j].ID != rb[j].ID {
+				t.Fatalf("key %s rank %d: %s vs %s", key, j, ra[j].ID, rb[j].ID)
+			}
+		}
+	}
+}
+
+// Removing one node must only remap the keys that node owned (HRW
+// minimal-disruption property).
+func TestRendezvousMinimalRemap(t *testing.T) {
+	peers := threePeers(t)
+	full := newTestCluster(t, "n1", peers, 2)
+	small := newTestCluster(t, "n1", peers[:2], 2) // n3 removed
+	moved, owned3 := 0, 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.RankedPeers(key)[0]
+		after := small.RankedPeers(key)[0]
+		if before.ID == "n3" {
+			owned3++
+			continue
+		}
+		if before.ID != after.ID {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed node changed owner", moved)
+	}
+	if owned3 == 0 {
+		t.Fatal("test vacuous: removed node owned no keys")
+	}
+}
+
+func TestOwnerSkipsUnhealthy(t *testing.T) {
+	c := newTestCluster(t, "n1", threePeers(t), 2)
+	key := "some-digest"
+	ranked := c.RankedPeers(key)
+	if got := c.Owner(key); got.ID != ranked[0].ID {
+		t.Fatalf("healthy owner = %s, want top-ranked %s", got.ID, ranked[0].ID)
+	}
+	c.setState(ranked[0].ID, StateDown)
+	if got := c.Owner(key); got.ID != ranked[1].ID {
+		t.Fatalf("owner with down top = %s, want %s", got.ID, ranked[1].ID)
+	}
+	// Degraded ranks below Up but above Down.
+	c2 := newTestCluster(t, "n1", threePeers(t), 2)
+	r2 := c2.RankedPeers(key)
+	c2.setState(r2[0].ID, StateDegraded)
+	if got := c2.Owner(key); got.ID != r2[1].ID {
+		t.Fatalf("owner with degraded top = %s, want %s", got.ID, r2[1].ID)
+	}
+	c2.setState(r2[1].ID, StateDown)
+	c2.setState(r2[2].ID, StateDown)
+	if got := c2.Owner(key); got.ID != r2[0].ID {
+		t.Fatalf("owner with only degraded alive = %s, want degraded %s", got.ID, r2[0].ID)
+	}
+}
+
+func TestReplicaTargetsExcludeSelfAndDown(t *testing.T) {
+	c := newTestCluster(t, "n1", threePeers(t), 3)
+	key := "k"
+	targets := c.ReplicaTargets(key)
+	for _, p := range targets {
+		if p.ID == "n1" {
+			t.Fatal("self in replica targets")
+		}
+	}
+	if len(targets) != 2 {
+		t.Fatalf("rf=3 with 3 nodes: want 2 non-self targets, got %d", len(targets))
+	}
+	c.setState(targets[0].ID, StateDown)
+	if got := c.ReplicaTargets(key); len(got) != 1 {
+		t.Fatalf("down peer still targeted: %v", got)
+	}
+}
+
+func TestHealthPollStates(t *testing.T) {
+	okSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok","node_id":"n2"}`)
+	}))
+	defer okSrv.Close()
+	degSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"degraded","node_id":"n3","degraded":"store write failed: disk full"}`)
+	}))
+	defer degSrv.Close()
+
+	var changes atomic.Int64
+	c := newTestCluster(t, "n1", []Peer{
+		{ID: "n1", URL: "http://127.0.0.1:1"},
+		{ID: "n2", URL: okSrv.URL},
+		{ID: "n3", URL: degSrv.URL},
+		{ID: "n4", URL: "http://127.0.0.1:9"}, // nothing listening
+	}, 2)
+	c.SetStateHook(func(id string, st State) { changes.Add(1) })
+	c.pollAll()
+	if got := c.State("n2"); got != StateUp {
+		t.Fatalf("n2 state = %s", got)
+	}
+	if got := c.State("n3"); got != StateDegraded {
+		t.Fatalf("n3 state = %s", got)
+	}
+	if got := c.DegradedReason("n3"); !strings.Contains(got, "disk full") {
+		t.Fatalf("n3 reason = %q", got)
+	}
+	if got := c.State("n4"); got != StateDown {
+		t.Fatalf("n4 state = %s", got)
+	}
+	// n3 degraded + n4 down = two transitions away from the optimistic Up.
+	if changes.Load() != 2 {
+		t.Fatalf("state hook fired %d times, want 2", changes.Load())
+	}
+	// A legacy peer answering plain "ok\n" still counts as Up.
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok\n")
+	}))
+	defer legacy.Close()
+	c.setState("n2", StateDown)
+	c.pollPeer(Peer{ID: "n2", URL: legacy.URL})
+	if got := c.State("n2"); got != StateUp {
+		t.Fatalf("legacy ok peer = %s", got)
+	}
+}
+
+func TestReplicatePushAndStats(t *testing.T) {
+	type put struct {
+		key, digest string
+		body        []byte
+	}
+	got := make(chan put, 4)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprint(w, `{"status":"ok"}`)
+			return
+		}
+		if r.Method != http.MethodPut || !strings.HasPrefix(r.URL.Path, "/v1/replicate/") {
+			http.Error(w, "unexpected "+r.Method+" "+r.URL.Path, http.StatusBadRequest)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		got <- put{
+			key:    strings.TrimPrefix(r.URL.Path, "/v1/replicate/"),
+			digest: r.Header.Get(DigestHeader),
+			body:   body,
+		}
+		w.WriteHeader(http.StatusCreated)
+	}))
+	defer srv.Close()
+
+	c, err := New(Config{
+		SelfID: "n1",
+		Peers: []Peer{
+			{ID: "n1", URL: "http://127.0.0.1:1"},
+			{ID: "n2", URL: srv.URL},
+		},
+		ReplicationFactor: 2,
+		HealthInterval:    time.Hour,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked := make(chan string, 4)
+	c.SetReplicateHook(func(peer, key string, lag, dur time.Duration, err error) {
+		if err == nil {
+			hooked <- peer + "/" + key
+		}
+	})
+	c.Start()
+	defer c.Close()
+
+	data := []byte("blob-bytes")
+	if n := c.Replicate("t-abc", data); n != 1 {
+		t.Fatalf("Replicate enqueued %d, want 1", n)
+	}
+	select {
+	case p := <-got:
+		if p.key != "t-abc" {
+			t.Fatalf("key = %s", p.key)
+		}
+		sum := sha256.Sum256(data)
+		if p.digest != hex.EncodeToString(sum[:]) {
+			t.Fatalf("digest header = %s", p.digest)
+		}
+		if string(p.body) != string(data) {
+			t.Fatalf("body = %q", p.body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("replication push never arrived")
+	}
+	select {
+	case h := <-hooked:
+		if h != "n2/t-abc" {
+			t.Fatalf("hook = %s", h)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("replicate hook never fired")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.ReplicationStats().Pushed < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats = %+v", c.ReplicationStats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFetchBlobVerifiesDigest(t *testing.T) {
+	data := []byte("real-blob")
+	sum := sha256.Sum256(data)
+	goodDigest := hex.EncodeToString(sum[:])
+
+	liar := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(DigestHeader, goodDigest)
+		w.Write([]byte("corrupted!"))
+	}))
+	defer liar.Close()
+	honest := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(ForwardHeader) == "" {
+			http.Error(w, "probe missing forward header", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set(DigestHeader, goodDigest)
+		w.Write(data)
+	}))
+	defer honest.Close()
+
+	// Rank both remote peers; whichever ranks first, the corrupt answer
+	// must be skipped and the honest one returned.
+	c, err := New(Config{
+		SelfID: "self",
+		Peers: []Peer{
+			{ID: "self", URL: "http://127.0.0.1:1"},
+			{ID: "liar", URL: liar.URL},
+			{ID: "honest", URL: honest.URL},
+		},
+		HealthInterval: time.Hour,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, from, err := c.FetchBlob(context.Background(), "some-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != "honest" {
+		t.Fatalf("served by %s", from)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("got %q", got)
+	}
+	// No peer holds the key -> ErrNotFound.
+	missing := httptest.NewServer(http.NotFoundHandler())
+	defer missing.Close()
+	c2, _ := New(Config{
+		SelfID: "self",
+		Peers: []Peer{
+			{ID: "self", URL: "http://127.0.0.1:1"},
+			{ID: "m", URL: missing.URL},
+		},
+		HealthInterval: time.Hour,
+	})
+	if _, _, err := c2.FetchBlob(context.Background(), "nope"); err != ErrNotFound {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestRetrierRetriesOn503(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "done")
+	}))
+	defer srv.Close()
+	var slept []time.Duration
+	r := &Retrier{Max: 4, Base: 10 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }, Logf: t.Logf}
+	resp, err := r.Do("test", func() (*http.Response, error) { return http.Get(srv.URL) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "done" {
+		t.Fatalf("body = %q", body)
+	}
+	if calls.Load() != 3 || len(slept) != 2 {
+		t.Fatalf("calls = %d, sleeps = %d", calls.Load(), len(slept))
+	}
+}
+
+func TestRetrierBudgetExhausted(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "full", http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	r := &Retrier{Max: 1, Base: time.Millisecond, Sleep: func(time.Duration) {}}
+	_, err := r.Do("test", func() (*http.Response, error) { return http.Get(srv.URL) })
+	if err == nil || !strings.Contains(err.Error(), "after 1 retries") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	resp := &http.Response{Header: http.Header{}}
+	if d := ParseRetryAfter(resp); d != 0 {
+		t.Fatalf("absent header = %v", d)
+	}
+	resp.Header.Set("Retry-After", "7")
+	if d := ParseRetryAfter(resp); d != 7*time.Second {
+		t.Fatalf("seconds = %v", d)
+	}
+	resp.Header.Set("Retry-After", "garbage")
+	if d := ParseRetryAfter(resp); d != 0 {
+		t.Fatalf("garbage = %v", d)
+	}
+	resp.Header.Set("Retry-After", time.Now().Add(30*time.Second).UTC().Format(http.TimeFormat))
+	if d := ParseRetryAfter(resp); d <= 0 || d > 31*time.Second {
+		t.Fatalf("http date = %v", d)
+	}
+}

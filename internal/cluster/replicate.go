@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// ErrNotFound is returned by FetchBlob when no reachable peer holds the
+// key.
+var ErrNotFound = errors.New("cluster: blob not found on any peer")
+
+// maxBlobBytes bounds a single replicated blob (result documents are a
+// few KB; trace blobs are bounded by the server's MaxTraceBytes, well
+// under this).
+const maxBlobBytes = 1 << 30
+
+// ReplicationStats is a snapshot of the write-behind replication queue.
+type ReplicationStats struct {
+	Pushed  int64 // blobs acknowledged by a replica
+	Errors  int64 // pushes that failed after retries
+	Dropped int64 // enqueues rejected because the queue was full
+	Depth   int   // items currently queued
+}
+
+type replItem struct {
+	key      string
+	data     []byte
+	peer     Peer
+	enqueued time.Time
+}
+
+// replicator is the write-behind push queue: Replicate never blocks the
+// request path, a single worker drains the queue so a slow replica
+// backs up replication, not serving.
+type replicator struct {
+	c     *Cluster
+	queue chan replItem
+
+	pushed  atomic.Int64
+	errs    atomic.Int64
+	dropped atomic.Int64
+
+	hook atomic.Value // func(peer, key string, lag, dur time.Duration, err error)
+}
+
+func newReplicator(c *Cluster, depth int) *replicator {
+	return &replicator{c: c, queue: make(chan replItem, depth)}
+}
+
+// Replicate enqueues data for push to every replica target of key and
+// returns how many pushes were enqueued. It never blocks: when the
+// queue is full the item is dropped and counted — acceptable because a
+// reader that misses a replica falls through to the owner or to
+// recompute, and content addressing means a later write of the same
+// key re-enqueues identical bytes.
+func (c *Cluster) Replicate(key string, data []byte) int {
+	r := c.repl
+	n := 0
+	now := time.Now()
+	for _, p := range c.ReplicaTargets(key) {
+		select {
+		case r.queue <- replItem{key: key, data: data, peer: p, enqueued: now}:
+			n++
+		default:
+			r.dropped.Add(1)
+			c.logf("cluster: replication queue full, dropping %s -> %s", key, p.ID)
+		}
+	}
+	return n
+}
+
+// ReplicationStats snapshots queue counters.
+func (c *Cluster) ReplicationStats() ReplicationStats {
+	r := c.repl
+	return ReplicationStats{
+		Pushed:  r.pushed.Load(),
+		Errors:  r.errs.Load(),
+		Dropped: r.dropped.Load(),
+		Depth:   len(r.queue),
+	}
+}
+
+// QueueDepth returns the current replication queue length.
+func (c *Cluster) QueueDepth() int { return len(c.repl.queue) }
+
+// SetReplicateHook installs fn, called after every push attempt with
+// the target peer, the key, the queue lag (enqueue -> push start), the
+// push duration, and the outcome. Used to export replication metrics
+// and the store.replicate span timing.
+func (c *Cluster) SetReplicateHook(fn func(peer, key string, lag, dur time.Duration, err error)) {
+	c.repl.hook.Store(fn)
+}
+
+func (r *replicator) run() {
+	defer r.c.done.Done()
+	for {
+		select {
+		case <-r.c.stop:
+			return
+		case it := <-r.queue:
+			r.push(it)
+		}
+	}
+}
+
+func (r *replicator) push(it replItem) {
+	start := time.Now()
+	lag := start.Sub(it.enqueued)
+	sum := sha256.Sum256(it.data)
+	rt := &Retrier{Max: 2, Base: 50 * time.Millisecond, Logf: r.c.logf}
+	resp, err := rt.Do("replicate "+it.key+" -> "+it.peer.ID, func() (*http.Response, error) {
+		req, err := http.NewRequest(http.MethodPut,
+			it.peer.URL+"/v1/replicate/"+it.key, bytes.NewReader(it.data))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		req.Header.Set(DigestHeader, hex.EncodeToString(sum[:]))
+		req.Header.Set(ForwardHeader, r.c.self.ID)
+		return r.c.client.Do(req)
+	})
+	if err == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated &&
+			resp.StatusCode != http.StatusNoContent {
+			err = fmt.Errorf("replicate %s -> %s: %s", it.key, it.peer.ID, resp.Status)
+		}
+	}
+	if err != nil {
+		r.errs.Add(1)
+		r.c.logf("cluster: %v", err)
+		r.c.ReportFailure(it.peer.ID)
+	} else {
+		r.pushed.Add(1)
+	}
+	if fn, ok := r.hook.Load().(func(string, string, time.Duration, time.Duration, error)); ok && fn != nil {
+		fn(it.peer.ID, it.key, lag, time.Since(start), err)
+	}
+}
+
+// FetchBlob asks peers for a blob this node does not hold, trying every
+// non-self peer in rendezvous rank order (replicas of the key rank
+// first, but any peer that happens to hold it — e.g. the node that
+// computed it — will answer too, because the probe order covers the
+// whole set). The response body is verified against the peer's digest
+// header before being trusted. Returns the bytes and the serving peer's
+// ID.
+func (c *Cluster) FetchBlob(ctx context.Context, key string) ([]byte, string, error) {
+	for _, p := range c.RankedPeers(key) {
+		if p.ID == c.self.ID || c.State(p.ID) == StateDown {
+			continue
+		}
+		data, err := c.fetchFrom(ctx, p, key)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, "", ctx.Err()
+			}
+			continue
+		}
+		return data, p.ID, nil
+	}
+	return nil, "", ErrNotFound
+}
+
+func (c *Cluster) fetchFrom(ctx context.Context, p Peer, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.URL+"/v1/store/"+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Mark the probe so the peer serves only its local store and never
+	// fans back out to the cluster (no probe amplification loops).
+	req.Header.Set(ForwardHeader, c.self.ID)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.ReportFailure(p.ID)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("fetch %s from %s: %s", key, p.ID, resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes))
+	if err != nil {
+		return nil, err
+	}
+	if want := resp.Header.Get(DigestHeader); want != "" {
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != want {
+			return nil, fmt.Errorf("fetch %s from %s: digest mismatch (got %s want %s)", key, p.ID, got, want)
+		}
+	}
+	return data, nil
+}

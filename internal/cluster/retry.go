@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Retrier runs HTTP attempts with jittered exponential backoff. An
+// attempt is retried on transport errors and on 429/503 responses; any
+// other response is returned to the caller as-is.
+//
+// It started life inside layoutctl and is shared here so the peer
+// client (forwarding, replication) and the CLI retry with identical
+// semantics: content addressing makes every retried request idempotent,
+// so a resubmit either lands on the cached result or re-enqueues the
+// same digest, never duplicates completed work.
+type Retrier struct {
+	Max   int                              // retry budget (0 = single attempt)
+	Base  time.Duration                    // base of the exponential backoff window
+	Sleep func(time.Duration)              // nil = time.Sleep
+	Logf  func(format string, args ...any) // nil = silent
+}
+
+// Retryable reports whether the status code signals "try again later".
+func Retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// backoff computes the wait before retry attempt (0-based): an
+// exponentially growing window with half-width jitter, so a burst of
+// rejected clients spreads out instead of stampeding the queue in
+// lockstep. A server-provided Retry-After floor is respected.
+func (r *Retrier) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := r.Base << attempt
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// ParseRetryAfter reads a Retry-After header: either delay-seconds or
+// an HTTP date. Zero means absent or unparseable.
+func ParseRetryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// Do runs attempt until it yields a non-retryable outcome or the retry
+// budget is spent. attempt must produce a fresh request each call (the
+// body of a failed attempt has already been consumed).
+func (r *Retrier) Do(what string, attempt func() (*http.Response, error)) (*http.Response, error) {
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	logf := r.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var lastErr error
+	for i := 0; ; i++ {
+		resp, err := attempt()
+		if err == nil && !Retryable(resp.StatusCode) {
+			return resp, nil
+		}
+		var retryAfter time.Duration
+		if err != nil {
+			lastErr = err
+		} else {
+			retryAfter = ParseRetryAfter(resp)
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		if i >= r.Max {
+			return nil, fmt.Errorf("%s: %w (after %d retries)", what, lastErr, r.Max)
+		}
+		wait := r.backoff(i, retryAfter)
+		logf("%s: %v; retrying in %s (%d/%d)", what, lastErr, wait.Round(time.Millisecond), i+1, r.Max)
+		sleep(wait)
+	}
+}

@@ -168,6 +168,29 @@ func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
 	f.fn = fn
 }
 
+// GaugeVec is a gauge family with one label dimension — e.g. per-peer
+// health in a layoutd cluster.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help, labelKey string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, kindGauge, labelKey, nil)}
+}
+
+// With returns the gauge for the label value, creating it on first use.
+// Hot paths should hold the returned *Gauge rather than calling With
+// per update.
+func (v *GaugeVec) With(label string) *Gauge {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if g, ok := v.f.series[label]; ok {
+		return g.(*Gauge)
+	}
+	g := &Gauge{}
+	v.f.series[label] = g
+	return g
+}
+
 // ---- histograms ----
 
 // DefBuckets are the default histogram bounds in seconds, spanning

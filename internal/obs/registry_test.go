@@ -64,6 +64,30 @@ func TestRegistryCounterVec(t *testing.T) {
 	}
 }
 
+func TestRegistryGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("test_peer_health", "Peer health.", "peer")
+	v.With("n2").Set(2)
+	v.With("n1").Set(1)
+	v.With("n2").Set(0)
+	if got := v.With("n2"); got.Value() != 0 {
+		t.Fatalf("With not cached: %d", got.Value())
+	}
+	out := render(t, r)
+	ia := strings.Index(out, `test_peer_health{peer="n1"} 1`)
+	ib := strings.Index(out, `test_peer_health{peer="n2"} 0`)
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("labeled gauge series missing or unsorted:\n%s", out)
+	}
+	exp, err := LintPrometheusText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("exposition failed lint: %v\n%s", err, out)
+	}
+	if exp.Types["test_peer_health"] != "gauge" {
+		t.Fatalf("types = %v", exp.Types)
+	}
+}
+
 func TestRegistryHistogram(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("test_lat_seconds", "Latency.", []float64{0.1, 1, 10})

@@ -9,7 +9,6 @@ import (
 	"sync"
 
 	"codelayout/internal/obs"
-	"codelayout/internal/store"
 )
 
 // resultCache is the content-addressed result store: a completed
@@ -27,10 +26,10 @@ import (
 type resultCache struct {
 	mu      sync.RWMutex
 	results map[string]*Result
-	disk    *store.Store // nil: memory-only
+	disk    blobStore // nil: memory-only
 }
 
-func newResultCache(disk *store.Store) *resultCache {
+func newResultCache(disk blobStore) *resultCache {
 	return &resultCache{results: make(map[string]*Result), disk: disk}
 }
 
@@ -88,6 +87,14 @@ func (c *resultCache) put(ctx context.Context, r *Result) {
 		}
 		sp.End()
 	}
+}
+
+// drop purges the memory tier's copy of a digest (the admin DELETE
+// path; the disk blob is removed separately).
+func (c *resultCache) drop(digest string) {
+	c.mu.Lock()
+	delete(c.results, digest)
+	c.mu.Unlock()
 }
 
 // len returns the number of cached layouts.

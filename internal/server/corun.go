@@ -17,7 +17,6 @@ import (
 	"codelayout/internal/layout"
 	"codelayout/internal/obs"
 	"codelayout/internal/stats"
-	"codelayout/internal/store"
 	"codelayout/internal/trace"
 )
 
@@ -201,11 +200,11 @@ func corunDigest(dA, dB string, cfg cachesim.Config) string {
 type docCache[T any] struct {
 	mu     sync.RWMutex
 	docs   map[string]*T
-	disk   *store.Store // nil: memory-only
+	disk   blobStore // nil: memory-only
 	prefix string
 }
 
-func newDocCache[T any](disk *store.Store, prefix string) *docCache[T] {
+func newDocCache[T any](disk blobStore, prefix string) *docCache[T] {
 	return &docCache[T]{docs: make(map[string]*T), disk: disk, prefix: prefix}
 }
 
@@ -246,6 +245,14 @@ func (c *docCache[T]) put(ctx context.Context, key string, doc *T) {
 		c.disk.Put(c.prefix+key, data)
 	}
 	sp.End()
+}
+
+// drop purges the memory tier's copy of a key (the admin DELETE path;
+// the disk blob is removed separately).
+func (c *docCache[T]) drop(key string) {
+	c.mu.Lock()
+	delete(c.docs, key)
+	c.mu.Unlock()
 }
 
 // resolveEntry materializes one cached digest for co-run analysis:
@@ -323,16 +330,12 @@ func (s *Server) handleCorun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	a, status, err := s.resolveEntry(ctx, req.A)
+	pair, status, err := s.resolveEntries(ctx, []string{req.A, req.B})
 	if err != nil {
 		httpError(w, status, err)
 		return
 	}
-	b, status, err := s.resolveEntry(ctx, req.B)
-	if err != nil {
-		httpError(w, status, err)
-		return
-	}
+	a, b := pair[0], pair[1]
 	s.metrics.corunJobs.Inc()
 
 	jr := &corunJobRequest{a: a, b: b, cfg: cfg, deadline: time.Now().Add(s.cfg.JobTimeout)}
@@ -341,7 +344,7 @@ func (s *Server) handleCorun(w http.ResponseWriter, r *http.Request) {
 	jr.ctx = jobCtx
 
 	j := &Job{
-		id:       fmt.Sprintf("job-%d", s.nextID.Add(1)),
+		id:       s.newJobID(),
 		kind:     jobKindCorun,
 		status:   StatusQueued,
 		digest:   key,
@@ -479,6 +482,10 @@ func (s *Server) computePair(ctx context.Context, cfg cachesim.Config, a, b *cor
 // address, mirroring GET /v1/layouts/{digest} for optimization results.
 func (s *Server) handleCorunDoc(w http.ResponseWriter, r *http.Request) {
 	digest := r.PathValue("digest")
+	if err := checkDigests(digest); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
 	doc, ok := s.pairs.get(r.Context(), digest)
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no cached co-run analysis %q", digest))

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+)
+
+// This file is the single home of digest and store-key validation.
+// Every externally supplied content address — /v1/layouts/{digest},
+// /v1/corun bodies, /v1/schedule digest lists, /v1/store/{key},
+// /v1/replicate/{key} — passes through here before it reaches a cache
+// or the filesystem, which also closes the path-traversal hole a raw
+// key would open through filepath.Join in the store.
+
+// validDigest reports whether s is a well-formed content address: 64
+// lowercase hex characters, the fixed output shape of every digest the
+// service mints (resultDigest, trace digests, corunDigest,
+// scheduleDigest).
+func validDigest(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Store-key kind names, derived from the key prefix: result digests are
+// bare hex; traces, pair documents, and schedule documents carry the
+// "t-"/"p-"/"s-" prefixes.
+const (
+	kindResult   = "result"
+	kindTrace    = "trace"
+	kindPair     = "pair"
+	kindSchedule = "schedule"
+)
+
+// storeKeyKind classifies a durable-store key and reports whether it is
+// well-formed. Anything else — wrong length, uppercase, unknown prefix,
+// path separators — is rejected.
+func storeKeyKind(key string) (string, bool) {
+	if validDigest(key) {
+		return kindResult, true
+	}
+	if len(key) == 66 && validDigest(key[2:]) {
+		switch key[:2] {
+		case traceStoreKey:
+			return kindTrace, true
+		case pairStoreKey:
+			return kindPair, true
+		case scheduleStoreKey:
+			return kindSchedule, true
+		}
+	}
+	return "", false
+}
+
+// checkDigests validates every digest in a request, naming the first
+// malformed one.
+func checkDigests(digests ...string) error {
+	for _, d := range digests {
+		if !validDigest(d) {
+			return fmt.Errorf("malformed digest %q: want 64 lowercase hex characters", d)
+		}
+	}
+	return nil
+}
+
+// resolveEntries materializes the corunEntry behind each digest,
+// sharing one entry (and its memoized curves and solo runs) across
+// repeated digests — /v1/corun self-pairings and /v1/schedule slot
+// repeats hit the same pointer. The int is the HTTP status a failure
+// maps to: 400 for malformed digests, then whatever resolveEntry
+// reports.
+func (s *Server) resolveEntries(ctx context.Context, digests []string) ([]*corunEntry, int, error) {
+	if err := checkDigests(digests...); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	byDigest := make(map[string]*corunEntry, len(digests))
+	entries := make([]*corunEntry, len(digests))
+	for i, d := range digests {
+		e, ok := byDigest[d]
+		if !ok {
+			var status int
+			var err error
+			e, status, err = s.resolveEntry(ctx, d)
+			if err != nil {
+				return nil, status, err
+			}
+			byDigest[d] = e
+		}
+		entries[i] = e
+	}
+	return entries, 0, nil
+}

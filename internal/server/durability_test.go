@@ -3,11 +3,9 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
-	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -28,6 +26,7 @@ func openTestStore(t *testing.T, cfg store.Config) *store.Store {
 	return st
 }
 
+// healthz returns the status field of the /healthz JSON body.
 func healthz(t *testing.T, ts *httptest.Server) string {
 	t.Helper()
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -35,11 +34,13 @@ func healthz(t *testing.T, ts *httptest.Server) string {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var b strings.Builder
-	if _, err := io.Copy(&b, resp.Body); err != nil {
+	var v struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
 		t.Fatal(err)
 	}
-	return strings.TrimSpace(b.String())
+	return v.Status
 }
 
 // TestResultSurvivesRestart is the in-process kill/restart acceptance

@@ -35,6 +35,14 @@ type serverMetrics struct {
 
 	inflightBytes *obs.Gauge
 
+	// Cluster family; nil when the server runs single-node.
+	peerForwards      *obs.CounterVec
+	forwardErrors     *obs.Counter
+	peerHealth        *obs.GaugeVec
+	clusterFetches    *obs.Counter
+	replLag           *obs.Histogram
+	replicateReceived *obs.Counter // registered with the store family
+
 	queueWait *obs.Histogram
 	phase     *obs.HistogramVec
 	latency   *obs.HistogramVec
@@ -99,6 +107,31 @@ func newServerMetrics(s *Server) *serverMetrics {
 			func() int64 { return d.Stats().Quarantined })
 		r.CounterFunc("layoutd_store_recoveries_total", "Degraded-to-ok breaker transitions.",
 			func() int64 { return d.Stats().Recoveries })
+		r.CounterFunc("layoutd_store_deletes_total", "Blobs deleted via DELETE /v1/store/{key}.",
+			func() int64 { return d.Stats().Deletes })
+		m.replicateReceived = r.Counter("layoutd_replicate_received_total",
+			"Blobs accepted from peer replication pushes at PUT /v1/replicate/{key}.")
+	}
+
+	if cl := s.cluster; cl != nil {
+		m.peerForwards = r.CounterVec("layoutd_peer_forwards_total",
+			"Requests forwarded to the owning peer, by peer.", "peer")
+		m.forwardErrors = r.Counter("layoutd_peer_forward_errors_total",
+			"Forwards that failed and fell back to local service.")
+		m.peerHealth = r.GaugeVec("layoutd_peer_health",
+			"Last observed peer state: 2 = up, 1 = degraded, 0 = down.", "peer")
+		m.clusterFetches = r.Counter("layoutd_cluster_fetch_total",
+			"Blobs served by fetching from a peer on local store miss.")
+		r.GaugeFunc("layoutd_replication_queue_depth", "Blobs awaiting write-behind replication push.",
+			func() int64 { return int64(cl.QueueDepth()) })
+		r.CounterFunc("layoutd_replication_pushed_total", "Blobs acknowledged by a replica.",
+			func() int64 { return cl.ReplicationStats().Pushed })
+		r.CounterFunc("layoutd_replication_errors_total", "Replication pushes failed after retries.",
+			func() int64 { return cl.ReplicationStats().Errors })
+		r.CounterFunc("layoutd_replication_dropped_total", "Replication enqueues dropped (queue full).",
+			func() int64 { return cl.ReplicationStats().Dropped })
+		m.replLag = r.Histogram("layoutd_replication_lag_seconds",
+			"Queue wait between a blob's enqueue and its replication push.", nil)
 	}
 
 	m.queueWait = r.Histogram("layoutd_queue_wait_seconds",

@@ -122,20 +122,10 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	// Materialize each distinct digest once; repeated digests share the
 	// entry (and its memoized curves).
-	byDigest := make(map[string]*corunEntry)
-	entries := make([]*corunEntry, len(req.Digests))
-	for i, d := range req.Digests {
-		e, ok := byDigest[d]
-		if !ok {
-			var status int
-			e, status, err = s.resolveEntry(ctx, d)
-			if err != nil {
-				httpError(w, status, err)
-				return
-			}
-			byDigest[d] = e
-		}
-		entries[i] = e
+	entries, status, err := s.resolveEntries(ctx, req.Digests)
+	if err != nil {
+		httpError(w, status, err)
+		return
 	}
 	s.metrics.scheduleJobs.Inc()
 
@@ -151,7 +141,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	jr.ctx = jobCtx
 
 	j := &Job{
-		id:       fmt.Sprintf("job-%d", s.nextID.Add(1)),
+		id:       s.newJobID(),
 		kind:     jobKindSchedule,
 		status:   StatusQueued,
 		digest:   jr.key,

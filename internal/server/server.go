@@ -27,8 +27,19 @@
 //	GET  /v1/layouts/{digest} cached result by content address
 //	GET  /v1/optimizers       the optimizer registry
 //	GET  /v1/debug/jobs       ring of recent job summaries
-//	GET  /healthz             liveness
+//	GET  /v1/store            admin: list blobs held by the durable tier
+//	GET  /v1/store/{key}      admin: raw blob bytes (peer replication reads)
+//	DELETE /v1/store/{key}    admin: evict a blob from both tiers
+//	PUT  /v1/replicate/{key}  peer replication push, digest-authenticated
+//	GET  /healthz             liveness (JSON: status, node_id, build)
 //	GET  /metrics             Prometheus-format text
+//
+// With Config.Cluster set, the node is one member of a static layoutd
+// cluster (internal/cluster): ownership of every content address is
+// decided by rendezvous hashing, non-owners transparently forward
+// submissions and reads to the owner, and completed results replicate
+// write-behind to the key's replica set, so any node serves any digest
+// and a killed owner leaves its results fetchable from replicas.
 package server
 
 import (
@@ -49,6 +60,7 @@ import (
 	"time"
 
 	"codelayout/internal/cachesim"
+	"codelayout/internal/cluster"
 	"codelayout/internal/core"
 	"codelayout/internal/ir"
 	"codelayout/internal/layout"
@@ -106,6 +118,13 @@ type Config struct {
 	// MaxScheduleDigests bounds the layouts one /v1/schedule request may
 	// place; 0 means DefaultMaxScheduleDigests.
 	MaxScheduleDigests int
+	// Cluster makes this node a member of a static layoutd cluster. The
+	// server takes ownership: it starts the cluster's background work and
+	// closes it on Shutdown. Nil means single-node.
+	Cluster *cluster.Cluster
+	// NodeID names this node in /healthz; empty means the cluster self ID
+	// (or omitted when single-node).
+	NodeID string
 }
 
 // Defaults for zero Config fields.
@@ -133,6 +152,11 @@ type Server struct {
 	logger    *slog.Logger
 	ring      *debugRing
 	mux       *http.ServeMux
+
+	// cluster is the peer group this node belongs to; nil single-node.
+	// peerClient carries forwarded requests to peers.
+	cluster    *cluster.Cluster
+	peerClient *http.Client
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -190,37 +214,81 @@ func New(cfg Config) *Server {
 	if cfg.MaxScheduleDigests <= 0 {
 		cfg.MaxScheduleDigests = DefaultMaxScheduleDigests
 	}
+	// The durable tier the caches see: the raw store when single-node,
+	// or the cluster wrapper — which adds peer fetch-through on local
+	// miss and write-behind replication on every put. A nil *store.Store
+	// must never be wrapped into a non-nil plain interface, so the
+	// single-node branch assigns only when the store exists.
+	var blobs blobStore
+	var cb *clusterBlobs
+	if cfg.Cluster != nil {
+		cb = &clusterBlobs{disk: cfg.Store, cl: cfg.Cluster}
+		blobs = cb
+	} else if cfg.Store != nil {
+		blobs = cfg.Store
+	}
 	s := &Server{
 		cfg:       cfg,
 		pool:      parallel.NewPool(cfg.JobWorkers, cfg.QueueDepth),
-		cache:     newResultCache(cfg.Store),
-		traces:    newTraceCache(cfg.TraceCacheEntries, cfg.Store),
-		pairs:     newDocCache[CorunDoc](cfg.Store, pairStoreKey),
-		schedules: newDocCache[ScheduleDoc](cfg.Store, scheduleStoreKey),
+		cache:     newResultCache(blobs),
+		traces:    newTraceCache(cfg.TraceCacheEntries, blobs),
+		pairs:     newDocCache[CorunDoc](blobs, pairStoreKey),
+		schedules: newDocCache[ScheduleDoc](blobs, scheduleStoreKey),
 		disk:      cfg.Store,
+		cluster:   cfg.Cluster,
 		logger:    cfg.Logger,
 		ring:      newDebugRing(cfg.DebugJobRing),
 		jobs:      make(map[string]*Job),
 		progs:     make(map[string]*progEntry),
 	}
+	if cb != nil {
+		cb.srv = s
+	}
 	s.metrics = newServerMetrics(s)
+	if cl := s.cluster; cl != nil {
+		s.peerClient = &http.Client{Timeout: 30 * time.Second}
+		// Per-peer health gauges: 2 = up, 1 = degraded, 0 = down.
+		// Initialize every peer optimistically up (matching the cluster's
+		// starting view) so the series exist before the first poll.
+		for _, p := range cl.Peers() {
+			if p.ID != cl.SelfID() {
+				s.metrics.peerHealth.With(p.ID).Set(2)
+			}
+		}
+		cl.SetStateHook(func(id string, st cluster.State) {
+			s.metrics.peerHealth.With(id).Set(int64(2 - st))
+		})
+		cl.SetReplicateHook(func(peer, key string, lag, dur time.Duration, err error) {
+			s.metrics.replLag.Observe(lag.Seconds())
+			s.metrics.phase.With("store.replicate").Observe(dur.Seconds())
+		})
+		cl.Start()
+	}
 	s.pool.SetQueueWaitHook(func(wait time.Duration) {
 		s.metrics.queueWait.Observe(wait.Seconds())
 	})
 	s.optimize = s.runOptimize
 	s.pairAnalysis = s.computePair
 	s.now = time.Now
+	// The forward* wrappers are identity when Cluster is nil; clustered,
+	// they route each request to the owner of its content address (or the
+	// node named by a job ID). The admin store endpoints and /v1/replicate
+	// never forward: each node answers for its own disk.
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/layouts/{digest}", s.handleLayout)
-	mux.HandleFunc("POST /v1/corun", s.handleCorun)
-	mux.HandleFunc("GET /v1/corun/{digest}", s.handleCorunDoc)
-	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("POST /v1/jobs", s.forwardSubmit(s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.forwardJobID(s.handleJob))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.forwardJobID(s.handleJobTrace))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.forwardJobID(s.handleCancel))
+	mux.HandleFunc("GET /v1/layouts/{digest}", s.forwardDigest(s.handleLayout))
+	mux.HandleFunc("POST /v1/corun", s.forwardJSON(corunRouteKey, s.handleCorun))
+	mux.HandleFunc("GET /v1/corun/{digest}", s.forwardDigest(s.handleCorunDoc))
+	mux.HandleFunc("POST /v1/schedule", s.forwardJSON(scheduleRouteKey, s.handleSchedule))
 	mux.HandleFunc("GET /v1/optimizers", s.handleOptimizers)
 	mux.HandleFunc("GET /v1/debug/jobs", s.handleDebugJobs)
+	mux.HandleFunc("GET /v1/store", s.handleStoreList)
+	mux.HandleFunc("GET /v1/store/{key}", s.handleStoreGet)
+	mux.HandleFunc("DELETE /v1/store/{key}", s.handleStoreDelete)
+	mux.HandleFunc("PUT /v1/replicate/{key}", s.handleReplicate)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
@@ -237,6 +305,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // the drain abandoned wedged work and the process should exit nonzero.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.pool.Shutdown(ctx)
+	if s.cluster != nil {
+		// Stop health polling and drain the replication worker before the
+		// disk closes underneath it.
+		s.cluster.Close()
+	}
 	if s.disk != nil {
 		s.disk.Close()
 	}
@@ -335,7 +408,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	req.ctx = jobCtx
 
 	j := &Job{
-		id:       fmt.Sprintf("job-%d", s.nextID.Add(1)),
+		id:       s.newJobID(),
 		status:   StatusQueued,
 		digest:   req.digest,
 		created:  time.Now(),
@@ -702,6 +775,10 @@ func (s *Server) handleDebugJobs(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
 	digest := r.PathValue("digest")
+	if err := checkDigests(digest); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
 	res, ok := s.cache.get(r.Context(), digest)
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no cached layout %q", digest))
@@ -714,18 +791,30 @@ func (s *Server) handleOptimizers(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"optimizers": core.OptimizerNames()})
 }
 
-// handleHealthz reports liveness, and — when the durable store's
-// circuit breaker is open — "degraded": the daemon is serving from
-// memory only and new results are not being persisted. Both states are
-// 200: a degraded layoutd is alive and should not be restarted by an
-// orchestrator.
+// healthzView is the GET /healthz body. The degraded reason rides the
+// "degraded" key (matching what cluster health polling parses) and is
+// omitted when healthy, so a healthy body never contains the word.
+type healthzView struct {
+	Status   string `json:"status"`
+	NodeID   string `json:"node_id,omitempty"`
+	Build    string `json:"build"`
+	Degraded string `json:"degraded,omitempty"`
+}
+
+// handleHealthz reports liveness, identity, and build. When the durable
+// store's circuit breaker is open the status is "degraded" with the
+// breaker's last error as the reason: the daemon is serving from memory
+// only and new results are not being persisted. Both states are 200 — a
+// degraded layoutd is alive and should not be restarted by an
+// orchestrator — but cluster peers observing "degraded" deprioritize
+// this node when picking owners.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	v := healthzView{Status: "ok", NodeID: s.nodeID(), Build: buildString()}
 	if s.disk != nil && s.disk.State() == store.StateDegraded {
-		io.WriteString(w, "degraded\n")
-		return
+		v.Status = "degraded"
+		v.Degraded = s.disk.Stats().LastError
 	}
-	io.WriteString(w, "ok\n")
+	writeJSON(w, http.StatusOK, v)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

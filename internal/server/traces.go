@@ -7,7 +7,6 @@ import (
 	"sync"
 
 	"codelayout/internal/obs"
-	"codelayout/internal/store"
 	"codelayout/internal/trace"
 )
 
@@ -28,7 +27,7 @@ type traceCache struct {
 	max     int
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
-	disk    *store.Store
+	disk    blobStore
 }
 
 type traceEntry struct {
@@ -36,7 +35,7 @@ type traceEntry struct {
 	tr     *trace.Trace
 }
 
-func newTraceCache(max int, disk *store.Store) *traceCache {
+func newTraceCache(max int, disk blobStore) *traceCache {
 	if max <= 0 {
 		max = DefaultTraceCacheEntries
 	}
@@ -113,6 +112,17 @@ func (c *traceCache) get(ctx context.Context, digest string) (*trace.Trace, bool
 	}
 	c.putMemory(digest, tr) // already on disk
 	return tr, true
+}
+
+// drop purges the memory tier's copy of a digest (the admin DELETE
+// path; the disk blob is removed separately).
+func (c *traceCache) drop(digest string) {
+	c.mu.Lock()
+	if e, ok := c.entries[digest]; ok {
+		c.order.Remove(e)
+		delete(c.entries, digest)
+	}
+	c.mu.Unlock()
 }
 
 // len reports the number of traces held in memory (for tests).

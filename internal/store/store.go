@@ -139,12 +139,25 @@ type Stats struct {
 	Evictions   int64 // blobs evicted by the LRU byte bound
 	Quarantined int64 // blobs quarantined (startup scan or failed Get)
 	Recoveries  int64 // degraded→ok transitions
+	Deletes     int64 // blobs removed by Delete (admin/eviction API)
+	// LastError is the cause of the most recent breaker opening — the
+	// degraded-reason string /healthz reports. Empty until a trip.
+	LastError string
+}
+
+// EntryInfo describes one indexed blob for the admin listing
+// (GET /v1/store) — the local primitive cluster replication is built on.
+type EntryInfo struct {
+	Key        string
+	Size       int64
+	LastAccess time.Time
 }
 
 type entry struct {
-	key  string
-	size int64
-	elem *list.Element
+	key   string
+	size  int64
+	atime time.Time // last Get hit or insert (recency for the listing)
+	elem  *list.Element
 }
 
 type writeReq struct {
@@ -263,7 +276,7 @@ func (s *Store) scan() error {
 			s.quarantine(path, name, err)
 			continue
 		}
-		e := &entry{key: key, size: int64(len(payload))}
+		e := &entry{key: key, size: int64(len(payload)), atime: s.clock.Now()}
 		e.elem = s.lru.PushBack(e)
 		s.index[key] = e
 		s.totalBytes += e.size
@@ -352,6 +365,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	}
 	s.readFails = 0
 	s.lru.MoveToFront(e.elem)
+	e.atime = s.clock.Now()
 	s.stats.Hits++
 	return payload, true
 }
@@ -448,6 +462,41 @@ func (s *Store) Len() int {
 	return len(s.index)
 }
 
+// Entries lists every indexed blob (key, payload size, last access),
+// most recently used first — the listing GET /v1/store serves and the
+// surface cluster replication enumerates.
+func (s *Store) Entries() []EntryInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]EntryInfo, 0, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		out = append(out, EntryInfo{Key: e.key, Size: e.size, LastAccess: e.atime})
+	}
+	return out
+}
+
+// Delete removes the blob under key from the index and the disk,
+// reporting whether it was indexed. Content addressing makes deletion
+// safe at any time: a concurrent reader misses and recomputes, and a
+// write for the key still queued behind this call may legitimately
+// re-create the identical blob (last write wins, and all writes carry
+// the same bytes).
+func (s *Store) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[key]
+	if !ok {
+		return false
+	}
+	s.dropLocked(e)
+	if err := s.fs.Remove(s.blobPath(key)); err != nil {
+		s.logf("store: deleting %s: %v", key, err)
+	}
+	s.stats.Deletes++
+	return true
+}
+
 // ---- write-behind ----
 
 // writer owns all disk mutation: it serializes blob writes, applies
@@ -485,7 +534,7 @@ func (s *Store) writer() {
 			s.stats.Recoveries++
 			s.logf("store: disk recovered; leaving degraded mode")
 		}
-		e := &entry{key: req.key, size: int64(len(req.data))}
+		e := &entry{key: req.key, size: int64(len(req.data)), atime: s.clock.Now()}
 		e.elem = s.lru.PushFront(e)
 		s.index[req.key] = e
 		s.totalBytes += e.size
@@ -507,6 +556,7 @@ func (s *Store) tripLocked(cause error) {
 // write: a successful durable write is the strongest evidence the disk
 // is back.
 func (s *Store) openBreakerLocked(cause error, op string) {
+	s.stats.LastError = fmt.Sprintf("store %s failed: %v", op, cause)
 	s.probeAt = s.clock.Now().Add(s.backoff)
 	wasOK := s.state == StateOK
 	s.state = StateDegraded

@@ -450,3 +450,89 @@ func TestReadErrorsTripBreaker(t *testing.T) {
 		t.Errorf("recoveries = %d, want 1", st.Recoveries)
 	}
 }
+
+func TestEntriesListing(t *testing.T) {
+	dir := t.TempDir()
+	clk := fault.NewFakeClock(time.Unix(1000, 0))
+	s := openStore(t, Config{Dir: dir, Clock: clk})
+	s.Put("aaa", []byte("one"))
+	s.Flush()
+	clk.Advance(time.Minute)
+	s.Put("t-bbb", []byte("fourch"))
+	s.Flush()
+	ents := s.Entries()
+	if len(ents) != 2 {
+		t.Fatalf("Entries = %d, want 2", len(ents))
+	}
+	// Most recently used first: the later insert leads.
+	if ents[0].Key != "t-bbb" || ents[1].Key != "aaa" {
+		t.Fatalf("order = %s, %s", ents[0].Key, ents[1].Key)
+	}
+	if ents[0].Size != 6 || ents[1].Size != 3 {
+		t.Fatalf("sizes = %d, %d", ents[0].Size, ents[1].Size)
+	}
+	if !ents[0].LastAccess.After(ents[1].LastAccess) {
+		t.Fatalf("atime order: %v vs %v", ents[0].LastAccess, ents[1].LastAccess)
+	}
+	// A Get refreshes recency and last-access.
+	clk.Advance(time.Minute)
+	if _, ok := s.Get("aaa"); !ok {
+		t.Fatal("Get aaa")
+	}
+	ents = s.Entries()
+	if ents[0].Key != "aaa" {
+		t.Fatalf("Get did not refresh recency: %s first", ents[0].Key)
+	}
+	if got := ents[0].LastAccess; !got.Equal(time.Unix(1000, 0).Add(2 * time.Minute)) {
+		t.Fatalf("LastAccess = %v", got)
+	}
+}
+
+func TestDeleteRemovesBlob(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, Config{Dir: dir})
+	s.Put("abc", []byte("v"))
+	s.Flush()
+	if !s.Delete("abc") {
+		t.Fatal("Delete of indexed key reported false")
+	}
+	if s.Delete("abc") {
+		t.Fatal("second Delete reported true")
+	}
+	if _, ok := s.Get("abc"); ok {
+		t.Fatal("Get after Delete succeeded")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "abc.blob")); !os.IsNotExist(err) {
+		t.Fatalf("blob file survived Delete: %v", err)
+	}
+	st := s.Stats()
+	if st.Deletes != 1 || st.Blobs != 0 || st.Bytes != 0 {
+		t.Errorf("stats after delete = %+v", st)
+	}
+	// Deleted keys can be re-written (content addressing makes the
+	// identical bytes land again).
+	s.Put("abc", []byte("v"))
+	s.Flush()
+	if got, ok := s.Get("abc"); !ok || string(got) != "v" {
+		t.Fatalf("re-put after delete: %q, %v", got, ok)
+	}
+}
+
+func TestDegradedReasonSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewInjector(fault.OS())
+	s := openStore(t, Config{Dir: dir, FS: inj})
+	if s.Stats().LastError != "" {
+		t.Fatalf("LastError before any failure: %q", s.Stats().LastError)
+	}
+	inj.SetRules(fault.Rule{Op: fault.OpCreate, Every: 1, Err: syscall.ENOSPC})
+	s.Put("k", []byte("v"))
+	s.Flush()
+	if s.State() != StateDegraded {
+		t.Fatal("ENOSPC write did not degrade the store")
+	}
+	reason := s.Stats().LastError
+	if !strings.Contains(reason, "write failed") || !strings.Contains(reason, "no space") {
+		t.Fatalf("LastError = %q", reason)
+	}
+}
