@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-json-ci smoke-serve smoke-durable smoke-schedule smoke-cluster ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-json-ci smoke-serve smoke-durable smoke-schedule smoke-cluster smoke-stream ci
 
 # Allocation budget for the CI regression gate: the per-window affinity
 # analysis (serial path) must stay under this allocs/op. The committed
@@ -15,6 +15,13 @@ BENCH_ALLOC_BUDGET ?= 12000
 # solve (baseline ~40 allocs/op). Headroom for Go version variance only.
 CORUN_ALLOC_BUDGET ?= 256
 SCHEDULE_ALLOC_BUDGET ?= 64
+
+# Allocation budgets for the streaming pipeline: one chunked decode of a
+# 64k-occurrence container (baseline 4 allocs/op — decoder setup only)
+# and one full feed-mode analysis of a 128k-reference trace (baseline
+# ~15.3k allocs/op). Headroom for Go version variance only.
+STREAM_DECODE_ALLOC_BUDGET ?= 16
+STREAM_FEED_ALLOC_BUDGET ?= 24000
 
 all: build
 
@@ -46,16 +53,19 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Bench-regression harness: run the kernel benchmarks with -benchmem,
-# write BENCH_PR3.json (ns/op, B/op, allocs/op per benchmark), and gate
-# on the affinity analysis' allocation budget.
+# write BENCH_PR8.json (ns/op, B/op, allocs/op per benchmark), and gate
+# on the allocation budgets. BENCH_PR3.json is the pre-streaming
+# baseline, kept for comparison.
 bench-json:
-	sh scripts/bench_json.sh run BENCH_PR3.json
-	sh scripts/bench_json.sh check BENCH_PR3.json 'BuildHierarchyWorkers/workers=1' $(BENCH_ALLOC_BUDGET)
-	sh scripts/bench_json.sh check BENCH_PR3.json 'SpanStartEnd' 0
-	sh scripts/bench_json.sh check BENCH_PR3.json 'RegistryCounterInc' 0
-	sh scripts/bench_json.sh check BENCH_PR3.json 'RegistryHistogramObserve' 0
-	sh scripts/bench_json.sh check BENCH_PR3.json 'CorunBatchWorkers/workers=1' $(CORUN_ALLOC_BUDGET)
-	sh scripts/bench_json.sh check BENCH_PR3.json 'ScheduleSolve' $(SCHEDULE_ALLOC_BUDGET)
+	sh scripts/bench_json.sh run BENCH_PR8.json
+	sh scripts/bench_json.sh check BENCH_PR8.json 'BuildHierarchyWorkers/workers=1' $(BENCH_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check BENCH_PR8.json 'SpanStartEnd' 0
+	sh scripts/bench_json.sh check BENCH_PR8.json 'RegistryCounterInc' 0
+	sh scripts/bench_json.sh check BENCH_PR8.json 'RegistryHistogramObserve' 0
+	sh scripts/bench_json.sh check BENCH_PR8.json 'CorunBatchWorkers/workers=1' $(CORUN_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check BENCH_PR8.json 'ScheduleSolve' $(SCHEDULE_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check BENCH_PR8.json 'StreamDecode' $(STREAM_DECODE_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check BENCH_PR8.json 'StreamFeed' $(STREAM_FEED_ALLOC_BUDGET)
 
 # End-to-end service smoke: start layoutd, submit a recorded trace via
 # layoutctl, assert a completed result and a cache hit on resubmission,
@@ -82,6 +92,8 @@ bench-json-ci:
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'RegistryHistogramObserve' 0
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'CorunBatchWorkers/workers=1' $(CORUN_ALLOC_BUDGET)
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'ScheduleSolve' $(SCHEDULE_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'StreamDecode' $(STREAM_DECODE_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'StreamFeed' $(STREAM_FEED_ALLOC_BUDGET)
 
 # Scheduling-service smoke: optimize a trace under two optimizers, pair
 # them via /v1/corun, place {A, B, A, B} via /v1/schedule, and assert a
@@ -97,4 +109,11 @@ smoke-schedule:
 smoke-cluster:
 	sh scripts/smoke_cluster.sh
 
-ci: build vet fmt-check test race bench-smoke bench-json-ci smoke-serve smoke-durable smoke-schedule smoke-cluster
+# Streaming smoke: analyze a trace ~135x larger than the stream window
+# while it uploads under a GOMEMLIMIT far below the decoded trace size,
+# require digest equality with a buffered run, then resume a half-done
+# chunked upload (409 offset resync included) to a cache hit.
+smoke-stream:
+	sh scripts/smoke_stream.sh
+
+ci: build vet fmt-check test race bench-smoke bench-json-ci smoke-serve smoke-durable smoke-schedule smoke-cluster smoke-stream

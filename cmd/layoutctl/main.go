@@ -12,6 +12,8 @@
 // Usage:
 //
 //	layoutctl -addr http://127.0.0.1:8080 -submit /tmp/s.trace -prog 458.sjeng -opt func-affinity -wait
+//	layoutctl -addr http://127.0.0.1:8080 -upload /tmp/big.trace -prog 458.sjeng -opt func-affinity -chunk-size 4194304 -wait
+//	layoutctl -addr http://127.0.0.1:8080 -upload /tmp/big.trace -upload-id a1b2c3d4e5f60718 ... # resume
 //	layoutctl -addr http://127.0.0.1:8080 -job job-1
 //	layoutctl -addr http://127.0.0.1:8080 -trace job-1            # ASCII span waterfall
 //	layoutctl -addr http://127.0.0.1:8080 -trace job-1 -json      # raw span timeline
@@ -34,6 +36,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,6 +45,7 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -54,6 +58,9 @@ func main() {
 	log.SetPrefix("layoutctl: ")
 	addr := flag.String("addr", "http://127.0.0.1:8080", "layoutd base URL")
 	submit := flag.String("submit", "", "path of a CLTR trace to submit as a job")
+	upload := flag.String("upload", "", "path of a CLTR trace to send via resumable chunked upload, then submit")
+	chunkSize := flag.Int64("chunk-size", 4<<20, "bytes per upload chunk (with -upload)")
+	uploadID := flag.String("upload-id", "", "resume an existing upload session instead of creating one (with -upload)")
 	prog := flag.String("prog", "", "suite program the trace was recorded from (with -submit)")
 	opt := flag.String("opt", "", "optimizer name (with -submit; see -optimizers)")
 	prune := flag.Int("prune", 0, "PruneTopN override, 0 = server default (with -submit)")
@@ -101,6 +108,8 @@ Exit codes:
 		err = doHealth(r, base, *jsonOut)
 	case *submit != "":
 		err = doSubmit(r, base, *submit, *prog, *opt, *prune, *wait, *timeout, *jsonOut)
+	case *upload != "":
+		err = doUpload(r, base, *upload, *prog, *opt, *prune, *chunkSize, *uploadID, *wait, *timeout, *jsonOut)
 	case *job != "":
 		err = printGET(r, base+"/v1/jobs/"+url.PathEscape(*job))
 	case *traceID != "":
@@ -167,6 +176,13 @@ func doSubmit(r *retrier, base, path, prog, opt string, prune int, wait bool, ti
 	if err != nil {
 		return err
 	}
+	return awaitSubmitted(r, base, resp, wait, timeout, jsonOut)
+}
+
+// awaitSubmitted handles a submission response — print the job, and
+// with wait poll it to a terminal state. Shared by -submit and the
+// finalize step of -upload.
+func awaitSubmitted(r *retrier, base string, resp *http.Response, wait bool, timeout time.Duration, jsonOut bool) error {
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
@@ -217,6 +233,157 @@ func doSubmit(r *retrier, base, path, prog, opt string, prune int, wait bool, ti
 		}
 	}
 	return fmt.Errorf("job %s still not finished after %s", v.ID, timeout)
+}
+
+// uploadView mirrors the server's upload-session wire format.
+type uploadView struct {
+	ID     string `json:"id"`
+	Offset int64  `json:"offset"`
+}
+
+// getUploadOffset asks the server for a session's durable offset — the
+// resume point after a lost connection or a lost PATCH response.
+func getUploadOffset(base, id string) (int64, error) {
+	resp, err := http.Get(base + "/v1/uploads/" + url.PathEscape(id))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET upload %s: %s: %s", id, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	var v uploadView
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return 0, err
+	}
+	return v.Offset, nil
+}
+
+// doUpload sends the trace through the resumable chunked protocol:
+// create (or resume) a session, PATCH -chunk-size slices at the offset
+// the server reports, finalize into a job. A dropped connection or a
+// lost response re-syncs from the server's durable offset — the 409
+// path — so no byte is ever sent to the wrong position; if the retry
+// budget runs out, the printed -upload-id resumes the session later.
+func doUpload(r *retrier, base, path, prog, opt string, prune int, chunkSize int64, uploadID string, wait bool, timeout time.Duration, jsonOut bool) error {
+	if prog == "" || opt == "" {
+		fmt.Fprintln(os.Stderr, "layoutctl: -upload requires -prog and -opt")
+		os.Exit(2)
+	}
+	if chunkSize <= 0 {
+		fmt.Fprintln(os.Stderr, "layoutctl: -chunk-size must be positive")
+		os.Exit(2)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := fi.Size()
+
+	id := uploadID
+	var off int64
+	if id == "" {
+		resp, err := r.Do("create upload", func() (*http.Response, error) {
+			return http.Post(base+"/v1/uploads", "application/json", nil)
+		})
+		if err != nil {
+			return err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("create upload: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+		}
+		var v uploadView
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return fmt.Errorf("create upload: bad response %q: %w", raw, err)
+		}
+		id = v.ID
+		log.Printf("upload %s created (%d bytes; resume with -upload-id %s)", id, size, id)
+	} else {
+		off, err = getUploadOffset(base, id)
+		if err != nil {
+			return err
+		}
+		log.Printf("resuming upload %s at offset %d/%d", id, off, size)
+	}
+
+	buf := make([]byte, chunkSize)
+	failures := 0
+	for off < size {
+		end := off + chunkSize
+		if end > size {
+			end = size
+		}
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			return err
+		}
+		if _, err := io.ReadFull(f, buf[:end-off]); err != nil {
+			return err
+		}
+		req, err := http.NewRequest(http.MethodPatch,
+			base+"/v1/uploads/"+url.PathEscape(id), bytes.NewReader(buf[:end-off]))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Upload-Offset", fmt.Sprint(off))
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			failures++
+			if failures > r.Max {
+				return fmt.Errorf("upload %s interrupted at offset %d after %d retries (resume with -upload-id %s): %w",
+					id, off, r.Max, id, err)
+			}
+			log.Printf("chunk at %d failed (%v); re-syncing offset", off, err)
+			time.Sleep(r.Base * time.Duration(failures))
+			if cur, oerr := getUploadOffset(base, id); oerr == nil {
+				off = cur
+			}
+			continue
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		srvOff, offErr := strconv.ParseInt(resp.Header.Get("Upload-Offset"), 10, 64)
+		switch resp.StatusCode {
+		case http.StatusNoContent:
+			if offErr != nil {
+				return fmt.Errorf("PATCH at %d: bad Upload-Offset %q", off, resp.Header.Get("Upload-Offset"))
+			}
+			off = srvOff
+			failures = 0
+		case http.StatusConflict:
+			// Out of sync (a lost response, a concurrent writer): the
+			// durable offset rides the response; continue from it.
+			failures++
+			if failures > r.Max || offErr != nil {
+				return fmt.Errorf("upload %s stuck at offset %d: %s: %s", id, off, resp.Status, strings.TrimSpace(string(raw)))
+			}
+			log.Printf("offset out of sync at %d; server reports %d", off, srvOff)
+			off = srvOff
+		default:
+			return fmt.Errorf("PATCH at %d: %s: %s (resume with -upload-id %s)",
+				off, resp.Status, strings.TrimSpace(string(raw)), id)
+		}
+	}
+
+	q := url.Values{"prog": {prog}, "opt": {opt}}
+	if prune > 0 {
+		q.Set("prune", fmt.Sprint(prune))
+	}
+	resp, err := r.Do("finalize upload", func() (*http.Response, error) {
+		return http.Post(base+"/v1/uploads/"+url.PathEscape(id)+"/finalize?"+q.Encode(), "application/json", nil)
+	})
+	if err != nil {
+		return err
+	}
+	return awaitSubmitted(r, base, resp, wait, timeout, jsonOut)
 }
 
 // traceView mirrors the server's span-timeline wire format, loosely.

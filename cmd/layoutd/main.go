@@ -76,6 +76,9 @@ func main() {
 	faultSpec := flag.String("fault-spec", "", "DEBUG: inject store filesystem faults, e.g. 'write:every=1,err=ENOSPC' (requires -store-dir)")
 	traceCache := flag.Int("trace-cache", server.DefaultTraceCacheEntries, "decoded traces retained in memory for /v1/corun and /v1/schedule replay")
 	maxSchedule := flag.Int("max-schedule", server.DefaultMaxScheduleDigests, "layout digests accepted per /v1/schedule request")
+	streamWindow := flag.Int64("stream-window", server.DefaultStreamWindow, "decoded-trace bytes buffered per streamed submission; 0 disables analyze-while-uploading")
+	uploadDir := flag.String("upload-dir", "", "directory for resumable-upload spools (empty = uploads disabled)")
+	uploadMaxSessions := flag.Int("upload-sessions", store.DefaultMaxUploadSessions, "concurrently open resumable-upload sessions")
 	nodeID := flag.String("node-id", "", "this node's cluster ID (required with -peers)")
 	peersSpec := flag.String("peers", "", "static cluster membership as comma-separated id=url pairs, self included, e.g. 'n1=http://127.0.0.1:8080,n2=http://127.0.0.1:8081'")
 	replicas := flag.Int("replicas", 2, "nodes that should hold each blob, owner included (with -peers)")
@@ -126,6 +129,15 @@ func main() {
 		}
 	} else if *faultSpec != "" {
 		fatal("flag error", errors.New("-fault-spec requires -store-dir"))
+	}
+
+	var uploads *store.Uploads
+	if *uploadDir != "" {
+		uploads, err = store.NewUploads(*uploadDir, *maxTrace, *uploadMaxSessions)
+		if err != nil {
+			fatal("upload spool", err)
+		}
+		logger.Info("resumable uploads enabled", "dir", *uploadDir, "max_sessions", *uploadMaxSessions)
 	}
 
 	var cl *cluster.Cluster
@@ -182,6 +194,9 @@ func main() {
 
 		TraceCacheEntries:  *traceCache,
 		MaxScheduleDigests: *maxSchedule,
+
+		StreamWindow: *streamWindow,
+		Uploads:      uploads,
 
 		Cluster: cl,
 		NodeID:  *nodeID,

@@ -33,11 +33,12 @@ func main() {
 	gran := flag.String("gran", "bb", "granularity: bb or func")
 	seed := flag.Int64("seed", core.TrainSeed, "input seed for profiling")
 	top := flag.Int("top", 10, "number of hottest symbols to print")
+	repeat := flag.Int("repeat", 1, "concatenate the recorded trace this many times (large-trace generation for streaming tests)")
 	flag.Parse()
 
 	switch {
 	case *record != "" && *prog != "":
-		if err := doRecord(*prog, *record, *gran, *seed); err != nil {
+		if err := doRecord(*prog, *record, *gran, *seed, *repeat); err != nil {
 			log.Fatal(err)
 		}
 	case *dump != "":
@@ -50,7 +51,7 @@ func main() {
 	}
 }
 
-func doRecord(progName, prefix, gran string, seed int64) error {
+func doRecord(progName, prefix, gran string, seed int64, repeat int) error {
 	p, err := core.LoadProgram(progName)
 	if err != nil {
 		return err
@@ -70,6 +71,17 @@ func doRecord(progName, prefix, gran string, seed int64) error {
 		m = trace.FuncMapping(p)
 	default:
 		return fmt.Errorf("unknown granularity %q", gran)
+	}
+	if repeat > 1 {
+		// Tile the profiled trace: a cheap way to produce an
+		// arbitrarily large, structurally realistic CLTR file (the
+		// streaming smoke test uploads traces far larger than the
+		// daemon's memory bound).
+		syms := make([]int32, 0, len(tr.Syms)*repeat)
+		for i := 0; i < repeat; i++ {
+			syms = append(syms, tr.Syms...)
+		}
+		tr = trace.New(syms)
 	}
 	tf, err := os.Create(prefix + ".trace")
 	if err != nil {

@@ -49,6 +49,11 @@ type Options struct {
 	// allocates fresh buffers. It is an execution knob, not a model
 	// parameter — the hierarchy is identical either way.
 	Arena *Arena
+	// FeedShardSpan overrides the span (in trimmed occurrences) of the
+	// shards a Feeder cuts from the arriving stream; 0 means a default
+	// sized to amortize warm-up replay. Like Workers it is an execution
+	// knob: the hierarchy is identical for every setting.
+	FeedShardSpan int
 }
 
 // DefaultWMax matches the paper's upper end of the analyzed window range.
@@ -244,6 +249,19 @@ func pairMinWindowsStack(ctx context.Context, tt *trace.Trace, wmax, workers int
 		pairs.MergeFrom(&st.pairs)
 	}
 
+	minW := reduceMinW(pairs, occCount, wmax, arena)
+	for _, st := range states {
+		arena.putShard(st)
+	}
+	return minW, nil
+}
+
+// reduceMinW folds the merged per-pair coverage histograms into the
+// minimal-affine-window table: for each pair, the smallest w at which
+// every occurrence of both symbols is covered. Shared by the buffered
+// build and the streaming Feeder — the histograms sum identically over
+// any contiguous sharding, so both paths reduce to the same table.
+func reduceMinW(pairs *flathash.Slab32, occCount []int64, wmax int, arena *Arena) *flathash.Sum64 {
 	minW := arena.getMinW()
 	pairs.ForEach(func(key int64, counts []uint32) {
 		x := int32(key >> 32)
@@ -257,10 +275,7 @@ func pairMinWindowsStack(ctx context.Context, tt *trace.Trace, wmax, workers int
 		// table's absent value) keeps meaning "never affine".
 		minW.Set(key, int64(max(wx, wy)))
 	})
-	for _, st := range states {
-		arena.putShard(st)
-	}
-	return minW, nil
+	return minW
 }
 
 // shardPairHists runs the two stack passes over positions [lo, hi) and
@@ -420,10 +435,16 @@ func newHierarchyShell(tt *trace.Trace, wmax int) *Hierarchy {
 			occCount[s]++
 		}
 	}
+	return newHierarchyShellFrom(firstOcc, occCount, syms, wmax)
+}
 
+// newHierarchyShellFrom builds the shell from already-accumulated
+// first-occurrence and count tables plus the symbols in first-occurrence
+// order — the form the streaming Feeder maintains incrementally.
+func newHierarchyShellFrom(firstOcc []int32, occCount []int64, order []int32, wmax int) *Hierarchy {
 	h := &Hierarchy{Levels: make([]Partition, wmax), firstOcc: firstOcc, occCount: occCount}
-	base := Partition{W: 1, Groups: make([][]int32, len(syms))}
-	for i, s := range syms {
+	base := Partition{W: 1, Groups: make([][]int32, len(order))}
+	for i, s := range order {
 		base.Groups[i] = []int32{s}
 	}
 	h.Levels[0] = base

@@ -1,0 +1,58 @@
+package cachesim
+
+import "codelayout/internal/layout"
+
+// SoloStream is the chunk-fed form of SimulateSolo: layoutd feeds
+// decoded upload chunks as they arrive, and Finish returns the same
+// SoloResult the buffered simulation computes over the concatenated
+// trace. Memory is bounded by one batch of resolved lines regardless of
+// trace length.
+//
+// A SoloStream is not safe for concurrent use.
+type SoloStream struct {
+	c   *Cache
+	r   *layout.StreamReplayer
+	res SoloResult
+	buf []int64
+}
+
+// NewSoloStream prepares a streaming solo simulation of the given
+// layout's fetch stream through a private cache (cfg.LineBytes sizes
+// the replayed lines, as in the buffered path).
+func NewSoloStream(cfg Config, l *layout.Layout) *SoloStream {
+	return &SoloStream{
+		c:   New(cfg),
+		r:   layout.NewStreamReplayer(l, cfg.LineBytes),
+		buf: make([]int64, 0, 4*soloBatchBlocks),
+	}
+}
+
+// Feed replays one chunk of the block trace through the cache. Chunk
+// boundaries are irrelevant to the result. Large chunks are resolved in
+// soloBatchBlocks batches so the line buffer stays cache-resident, as
+// in SimulateSolo.
+func (s *SoloStream) Feed(chunk []int32) {
+	for len(chunk) > 0 {
+		n := soloBatchBlocks
+		if n > len(chunk) {
+			n = len(chunk)
+		}
+		s.drain(s.r.Feed(s.buf[:0], chunk[:n]))
+		chunk = chunk[n:]
+	}
+}
+
+// Finish flushes the held trailing occurrence and returns the result.
+// Call it exactly once, after the last Feed.
+func (s *SoloStream) Finish() SoloResult {
+	s.drain(s.r.Finish(s.buf[:0]))
+	s.res.Blocks = s.r.Blocks()
+	return s.res
+}
+
+func (s *SoloStream) drain(lines []int64) {
+	for _, ln := range lines {
+		s.c.Access(ln, &s.res.Stats)
+	}
+	s.buf = lines[:0]
+}

@@ -1,0 +1,61 @@
+package cachesim
+
+import (
+	"reflect"
+	"testing"
+
+	"codelayout/internal/ir"
+	"codelayout/internal/layout"
+)
+
+// TestSoloStreamMatchesSimulateSolo: feeding the block trace chunk by
+// chunk must produce a SoloResult identical to the buffered
+// SimulateSolo, on both the stub-free original layout and a reversed
+// layout carrying stubs and appended jumps (the stream's held-symbol
+// logic must agree with the buffered fall-through and stub rules at
+// every chunk boundary).
+func TestSoloStreamMatchesSimulateSolo(t *testing.T) {
+	p := loopProgram(t, 320, 64, 30)
+	var rev []ir.BlockID
+	for b := p.NumBlocks() - 1; b >= 0; b-- {
+		rev = append(rev, ir.BlockID(b))
+	}
+	layouts := map[string]*layout.Layout{
+		"original": layout.Original(p),
+		"reversed": layout.ReorderBlocks(p, rev),
+	}
+	tr := runTrace(t, p)
+	for name, l := range layouts {
+		want := SimulateSolo(L1IDefault, layout.NewReplayer(l, tr, L1IDefault.LineBytes, false))
+		if want.Blocks == 0 || want.Stats.Accesses == 0 {
+			t.Fatalf("%s: degenerate buffered result %+v", name, want)
+		}
+		for _, chunk := range []int{1, 37, 1024, tr.Len()} {
+			s := NewSoloStream(L1IDefault, l)
+			syms := tr.Syms
+			for len(syms) > 0 {
+				c := chunk
+				if c > len(syms) {
+					c = len(syms)
+				}
+				s.Feed(syms[:c])
+				syms = syms[c:]
+			}
+			got := s.Finish()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s chunk=%d: streamed %+v != buffered %+v", name, chunk, got, want)
+			}
+		}
+	}
+}
+
+// TestSoloStreamEmpty: finishing with no chunks matches the buffered
+// simulation of an empty trace.
+func TestSoloStreamEmpty(t *testing.T) {
+	p := loopProgram(t, 16, 64, 10)
+	s := NewSoloStream(L1IDefault, layout.Original(p))
+	res := s.Finish()
+	if res.Blocks != 0 || res.Stats.Accesses != 0 {
+		t.Fatalf("empty stream result %+v", res)
+	}
+}

@@ -129,6 +129,10 @@ type Optimizer struct {
 	// the serial reference path. It is an execution knob, not a model
 	// parameter — the layout is identical for every setting.
 	Workers int
+	// FeedShardSpan overrides the shard span (in trimmed occurrences)
+	// the streaming Feed cuts from an arriving trace; 0 means the
+	// kernels' defaults. Like Workers it is an execution knob only.
+	FeedShardSpan int
 	// Arena recycles the analysis kernels' internal buffers across
 	// Optimize calls; nil allocates fresh buffers per call. Like Workers
 	// it is an execution knob only — the layout is identical either way.
@@ -345,8 +349,20 @@ func (o Optimizer) OptimizeCtx(ctx context.Context, prof *Profile) (*layout.Layo
 	rep.Sequence = seq
 
 	// 4. Transformation.
+	l, err := o.emitLayout(ctx, prof.Prog, seq, &rep)
+	if err != nil {
+		return nil, rep, err
+	}
+	return l, rep, nil
+}
+
+// emitLayout is the pipeline's transformation step: turn the model's
+// code sequence into a validated layout and record its costs in rep.
+// Shared by the buffered OptimizeCtx and the streaming Feed.
+func (o Optimizer) emitLayout(ctx context.Context, prog *ir.Program, seq []int32, rep *Report) (*layout.Layout, error) {
 	esp := obs.StartSpan(ctx, "layout.emit")
 	esp.SetAttr("seq_len", int64(len(seq)))
+	defer esp.End()
 	var l *layout.Layout
 	switch o.Gran {
 	case GranFunction:
@@ -354,25 +370,23 @@ func (o Optimizer) OptimizeCtx(ctx context.Context, prof *Profile) (*layout.Layo
 		for i, s := range seq {
 			order[i] = ir.FuncID(s)
 		}
-		l = layout.ReorderFunctions(prof.Prog, order)
+		l = layout.ReorderFunctions(prog, order)
 	case GranBasicBlock:
 		order := make([]ir.BlockID, len(seq))
 		for i, s := range seq {
 			order[i] = ir.BlockID(s)
 		}
 		if o.Intra {
-			l = layout.ReorderBlocksIntra(prof.Prog, order)
+			l = layout.ReorderBlocksIntra(prog, order)
 		} else {
-			l = layout.ReorderBlocks(prof.Prog, order)
+			l = layout.ReorderBlocks(prog, order)
 		}
 	}
 	if err := l.Validate(); err != nil {
-		esp.End()
-		return nil, rep, fmt.Errorf("core: %s produced invalid layout: %w", o.Name(), err)
+		return nil, fmt.Errorf("core: %s produced invalid layout: %w", o.Name(), err)
 	}
 	rep.JumpOverheadBytes = l.JumpOverheadBytes()
-	esp.End()
-	return l, rep, nil
+	return l, nil
 }
 
 // searchSequence runs the Petrank-Rawitz-wall local search: TRG-weighted

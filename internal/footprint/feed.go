@@ -1,0 +1,96 @@
+package footprint
+
+// CurveFeeder accumulates the single-pass statistics of the Xiang
+// formula — first/last access times, the weighted reuse-time histogram,
+// and the total footprint — over a trace arriving in chunks, so the
+// average-footprint curve of a streamed upload is computed without ever
+// materializing the trace. Finish replays NewCurveWorkers' closing
+// sweeps over the accumulated tables, so the curve is bit-identical to
+// the buffered computation: the pass accumulates in trace order (float
+// addition order matters), and the closing sweeps see identical inputs.
+//
+// A CurveFeeder is not safe for concurrent use.
+type CurveFeeder struct {
+	weights []int32
+	first   []int // -1 until the symbol's first access
+	last    []int
+	rt      []float64 // rt[t]: weight of reuses with reuse time t
+	m       float64   // total (weighted) footprint so far
+	n       int       // occurrences accepted so far
+	maxSym  int32
+}
+
+// NewCurveFeeder prepares a streaming curve computation; weights may be
+// nil for unit (symbol-count) footprints, exactly as in NewCurve.
+func NewCurveFeeder(weights []int32) *CurveFeeder {
+	return &CurveFeeder{weights: weights, maxSym: -1}
+}
+
+func (f *CurveFeeder) w(s int32) float64 {
+	if f.weights == nil {
+		return 1
+	}
+	return float64(f.weights[s])
+}
+
+// Feed appends one chunk of the trace. Chunk boundaries are irrelevant:
+// feeding any split of a trace yields the same curve.
+func (f *CurveFeeder) Feed(chunk []int32) {
+	for _, s := range chunk {
+		if int(s) >= len(f.first) {
+			n := int(s) + 1
+			if c := 2 * len(f.first); n < c {
+				n = c
+			}
+			first := make([]int, n)
+			copy(first, f.first)
+			for i := len(f.first); i < n; i++ {
+				first[i] = -1
+			}
+			f.first = first
+			last := make([]int, n)
+			copy(last, f.last)
+			f.last = last
+		}
+		if s > f.maxSym {
+			f.maxSym = s
+		}
+		t := f.n
+		if f.first[s] < 0 {
+			f.first[s] = t
+			f.m += f.w(s)
+		} else {
+			d := t - f.last[s]
+			if d >= len(f.rt) {
+				n := d + 1
+				if c := 2 * len(f.rt); n < c {
+					n = c
+				}
+				rt := make([]float64, n)
+				copy(rt, f.rt)
+				f.rt = rt
+			}
+			f.rt[d] += f.w(s)
+		}
+		f.last[s] = t
+		f.n++
+	}
+}
+
+// N returns the number of occurrences accepted so far.
+func (f *CurveFeeder) N() int { return f.n }
+
+// Finish runs the closing sweeps of the Xiang formula over the
+// accumulated tables and returns the curve — bit-identical to
+// NewCurveWorkers over the concatenated input with the same workers
+// setting. The feeder must not be reused afterwards.
+func (f *CurveFeeder) Finish(workers int) *Curve {
+	n := f.n
+	c := &Curve{FP: make([]float64, n+1), N: n}
+	if n == 0 {
+		return c
+	}
+	c.Total = f.m
+	finishCurve(c, f.m, f.maxSym, f.first, f.last, f.rt, f.w, workers)
+	return c
+}

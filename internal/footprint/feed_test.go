@@ -1,0 +1,101 @@
+package footprint
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// feedCurve drives a CurveFeeder with the trace split at the given
+// chunk size.
+func feedCurve(syms []int32, weights []int32, workers, chunk int) *Curve {
+	f := NewCurveFeeder(weights)
+	for len(syms) > 0 {
+		c := chunk
+		if c > len(syms) {
+			c = len(syms)
+		}
+		f.Feed(syms[:c])
+		syms = syms[c:]
+	}
+	return f.Finish(workers)
+}
+
+func curvesBitIdentical(a, b *Curve) bool {
+	if a.N != b.N || a.Total != b.Total || len(a.FP) != len(b.FP) {
+		return false
+	}
+	for i := range a.FP {
+		if a.FP[i] != b.FP[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCurveFeederMatchesBuffered is the streamed-vs-buffered oracle for
+// the footprint curve: feeding any chunking of a trace must yield a
+// curve bit-identical (every float64) to NewCurveWorkers, weighted and
+// unweighted, at Workers=1 and Workers=N.
+func TestCurveFeederMatchesBuffered(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	traces := [][]int32{
+		func() []int32 {
+			s := make([]int32, 5000)
+			for i := range s {
+				s[i] = int32(rng.Intn(200))
+			}
+			return s
+		}(),
+		func() []int32 { // skewed: few hot symbols, long reuse tails
+			s := make([]int32, 3000)
+			for i := range s {
+				if rng.Intn(4) == 0 {
+					s[i] = int32(rng.Intn(150))
+				} else {
+					s[i] = int32(rng.Intn(5))
+				}
+			}
+			return s
+		}(),
+		{7},
+		{},
+	}
+	for ti, syms := range traces {
+		var weights []int32
+		if len(syms) > 0 {
+			weights = make([]int32, 200)
+			for i := range weights {
+				weights[i] = int32(16 + rng.Intn(512))
+			}
+		}
+		for _, ws := range [][]int32{nil, weights} {
+			for _, workers := range []int{1, 4} {
+				buffered := NewCurveWorkers(syms, ws, workers)
+				for _, chunk := range []int{1, 37, 1024} {
+					streamed := feedCurve(syms, ws, workers, chunk)
+					if !curvesBitIdentical(streamed, buffered) {
+						t.Fatalf("trace %d weighted=%v workers=%d chunk=%d: streamed curve differs",
+							ti, ws != nil, workers, chunk)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCurveFeederDownstream: the streamed curve must answer the
+// higher-level queries (miss ratio, slope) identically too.
+func TestCurveFeederDownstream(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	syms := make([]int32, 4000)
+	for i := range syms {
+		syms[i] = int32(rng.Intn(300))
+	}
+	buffered := NewCurveWorkers(syms, nil, 0)
+	streamed := feedCurve(syms, nil, 0, 512)
+	for _, capacity := range []float64{10, 50, 150, 299, 500} {
+		if got, want := streamed.MissRatioAt(capacity), buffered.MissRatioAt(capacity); got != want {
+			t.Fatalf("MissRatioAt(%v) = %v, want %v", capacity, got, want)
+		}
+	}
+}

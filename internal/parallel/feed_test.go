@@ -1,0 +1,168 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFeedPoolRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		p := NewFeedPool(context.Background(), workers)
+		var mu sync.Mutex
+		got := make(map[int]bool)
+		for i := 0; i < 100; i++ {
+			i := i
+			if err := p.Submit(func(context.Context) error {
+				mu.Lock()
+				got[i] = true
+				mu.Unlock()
+				return nil
+			}); err != nil {
+				t.Fatalf("workers=%d: Submit(%d): %v", workers, i, err)
+			}
+		}
+		if err := p.Wait(); err != nil {
+			t.Fatalf("workers=%d: Wait: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: ran %d tasks, want 100", workers, len(got))
+		}
+	}
+}
+
+func TestFeedPoolSerialRunsInline(t *testing.T) {
+	p := NewFeedPool(context.Background(), 1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := p.Submit(func(context.Context) error {
+			order = append(order, i) // no lock: inline means same goroutine
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial pool ran out of order: %v", order)
+		}
+	}
+}
+
+// TestFeedPoolEarliestError: when several tasks fail, Wait reports the
+// earliest-submitted failure — the same deterministic choice ForEachCtx
+// makes — no matter the completion order.
+func TestFeedPoolEarliestError(t *testing.T) {
+	p := NewFeedPool(context.Background(), 4)
+	err1 := fmt.Errorf("task 1 failed")
+	err5 := fmt.Errorf("task 5 failed")
+	fiveDone := make(chan struct{})
+	for i := 0; i < 6; i++ {
+		i := i
+		if err := p.Submit(func(context.Context) error {
+			switch i {
+			case 1:
+				<-fiveDone // fail strictly after task 5 already failed
+				return err1
+			case 5:
+				defer close(fiveDone)
+				return err5
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Wait(); !errors.Is(err, err1) {
+		t.Fatalf("Wait = %v, want the earliest-submitted failure %v", err, err1)
+	}
+}
+
+func TestFeedPoolSubmitAfterFailureReturnsError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewFeedPool(context.Background(), workers)
+		boom := errors.New("boom")
+		_ = p.Submit(func(context.Context) error { return boom })
+		// Give the failure time to land for the concurrent pool.
+		deadline := time.Now().Add(2 * time.Second)
+		var err error
+		for time.Now().Before(deadline) {
+			err = p.Submit(func(context.Context) error { return nil })
+			if err != nil {
+				break
+			}
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: Submit after failure = %v, want boom", workers, err)
+		}
+		if err := p.Wait(); !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: Wait = %v, want boom", workers, err)
+		}
+	}
+}
+
+func TestFeedPoolContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewFeedPool(ctx, 2)
+	started := make(chan struct{})
+	var once sync.Once
+	_ = p.Submit(func(ctx context.Context) error {
+		once.Do(func() { close(started) })
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	<-started
+	cancel()
+	if err := p.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if err := p.Submit(func(context.Context) error { return nil }); err == nil {
+		t.Fatal("Submit after cancel succeeded")
+	}
+}
+
+// TestFeedPoolBoundsInFlight: Submit must block once 2×workers tasks
+// are in flight — the backpressure that bounds a streaming producer's
+// memory.
+func TestFeedPoolBoundsInFlight(t *testing.T) {
+	const workers = 2
+	p := NewFeedPool(context.Background(), workers)
+	var running atomic.Int64
+	block := make(chan struct{})
+	for i := 0; i < 2*workers; i++ {
+		if err := p.Submit(func(context.Context) error {
+			running.Add(1)
+			<-block
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	extra := make(chan error, 1)
+	go func() {
+		extra <- p.Submit(func(context.Context) error { return nil })
+	}()
+	select {
+	case <-extra:
+		t.Fatal("Submit did not block with 2*workers tasks in flight")
+	case <-time.After(100 * time.Millisecond):
+	}
+	if got := running.Load(); got > workers {
+		t.Fatalf("%d tasks executing concurrently, want <= %d", got, workers)
+	}
+	close(block)
+	if err := <-extra; err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

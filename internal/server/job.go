@@ -130,6 +130,22 @@ type jobView struct {
 	Schedule *ScheduleDoc `json:"schedule,omitempty"`
 }
 
+// setDigest publishes a content address learned after acceptance —
+// streamed submissions only know their trace digest at end-of-stream.
+func (j *Job) setDigest(d string) {
+	j.mu.Lock()
+	j.digest = d
+	j.mu.Unlock()
+}
+
+// markCached flags a running job that resolved from the result cache
+// (the streamed path's post-upload cache hit).
+func (j *Job) markCached() {
+	j.mu.Lock()
+	j.cached = true
+	j.mu.Unlock()
+}
+
 func (j *Job) view() jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()

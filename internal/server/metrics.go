@@ -35,6 +35,11 @@ type serverMetrics struct {
 
 	inflightBytes *obs.Gauge
 
+	// Streaming-ingest family.
+	streamJobs    *obs.Counter
+	streamChunks  *obs.Counter
+	uploadResumes *obs.Counter
+
 	// Cluster family; nil when the server runs single-node.
 	peerForwards      *obs.CounterVec
 	forwardErrors     *obs.Counter
@@ -77,6 +82,23 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Trace bytes held by queued and running jobs.")
 	m.spansDropped = r.Counter("layoutd_spans_dropped_total",
 		"Spans lost to per-job trace buffer bounds.")
+	m.streamJobs = r.Counter("layoutd_stream_jobs_total",
+		"Submissions analyzed while uploading (feed-mode ingest).")
+	m.streamChunks = r.Counter("layoutd_stream_chunks_total",
+		"Decoded chunks fed into streaming analyses.")
+	m.uploadResumes = r.Counter("layoutd_upload_resumes_total",
+		"Upload appends that resumed a session after an interrupted PATCH.")
+	r.GaugeFunc("layoutd_stream_buffered_bytes",
+		"Decoded chunk bytes in flight across streaming submissions (bounded per stream by -stream-window).",
+		func() int64 { return s.streamBytes.Load() })
+	r.GaugeFunc("layoutd_stream_buffered_peak_bytes",
+		"High-water mark of in-flight decoded chunk bytes.",
+		func() int64 { return s.streamPeak.Load() })
+	if s.uploads != nil {
+		up := s.uploads
+		r.GaugeFunc("layoutd_upload_sessions", "Open resumable upload sessions.",
+			func() int64 { return int64(up.Len()) })
+	}
 
 	if s.disk != nil {
 		d := s.disk

@@ -7,7 +7,15 @@
 // backpressure (429 when the queue is full), and stores completed
 // results in a content-addressed cache keyed by the SHA-256 of the
 // trace bytes plus the optimizer and its parameters, so resubmitting
-// the same profile never recomputes. GET /metrics exposes counters and
+// the same profile never recomputes.
+//
+// With Config.StreamWindow > 0, feed-capable optimizers analyze the
+// trace while it uploads (see stream.go): decoded chunks flow through a
+// bounded ring into the analysis kernels, so memory stays O(window) no
+// matter how large the trace, and the result is byte-identical to the
+// buffered pipeline's. Config.Uploads additionally enables resumable
+// chunked uploads (see uploads.go) for traces too large or too flaky
+// to submit in one request. GET /metrics exposes counters and
 // per-optimizer latency histograms with no external dependencies.
 //
 // Observability (internal/obs) is threaded through the whole job path:
@@ -24,6 +32,11 @@
 //	GET  /v1/jobs/{id}        job status and, when done, the result
 //	GET  /v1/jobs/{id}/trace  the job's span timeline
 //	DELETE /v1/jobs/{id}      cancel a still-queued job
+//	POST /v1/uploads          create a resumable upload session
+//	GET  /v1/uploads/{id}     session's durable offset (resume point)
+//	PATCH /v1/uploads/{id}    append bytes at Upload-Offset
+//	DELETE /v1/uploads/{id}   discard a session
+//	POST /v1/uploads/{id}/finalize?prog=&opt=[&prune=]  submit the spooled trace
 //	GET  /v1/layouts/{digest} cached result by content address
 //	GET  /v1/optimizers       the optimizer registry
 //	GET  /v1/debug/jobs       ring of recent job summaries
@@ -118,6 +131,17 @@ type Config struct {
 	// MaxScheduleDigests bounds the layouts one /v1/schedule request may
 	// place; 0 means DefaultMaxScheduleDigests.
 	MaxScheduleDigests int
+	// StreamWindow bounds the decoded-chunk memory of one streamed
+	// submission, in bytes. > 0 enables feed-mode ingest: uploads whose
+	// optimizer supports it are analyzed while they arrive, with at most
+	// this much decoded trace in flight (the TCP stream stalls when the
+	// analysis falls behind). 0 disables streaming: every upload is fully
+	// decoded before analysis, as before.
+	StreamWindow int64
+	// Uploads is the optional resumable-upload session manager backing
+	// POST /v1/uploads and friends; the chunked path for traces too large
+	// or too flaky to submit in one request. Nil disables the endpoints.
+	Uploads *store.Uploads
 	// Cluster makes this node a member of a static layoutd cluster. The
 	// server takes ownership: it starts the cluster's background work and
 	// closes it on Shutdown. Nil means single-node.
@@ -136,6 +160,10 @@ const (
 	DefaultMaxJobs            = 4096
 	DefaultTraceCacheEntries  = 32
 	DefaultMaxScheduleDigests = 32
+	// DefaultStreamWindow is cmd/layoutd's -stream-window default. The
+	// Config zero value keeps streaming off (the embedding caller opts
+	// in); the daemon streams by default.
+	DefaultStreamWindow = 8 << 20
 )
 
 // Server is the layoutd service state. Create with New, serve
@@ -157,6 +185,14 @@ type Server struct {
 	// peerClient carries forwarded requests to peers.
 	cluster    *cluster.Cluster
 	peerClient *http.Client
+
+	// uploads holds the resumable-upload sessions (nil: endpoints off).
+	uploads *store.Uploads
+	// streamBytes counts decoded chunk bytes in flight across streaming
+	// submissions (the layoutd_stream_buffered_bytes gauge); streamPeak
+	// is its high-water mark.
+	streamBytes atomic.Int64
+	streamPeak  atomic.Int64
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -235,6 +271,7 @@ func New(cfg Config) *Server {
 		pairs:     newDocCache[CorunDoc](blobs, pairStoreKey),
 		schedules: newDocCache[ScheduleDoc](blobs, scheduleStoreKey),
 		disk:      cfg.Store,
+		uploads:   cfg.Uploads,
 		cluster:   cfg.Cluster,
 		logger:    cfg.Logger,
 		ring:      newDebugRing(cfg.DebugJobRing),
@@ -283,6 +320,17 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/corun", s.forwardJSON(corunRouteKey, s.handleCorun))
 	mux.HandleFunc("GET /v1/corun/{digest}", s.forwardDigest(s.handleCorunDoc))
 	mux.HandleFunc("POST /v1/schedule", s.forwardJSON(scheduleRouteKey, s.handleSchedule))
+	// Resumable uploads are deliberately not forwarded: a session's
+	// spool lives on the node that created it, so the whole PATCH
+	// sequence and the finalize must land there. The finalized job's
+	// result is content-addressed and replicates normally.
+	if s.uploads != nil {
+		mux.HandleFunc("POST /v1/uploads", s.handleUploadCreate)
+		mux.HandleFunc("GET /v1/uploads/{id}", s.handleUploadStatus)
+		mux.HandleFunc("PATCH /v1/uploads/{id}", s.handleUploadPatch)
+		mux.HandleFunc("DELETE /v1/uploads/{id}", s.handleUploadDelete)
+		mux.HandleFunc("POST /v1/uploads/{id}/finalize", s.handleUploadFinalize)
+	}
 	mux.HandleFunc("GET /v1/optimizers", s.handleOptimizers)
 	mux.HandleFunc("GET /v1/debug/jobs", s.handleDebugJobs)
 	mux.HandleFunc("GET /v1/store", s.handleStoreList)
@@ -330,14 +378,72 @@ func (s *Server) StoreState() (store.State, bool) {
 
 // ---- submission ----
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	// Every submission gets a trace ID and a bounded span recorder up
-	// front, so even the decode of a rejected upload is attributed.
+// submission bundles one job submission's validated parameters and
+// observability handles, shared by the direct POST /v1/jobs path and
+// the resumable-upload finalize path.
+type submission struct {
+	traceID string
+	rec     *obs.Recorder
+	logger  *slog.Logger
+
+	prog      *ir.Program
+	progName  string
+	opt       core.Optimizer
+	optName   string
+	pruneTopN int
+}
+
+// newSubmissionCtx mints the trace ID, logger, and bounded span
+// recorder every submission carries from its first byte, so even the
+// decode of a rejected upload is attributed.
+func (s *Server) newSubmissionCtx(r *http.Request) (context.Context, *submission) {
 	traceID := obs.NewTraceID()
 	logger := s.logger.With("trace_id", traceID)
 	rec := obs.NewRecorder(s.cfg.SpanBufferSize)
 	rec.SetDropHook(s.metrics.spansDropped.Inc)
 	ctx := obs.WithTraceID(obs.WithLogger(obs.WithRecorder(r.Context(), rec), logger), traceID)
+	return ctx, &submission{traceID: traceID, rec: rec, logger: logger}
+}
+
+// resolve validates the request parameters into the submission.
+func (sub *submission) resolve(s *Server, progName, optName, pruneStr string) error {
+	if progName == "" || optName == "" {
+		return errors.New("missing required parameter: prog and opt")
+	}
+	if pruneStr != "" {
+		n, err := strconv.Atoi(pruneStr)
+		if err != nil || n < 0 {
+			return fmt.Errorf("invalid prune %q", pruneStr)
+		}
+		sub.pruneTopN = n
+	}
+	opt, err := core.OptimizerByName(optName)
+	if err != nil {
+		return err
+	}
+	prog, err := s.program(progName)
+	if err != nil {
+		return err
+	}
+	sub.prog, sub.progName = prog, progName
+	sub.opt, sub.optName = opt, optName
+	return nil
+}
+
+// canStream reports whether this submission takes the feed-mode path:
+// streaming enabled and the optimizer — at this request's prune bound —
+// able to analyze the trace while it uploads.
+func (s *Server) canStream(sub *submission) bool {
+	if s.cfg.StreamWindow <= 0 {
+		return false
+	}
+	opt := sub.opt
+	opt.PruneTopN = sub.pruneTopN
+	return opt.FeedSupported(sub.prog)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	ctx, sub := s.newSubmissionCtx(r)
 
 	progName := r.URL.Query().Get("prog")
 	optName := r.URL.Query().Get("opt")
@@ -350,60 +456,55 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cleanup()
 
-	if progName == "" || optName == "" {
-		httpError(w, http.StatusBadRequest, errors.New("missing required parameter: prog and opt"))
-		return
-	}
-	pruneTopN := 0
-	if pruneStr != "" {
-		pruneTopN, err = strconv.Atoi(pruneStr)
-		if err != nil || pruneTopN < 0 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("invalid prune %q", pruneStr))
-			return
-		}
-	}
-	opt, err := core.OptimizerByName(optName)
-	if err != nil {
+	if err := sub.resolve(s, progName, optName, pruneStr); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	prog, err := s.program(progName)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+
+	if s.canStream(sub) {
+		s.streamSubmit(ctx, w, body, sub)
 		return
 	}
 
 	tr, hr, err := decodeUpload(ctx, body)
 	if err != nil {
-		logger.Warn("trace decode failed", "error", err)
+		sub.logger.Warn("trace decode failed", "error", err)
 		httpError(w, badBodyStatus(err), err)
 		return
 	}
+	s.finishBufferedSubmit(ctx, w, sub, tr, hr.Sum(), hr.BytesRead())
+}
+
+// finishBufferedSubmit is the back half of a fully-decoded submission:
+// validate the trace against the program, retain it, and queue the job
+// (or answer instantly from the content-addressed cache). Shared by the
+// buffered POST /v1/jobs path and the non-streaming upload finalize.
+func (s *Server) finishBufferedSubmit(ctx context.Context, w http.ResponseWriter, sub *submission, tr *trace.Trace, traceDigest string, traceBytes int64) {
 	if tr.Len() == 0 {
 		httpError(w, http.StatusBadRequest, errors.New("trace is empty"))
 		return
 	}
-	if max := tr.MaxSym(); int(max) >= prog.NumBlocks() {
+	if max := tr.MaxSym(); int(max) >= sub.prog.NumBlocks() {
 		httpError(w, http.StatusBadRequest,
 			fmt.Errorf("trace symbol %d out of range for %s (%d blocks); is this a basic-block trace of the named program?",
-				max, progName, prog.NumBlocks()))
+				max, sub.progName, sub.prog.NumBlocks()))
 		return
 	}
 
 	// Retain the decoded trace so /v1/corun and /v1/schedule can replay
 	// this profile later by digest, without a re-upload.
-	s.traces.put(ctx, hr.Sum(), tr)
+	s.traces.put(ctx, traceDigest, tr)
 
 	req := &jobRequest{
-		prog:        prog,
-		progName:    progName,
-		opt:         opt,
-		pruneTopN:   pruneTopN,
+		prog:        sub.prog,
+		progName:    sub.progName,
+		opt:         sub.opt,
+		pruneTopN:   sub.pruneTopN,
 		trace:       tr,
-		traceDigest: hr.Sum(),
+		traceDigest: traceDigest,
 		deadline:    time.Now().Add(s.cfg.JobTimeout),
 	}
-	req.digest = resultDigest(req.traceDigest, progName, optName, pruneTopN)
+	req.digest = resultDigest(req.traceDigest, sub.progName, sub.optName, sub.pruneTopN)
 	jobCtx, jobCancel := context.WithCancel(context.Background())
 	req.ctx = jobCtx
 
@@ -413,12 +514,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		digest:   req.digest,
 		created:  time.Now(),
 		cancel:   jobCancel,
-		traceID:  traceID,
-		rec:      rec,
-		progName: progName,
-		optName:  optName,
+		traceID:  sub.traceID,
+		rec:      sub.rec,
+		progName: sub.progName,
+		optName:  sub.optName,
 	}
-	j.logger = logger.With("job", j.id)
+	j.logger = sub.logger.With("job", j.id)
 
 	// Content-addressed fast path: an identical (trace, optimizer,
 	// params) submission completes instantly from the cache.
@@ -436,7 +537,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Account the trace bytes as in flight before the submit: once the
 	// pool has the task, a worker may reach finish (which releases them)
 	// at any moment.
-	j.traceBytes = hr.BytesRead()
+	j.traceBytes = traceBytes
 	s.metrics.inflightBytes.Add(j.traceBytes)
 	s.storeJob(j)
 	accepted := s.pool.TrySubmit(func(poolCtx context.Context) {
@@ -447,15 +548,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		jobCancel()
 		s.metrics.inflightBytes.Add(-j.traceBytes)
 		s.metrics.rejected.Inc()
-		logger.Warn("job rejected: queue full", "job", j.id)
+		sub.logger.Warn("job rejected: queue full", "job", j.id)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, errors.New("job queue full"))
 		return
 	}
 	s.metrics.accepted.Inc()
 	j.logger.Info("job accepted",
-		"prog", progName, "opt", optName, "prune", pruneTopN,
-		"trace_bytes", hr.BytesRead(), "trace_refs", tr.Len(), "digest", req.digest)
+		"prog", sub.progName, "opt", sub.optName, "prune", sub.pruneTopN,
+		"trace_bytes", traceBytes, "trace_refs", tr.Len(), "digest", req.digest)
 	writeJSON(w, http.StatusAccepted, j.view())
 }
 
@@ -481,6 +582,10 @@ func decodeUpload(ctx context.Context, body io.Reader) (*trace.Trace, *trace.Has
 	sp.SetAttr("refs", int64(tr.Len()))
 	return tr, hr, nil
 }
+
+// maxFormFieldBytes bounds the prog/opt/prune multipart form fields;
+// longer values are rejected with 400 rather than truncated.
+const maxFormFieldBytes = 256
 
 // traceBody returns the reader holding the CLTR bytes, resolving
 // multipart uploads without buffering the trace part. For multipart
@@ -511,9 +616,15 @@ func (s *Server) traceBody(w http.ResponseWriter, r *http.Request, progName, opt
 		case "trace":
 			return part, cleanup, nil
 		case "prog", "opt", "prune":
-			val, err := io.ReadAll(io.LimitReader(part, 256))
+			// Read one byte past the field bound so an oversize value is
+			// detected and rejected instead of silently truncated to a
+			// plausible-looking (wrong) parameter.
+			val, err := io.ReadAll(io.LimitReader(part, maxFormFieldBytes+1))
 			if err != nil {
 				return nil, cleanup, fmt.Errorf("reading %s field: %w", part.FormName(), err)
+			}
+			if len(val) > maxFormFieldBytes {
+				return nil, cleanup, fmt.Errorf("multipart field %s exceeds %d bytes", part.FormName(), maxFormFieldBytes)
 			}
 			switch part.FormName() {
 			case "prog":

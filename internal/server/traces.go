@@ -65,6 +65,21 @@ func (c *traceCache) put(ctx context.Context, digest string, tr *trace.Trace) {
 	sp.End()
 }
 
+// putEncoded retains an already-encoded CLTR container under its
+// digest, durable tier only — streamed uploads are never re-buffered
+// into the memory tier; a later get decodes from disk and repopulates
+// it. The uploaded bytes are the canonical encoding (varint encodings
+// are unique), so this matches what put would have written.
+func (c *traceCache) putEncoded(ctx context.Context, digest string, data []byte) {
+	if c.disk == nil {
+		return
+	}
+	sp := obs.StartSpan(ctx, "store.write")
+	sp.SetAttr("bytes", int64(len(data)))
+	c.disk.Put(traceStoreKey+digest, data)
+	sp.End()
+}
+
 // putMemory inserts into the LRU tier only; it reports false when the
 // digest was already held (refreshed in place, nothing to persist).
 func (c *traceCache) putMemory(digest string, tr *trace.Trace) bool {

@@ -1,0 +1,243 @@
+package store
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Resumable upload sessions: the server-side half of layoutd's chunked
+// trace ingest. A client creates a session, PATCHes byte ranges at the
+// offset the server reports, and finalizes; if the connection drops
+// mid-PATCH it asks for the current offset and continues from there.
+//
+// Durability model: spooled bytes live in .part files next to the blob
+// store, fsynced after every accepted append, and each append is
+// all-or-nothing — a failed or short body truncates back to the prior
+// offset, so the reported offset always equals the durable prefix.
+// Sessions themselves are in-process state: a daemon restart forgets
+// them (clients get 404 and restart the upload) and the startup sweep
+// deletes stray .part files, so crashes never leak spool space or leave
+// a partial upload masquerading as complete.
+
+// partSuffix marks upload spool files; the store's startup scan ignores
+// them (they live in their own subdirectory) and NewUploads deletes any
+// survivors from a previous process.
+const partSuffix = ".part"
+
+// Defaults for zero NewUploads limits.
+const (
+	// DefaultUploadMaxBytes bounds one upload's spooled size.
+	DefaultUploadMaxBytes = 4 << 30
+	// DefaultMaxUploadSessions bounds concurrently open sessions.
+	DefaultMaxUploadSessions = 64
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrOffsetMismatch: the PATCH offset is not the session's current
+	// offset (409; re-GET the offset and resume from there).
+	ErrOffsetMismatch = errors.New("store: upload offset mismatch")
+	// ErrUploadTooLarge: the append would exceed the per-upload bound
+	// (413).
+	ErrUploadTooLarge = errors.New("store: upload exceeds size limit")
+	// ErrTooManySessions: the session table is full (429).
+	ErrTooManySessions = errors.New("store: too many upload sessions")
+	// ErrUploadSealed: the session was already finalized (409).
+	ErrUploadSealed = errors.New("store: upload already finalized")
+)
+
+// Uploads manages the upload sessions of one daemon process.
+type Uploads struct {
+	dir         string
+	maxBytes    int64
+	maxSessions int
+
+	mu sync.Mutex
+	m  map[string]*Upload
+}
+
+// NewUploads prepares the spool directory and sweeps stray part files
+// left by a previous process (their sessions died with it). maxBytes
+// bounds one upload, maxSessions the open-session count; zeros mean the
+// defaults.
+func NewUploads(dir string, maxBytes int64, maxSessions int) (*Uploads, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultUploadMaxBytes
+	}
+	if maxSessions <= 0 {
+		maxSessions = DefaultMaxUploadSessions
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating upload dir %s: %w", dir, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning upload dir %s: %w", dir, err)
+	}
+	for _, de := range ents {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), partSuffix) {
+			_ = os.Remove(filepath.Join(dir, de.Name()))
+		}
+	}
+	return &Uploads{
+		dir:         dir,
+		maxBytes:    maxBytes,
+		maxSessions: maxSessions,
+		m:           make(map[string]*Upload),
+	}, nil
+}
+
+// Dir returns the spool directory (the server also parks streamed
+// submission spools beside the upload sessions).
+func (u *Uploads) Dir() string { return u.dir }
+
+// Create opens a new session at offset 0.
+func (u *Uploads) Create() (*Upload, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return nil, fmt.Errorf("store: upload id: %w", err)
+	}
+	id := hex.EncodeToString(b[:])
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if len(u.m) >= u.maxSessions {
+		return nil, ErrTooManySessions
+	}
+	f, err := os.Create(u.partPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("store: upload spool: %w", err)
+	}
+	up := &Upload{ID: id, maxBytes: u.maxBytes, f: f}
+	u.m[id] = up
+	return up, nil
+}
+
+// Get returns the open session with the given id.
+func (u *Uploads) Get(id string) (*Upload, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	up, ok := u.m[id]
+	return up, ok
+}
+
+// Len returns the number of open sessions (the sessions gauge).
+func (u *Uploads) Len() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.m)
+}
+
+// Seal finalizes the session: the spool file is synced, closed and
+// handed to the caller, and the session slot frees up. The caller owns
+// the returned path — typically it streams the bytes into a job and
+// then removes the file.
+func (u *Uploads) Seal(id string) (path string, size int64, err error) {
+	u.mu.Lock()
+	up, ok := u.m[id]
+	if ok {
+		delete(u.m, id)
+	}
+	u.mu.Unlock()
+	if !ok {
+		return "", 0, fmt.Errorf("store: unknown upload %s", id)
+	}
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	up.sealed = true
+	size = up.offset
+	if err := up.f.Close(); err != nil {
+		_ = os.Remove(u.partPath(id))
+		return "", 0, fmt.Errorf("store: sealing upload %s: %w", id, err)
+	}
+	return u.partPath(id), size, nil
+}
+
+// Discard drops the session and deletes its spool file, reporting
+// whether the session existed.
+func (u *Uploads) Discard(id string) bool {
+	u.mu.Lock()
+	up, ok := u.m[id]
+	if ok {
+		delete(u.m, id)
+	}
+	u.mu.Unlock()
+	if !ok {
+		return false
+	}
+	up.mu.Lock()
+	up.sealed = true
+	_ = up.f.Close()
+	up.mu.Unlock()
+	_ = os.Remove(u.partPath(id))
+	return true
+}
+
+func (u *Uploads) partPath(id string) string {
+	return filepath.Join(u.dir, id+partSuffix)
+}
+
+// Upload is one resumable session. Appends serialize on the session;
+// a concurrent PATCH simply observes a stale offset and gets
+// ErrOffsetMismatch.
+type Upload struct {
+	ID       string
+	maxBytes int64
+
+	mu      sync.Mutex
+	f       *os.File
+	offset  int64
+	aborted bool // last append failed mid-body; the next success is a resume
+	sealed  bool
+}
+
+// Offset returns the durable byte count — where the next Append must
+// start.
+func (up *Upload) Offset() int64 {
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	return up.offset
+}
+
+// Append writes r's bytes at the given offset. The append is
+// all-or-nothing: on any failure (offset mismatch, client disconnect
+// mid-body, size bound, disk error) the spool rolls back to the prior
+// offset, which is returned alongside the error so the HTTP layer can
+// report it. resumed is true when this append recovered a session whose
+// previous append failed mid-body — the upload-resume counter's signal.
+func (up *Upload) Append(offset int64, r io.Reader) (newOffset int64, resumed bool, err error) {
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	if up.sealed {
+		return up.offset, false, ErrUploadSealed
+	}
+	if offset != up.offset {
+		return up.offset, false, ErrOffsetMismatch
+	}
+	allowed := up.maxBytes - up.offset
+	n, err := io.Copy(up.f, io.LimitReader(r, allowed+1))
+	if err == nil && n > allowed {
+		err = ErrUploadTooLarge
+	}
+	if err == nil {
+		err = up.f.Sync()
+	}
+	if err != nil {
+		// Roll back to the durable prefix so the reported offset stays
+		// truthful; the client resumes from it.
+		_ = up.f.Truncate(up.offset)
+		_, _ = up.f.Seek(up.offset, io.SeekStart)
+		up.aborted = true
+		return up.offset, false, err
+	}
+	up.offset += n
+	resumed = up.aborted
+	up.aborted = false
+	return up.offset, resumed, nil
+}

@@ -1,0 +1,227 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// failAfter yields n bytes of payload then fails — a client that
+// disconnected mid-PATCH.
+type failAfter struct {
+	r io.Reader
+}
+
+func (f *failAfter) Read(p []byte) (int, error) {
+	n, err := f.r.Read(p)
+	if err == io.EOF {
+		return n, errors.New("connection reset")
+	}
+	return n, err
+}
+
+func newUploadsT(t *testing.T) *Uploads {
+	t.Helper()
+	u, err := NewUploads(filepath.Join(t.TempDir(), "uploads"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// TestUploadAppendAndSeal: the happy path — chunked appends accumulate
+// at the reported offsets and Seal hands back exactly the concatenated
+// bytes.
+func TestUploadAppendAndSeal(t *testing.T) {
+	u := newUploadsT(t)
+	up, err := u.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 1 {
+		t.Fatalf("sessions = %d, want 1", u.Len())
+	}
+	payload := bytes.Repeat([]byte("chunked-trace-bytes."), 50)
+	var off int64
+	for len(payload) > int(off) {
+		end := off + 128
+		if end > int64(len(payload)) {
+			end = int64(len(payload))
+		}
+		next, resumed, err := up.Append(off, bytes.NewReader(payload[off:end]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resumed {
+			t.Fatal("clean append reported as resume")
+		}
+		if next != end {
+			t.Fatalf("offset after append = %d, want %d", next, end)
+		}
+		off = next
+	}
+	path, size, err := u.Seal(up.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != int64(len(payload)) {
+		t.Fatalf("sealed size = %d, want %d", size, len(payload))
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("sealed bytes differ from appended bytes")
+	}
+	if u.Len() != 0 {
+		t.Fatalf("sessions after seal = %d, want 0", u.Len())
+	}
+	if _, ok := u.Get(up.ID); ok {
+		t.Fatal("sealed session still resolvable")
+	}
+}
+
+// TestUploadOffsetMismatch: a PATCH at the wrong offset is rejected
+// with the durable offset, and changes nothing.
+func TestUploadOffsetMismatch(t *testing.T) {
+	u := newUploadsT(t)
+	up, _ := u.Create()
+	if _, _, err := up.Append(0, strings.NewReader("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	cur, _, err := up.Append(2, strings.NewReader("xy"))
+	if !errors.Is(err, ErrOffsetMismatch) {
+		t.Fatalf("err = %v, want ErrOffsetMismatch", err)
+	}
+	if cur != 4 {
+		t.Fatalf("reported offset = %d, want 4", cur)
+	}
+	if up.Offset() != 4 {
+		t.Fatalf("offset after rejected append = %d, want 4", up.Offset())
+	}
+}
+
+// TestUploadInterruptedAppendRollsBack: a client disconnect mid-body
+// rolls the spool back to the prior offset; the retry from that offset
+// succeeds, is flagged as a resume, and the final bytes are exactly the
+// logical stream — no duplicated or torn range.
+func TestUploadInterruptedAppendRollsBack(t *testing.T) {
+	u := newUploadsT(t)
+	up, _ := u.Create()
+	if _, _, err := up.Append(0, strings.NewReader("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	cur, _, err := up.Append(6, &failAfter{strings.NewReader("wor")})
+	if err == nil {
+		t.Fatal("interrupted append succeeded")
+	}
+	if cur != 6 {
+		t.Fatalf("offset after interruption = %d, want 6 (rolled back)", cur)
+	}
+	next, resumed, err := up.Append(6, strings.NewReader("world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed {
+		t.Fatal("recovery append not flagged as resume")
+	}
+	if next != 11 {
+		t.Fatalf("offset after resume = %d, want 11", next)
+	}
+	path, size, err := u.Seal(up.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if size != 11 || string(got) != "hello world" {
+		t.Fatalf("sealed %d bytes %q, want 11 %q", size, got, "hello world")
+	}
+}
+
+// TestUploadSizeBound: an append crossing the per-upload bound is
+// rejected whole.
+func TestUploadSizeBound(t *testing.T) {
+	u, err := NewUploads(filepath.Join(t.TempDir(), "uploads"), 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, _ := u.Create()
+	if _, _, err := up.Append(0, strings.NewReader("12345678")); err != nil {
+		t.Fatalf("append at the bound: %v", err)
+	}
+	cur, _, err := up.Append(8, strings.NewReader("9"))
+	if !errors.Is(err, ErrUploadTooLarge) {
+		t.Fatalf("err = %v, want ErrUploadTooLarge", err)
+	}
+	if cur != 8 {
+		t.Fatalf("offset after oversize append = %d, want 8", cur)
+	}
+}
+
+// TestUploadSessionBound: Create past the session cap is refused until
+// a slot frees.
+func TestUploadSessionBound(t *testing.T) {
+	u, err := NewUploads(filepath.Join(t.TempDir(), "uploads"), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := u.Create()
+	if _, err := u.Create(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Create(); !errors.Is(err, ErrTooManySessions) {
+		t.Fatalf("err = %v, want ErrTooManySessions", err)
+	}
+	if !u.Discard(a.ID) {
+		t.Fatal("discard of live session failed")
+	}
+	if _, err := u.Create(); err != nil {
+		t.Fatalf("create after discard: %v", err)
+	}
+}
+
+// TestUploadSealedRejectsAppend: finalized and discarded sessions
+// refuse further appends.
+func TestUploadSealedRejectsAppend(t *testing.T) {
+	u := newUploadsT(t)
+	up, _ := u.Create()
+	path, _, err := u.Seal(up.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.Remove(path)
+	if _, _, err := up.Append(0, strings.NewReader("x")); !errors.Is(err, ErrUploadSealed) {
+		t.Fatalf("err = %v, want ErrUploadSealed", err)
+	}
+}
+
+// TestUploadsStartupSweep: part files from a dead process are deleted
+// when the manager comes up — sessions do not survive restarts.
+func TestUploadsStartupSweep(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "uploads")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(dir, "deadbeef"+partSuffix)
+	if err := os.WriteFile(stray, []byte("orphaned"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(dir, "unrelated.txt")
+	if err := os.WriteFile(keep, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewUploads(dir, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatal("stray part file survived startup")
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatal("unrelated file swept")
+	}
+}

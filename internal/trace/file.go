@@ -143,6 +143,34 @@ func (d *Decoder) Next() (int32, error) {
 	return int32(d.prev), nil
 }
 
+// NextChunk decodes up to len(dst) occurrences into dst and returns how
+// many it wrote. It is the streaming bulk form of Next: a consumer that
+// analyzes a trace while it uploads calls NextChunk in a loop with a
+// reused fixed-size buffer, so decoding allocates nothing at steady
+// state and in-flight memory stays bounded by the buffer, not the trace.
+//
+// NextChunk returns n > 0 with a nil error as long as occurrences
+// remain; (0, io.EOF) after the declared count has been delivered; and
+// (n, err) with n possibly non-zero when the container turns out to be
+// corrupt or truncated mid-chunk — the occurrences decoded before the
+// failure are valid and err carries the byte offset, exactly like Next.
+func (d *Decoder) NextChunk(dst []int32) (int, error) {
+	if d.read >= d.count {
+		return 0, io.EOF
+	}
+	for n := range dst {
+		s, err := d.Next()
+		if err != nil {
+			if err == io.EOF {
+				return n, nil
+			}
+			return n, err
+		}
+		dst[n] = s
+	}
+	return len(dst), nil
+}
+
 // Decode drains the remaining occurrences into a Trace. The initial
 // allocation is capped so a lying header cannot force a huge up-front
 // allocation before any byte of payload has been validated.

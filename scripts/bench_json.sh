@@ -5,7 +5,7 @@
 #   bench_json.sh run [out.json]
 #       Run the kernel benchmarks (affinity stack passes, TRG
 #       construction, footprint curve, co-run simulation, placement
-#       solver) with -benchmem
+#       solver, streaming decode and feed) with -benchmem
 #       and write one JSON document with ns/op, B/op and allocs/op per
 #       benchmark. BENCHTIME overrides -benchtime (default 3x; CI uses
 #       1x).
@@ -17,15 +17,15 @@
 # Plain shell + awk on `go test -bench` output: no external dependencies.
 set -eu
 
-OUT_DEFAULT=BENCH_PR3.json
+OUT_DEFAULT=BENCH_PR8.json
 BENCHTIME=${BENCHTIME:-3x}
 
 # The kernel benchmarks the harness tracks, one per analysis subsystem
 # plus the end-to-end worker sweeps in the root package and the
 # observability hot paths (span start/end, counter, histogram), which
 # ride on every instrumented kernel and must stay allocation-free.
-BENCH_RE='^(BenchmarkBuildHierarchyWorkers|BenchmarkTRGBuildWorkers|BenchmarkFootprintCurveWorkers|BenchmarkCorunBatchWorkers|BenchmarkShardPairHists|BenchmarkBuildHierarchyArena|BenchmarkBuildShard|BenchmarkBuildArena|BenchmarkWindowFootprintScratch|BenchmarkSpanStartEnd|BenchmarkSpanStartEndDropped|BenchmarkRegistryCounterInc|BenchmarkRegistryHistogramObserve|BenchmarkScheduleSolve)$'
-PKGS='. ./internal/affinity ./internal/trg ./internal/footprint ./internal/obs ./internal/schedule'
+BENCH_RE='^(BenchmarkBuildHierarchyWorkers|BenchmarkTRGBuildWorkers|BenchmarkFootprintCurveWorkers|BenchmarkCorunBatchWorkers|BenchmarkShardPairHists|BenchmarkBuildHierarchyArena|BenchmarkBuildShard|BenchmarkBuildArena|BenchmarkWindowFootprintScratch|BenchmarkSpanStartEnd|BenchmarkSpanStartEndDropped|BenchmarkRegistryCounterInc|BenchmarkRegistryHistogramObserve|BenchmarkScheduleSolve|BenchmarkStreamDecode|BenchmarkStreamFeed)$'
+PKGS='. ./internal/affinity ./internal/trg ./internal/footprint ./internal/obs ./internal/schedule ./internal/trace'
 
 run() {
     out=${1:-$OUT_DEFAULT}
