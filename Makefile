@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-json-ci smoke-serve smoke-durable smoke-schedule smoke-cluster smoke-stream ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-json-ci smoke-serve smoke-durable smoke-schedule smoke-cluster smoke-stream smoke-chaos ci
 
 # Allocation budget for the CI regression gate: the per-window affinity
 # analysis (serial path) must stay under this allocs/op. The committed
@@ -22,6 +22,10 @@ SCHEDULE_ALLOC_BUDGET ?= 64
 # ~15.3k allocs/op). Headroom for Go version variance only.
 STREAM_DECODE_ALLOC_BUDGET ?= 16
 STREAM_FEED_ALLOC_BUDGET ?= 24000
+
+# The anti-entropy digest-set diff runs every sweep on every node and
+# reuses its caller's buffer: zero allocations, no headroom needed.
+ANTIENTROPY_DIFF_ALLOC_BUDGET ?= 0
 
 all: build
 
@@ -53,19 +57,20 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Bench-regression harness: run the kernel benchmarks with -benchmem,
-# write BENCH_PR8.json (ns/op, B/op, allocs/op per benchmark), and gate
+# write BENCH_PR9.json (ns/op, B/op, allocs/op per benchmark), and gate
 # on the allocation budgets. BENCH_PR3.json is the pre-streaming
 # baseline, kept for comparison.
 bench-json:
-	sh scripts/bench_json.sh run BENCH_PR8.json
-	sh scripts/bench_json.sh check BENCH_PR8.json 'BuildHierarchyWorkers/workers=1' $(BENCH_ALLOC_BUDGET)
-	sh scripts/bench_json.sh check BENCH_PR8.json 'SpanStartEnd' 0
-	sh scripts/bench_json.sh check BENCH_PR8.json 'RegistryCounterInc' 0
-	sh scripts/bench_json.sh check BENCH_PR8.json 'RegistryHistogramObserve' 0
-	sh scripts/bench_json.sh check BENCH_PR8.json 'CorunBatchWorkers/workers=1' $(CORUN_ALLOC_BUDGET)
-	sh scripts/bench_json.sh check BENCH_PR8.json 'ScheduleSolve' $(SCHEDULE_ALLOC_BUDGET)
-	sh scripts/bench_json.sh check BENCH_PR8.json 'StreamDecode' $(STREAM_DECODE_ALLOC_BUDGET)
-	sh scripts/bench_json.sh check BENCH_PR8.json 'StreamFeed' $(STREAM_FEED_ALLOC_BUDGET)
+	sh scripts/bench_json.sh run BENCH_PR9.json
+	sh scripts/bench_json.sh check BENCH_PR9.json 'BuildHierarchyWorkers/workers=1' $(BENCH_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check BENCH_PR9.json 'SpanStartEnd' 0
+	sh scripts/bench_json.sh check BENCH_PR9.json 'RegistryCounterInc' 0
+	sh scripts/bench_json.sh check BENCH_PR9.json 'RegistryHistogramObserve' 0
+	sh scripts/bench_json.sh check BENCH_PR9.json 'CorunBatchWorkers/workers=1' $(CORUN_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check BENCH_PR9.json 'ScheduleSolve' $(SCHEDULE_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check BENCH_PR9.json 'StreamDecode' $(STREAM_DECODE_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check BENCH_PR9.json 'StreamFeed' $(STREAM_FEED_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check BENCH_PR9.json 'AntiEntropyDiff' $(ANTIENTROPY_DIFF_ALLOC_BUDGET)
 
 # End-to-end service smoke: start layoutd, submit a recorded trace via
 # layoutctl, assert a completed result and a cache hit on resubmission,
@@ -94,6 +99,7 @@ bench-json-ci:
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'ScheduleSolve' $(SCHEDULE_ALLOC_BUDGET)
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'StreamDecode' $(STREAM_DECODE_ALLOC_BUDGET)
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'StreamFeed' $(STREAM_FEED_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'AntiEntropyDiff' $(ANTIENTROPY_DIFF_ALLOC_BUDGET)
 
 # Scheduling-service smoke: optimize a trace under two optimizers, pair
 # them via /v1/corun, place {A, B, A, B} via /v1/schedule, and assert a
@@ -116,4 +122,12 @@ smoke-cluster:
 smoke-stream:
 	sh scripts/smoke_stream.sh
 
-ci: build vet fmt-check test race bench-smoke bench-json-ci smoke-serve smoke-durable smoke-schedule smoke-cluster smoke-stream
+# Chaos smoke: a 3-node cluster under a seeded kill/restart/fault
+# schedule — replication losses repaired by anti-entropy, a mid-upload
+# SIGKILL resumed across the restart, a write-fault burst degrading one
+# node without poisoning the others, and zero recompute throughout.
+# SMOKE_SEED varies the victim and the schedule.
+smoke-chaos:
+	sh scripts/smoke_chaos.sh
+
+ci: build vet fmt-check test race bench-smoke bench-json-ci smoke-serve smoke-durable smoke-schedule smoke-cluster smoke-stream smoke-chaos

@@ -78,6 +78,8 @@ func main() {
 	slots := flag.Int("slots", 0, "cores per shared-cache domain (with -schedule)")
 	cacheGeom := flag.String("cache", "", "cache geometry sizeBytes/assoc/lineBytes, e.g. 32768/4/64 (with -corun/-schedule)")
 	health := flag.Bool("health", false, "print the server's /healthz document (node identity, build, degraded reason)")
+	storeList := flag.Bool("store-list", false, "list the node's durable store contents (key, kind, size, last access)")
+	storeKind := flag.String("store-kind", "", "restrict -store-list to one kind: result, trace, pair, or schedule")
 	clusterList := flag.String("cluster", "", "comma-separated layoutd base URLs; the first live one overrides -addr")
 	jsonOut := flag.Bool("json", false, "print raw JSON responses instead of human-readable output")
 	retries := flag.Int("retries", 4, "retry budget for transient failures (connection errors, 429, 503)")
@@ -106,6 +108,8 @@ Exit codes:
 	switch {
 	case *health:
 		err = doHealth(r, base, *jsonOut)
+	case *storeList:
+		err = doStoreList(r, base, *storeKind, *jsonOut)
 	case *submit != "":
 		err = doSubmit(r, base, *submit, *prog, *opt, *prune, *wait, *timeout, *jsonOut)
 	case *upload != "":
@@ -554,6 +558,49 @@ func doHealth(r *retrier, base string, jsonOut bool) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("GET %s: %s", u, resp.Status)
 	}
+	return nil
+}
+
+// storeListView mirrors GET /v1/store.
+type storeListView struct {
+	Entries []struct {
+		Key        string `json:"key"`
+		Kind       string `json:"kind"`
+		Size       int64  `json:"size"`
+		LastAccess string `json:"last_access"`
+	} `json:"entries"`
+	Count int   `json:"count"`
+	Bytes int64 `json:"bytes"`
+}
+
+func doStoreList(r *retrier, base, kind string, jsonOut bool) error {
+	u := base + "/v1/store"
+	if kind != "" {
+		u += "?kind=" + url.QueryEscape(kind)
+	}
+	resp, err := r.Do("GET "+u, func() (*http.Response, error) {
+		return http.Get(u)
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s", u, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	if jsonOut {
+		os.Stdout.Write(append(raw, '\n'))
+		return nil
+	}
+	var v storeListView
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return fmt.Errorf("store list: bad response %q: %w", raw, err)
+	}
+	for _, e := range v.Entries {
+		fmt.Printf("%-64s  %-8s  %10d  %s\n", e.Key, e.Kind, e.Size, e.LastAccess)
+	}
+	fmt.Printf("%d blobs, %d bytes\n", v.Count, v.Bytes)
 	return nil
 }
 

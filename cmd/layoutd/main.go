@@ -83,6 +83,8 @@ func main() {
 	peersSpec := flag.String("peers", "", "static cluster membership as comma-separated id=url pairs, self included, e.g. 'n1=http://127.0.0.1:8080,n2=http://127.0.0.1:8081'")
 	replicas := flag.Int("replicas", 2, "nodes that should hold each blob, owner included (with -peers)")
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "peer /healthz poll period (with -peers)")
+	antiEntropy := flag.Duration("antientropy", 30*time.Second, "anti-entropy repair sweep period, jittered ±25%; 0 disables (with -peers and -store-dir)")
+	antiEntropyMax := flag.Int("antientropy-max", cluster.DefaultAntiEntropyMaxPerSweep, "repair pushes per anti-entropy sweep (rate limit)")
 	flag.Parse()
 
 	level, err := parseLevel(*logLevel)
@@ -133,11 +135,20 @@ func main() {
 
 	var uploads *store.Uploads
 	if *uploadDir != "" {
-		uploads, err = store.NewUploads(*uploadDir, *maxTrace, *uploadMaxSessions)
+		uploadLog := logger.With("subsys", "uploads")
+		uploads, err = store.OpenUploads(store.UploadsConfig{
+			Dir:         *uploadDir,
+			MaxBytes:    *maxTrace,
+			MaxSessions: *uploadMaxSessions,
+			Logf: func(format string, args ...any) {
+				uploadLog.Info(fmt.Sprintf(format, args...))
+			},
+		})
 		if err != nil {
 			fatal("upload spool", err)
 		}
-		logger.Info("resumable uploads enabled", "dir", *uploadDir, "max_sessions", *uploadMaxSessions)
+		logger.Info("resumable uploads enabled", "dir", *uploadDir,
+			"max_sessions", *uploadMaxSessions, "recovered", uploads.Recovered())
 	}
 
 	var cl *cluster.Cluster
@@ -148,10 +159,12 @@ func main() {
 		}
 		clusterLog := logger.With("subsys", "cluster")
 		cl, err = cluster.New(cluster.Config{
-			SelfID:            *nodeID,
-			Peers:             peers,
-			ReplicationFactor: *replicas,
-			HealthInterval:    *healthInterval,
+			SelfID:                 *nodeID,
+			Peers:                  peers,
+			ReplicationFactor:      *replicas,
+			HealthInterval:         *healthInterval,
+			AntiEntropyInterval:    *antiEntropy,
+			AntiEntropyMaxPerSweep: *antiEntropyMax,
 			Logf: func(format string, args ...any) {
 				clusterLog.Info(fmt.Sprintf(format, args...))
 			},
@@ -160,7 +173,8 @@ func main() {
 			fatal("cluster setup", err)
 		}
 		logger.Info("cluster member", "node_id", *nodeID,
-			"peers", len(peers), "replicas", cl.ReplicationFactor())
+			"peers", len(peers), "replicas", cl.ReplicationFactor(),
+			"antientropy", antiEntropy.String())
 	} else if *nodeID != "" {
 		logger.Info("running single-node", "node_id", *nodeID)
 	}

@@ -1,0 +1,351 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Anti-entropy: the repair loop that makes replication eventually
+// consistent. Write-behind replication is lossy by design — a push to a
+// down peer is skipped, a full queue drops, a crashed owner never
+// enqueues — and every one of those losses is invisible to the reader
+// until a fetch misses. The sweeper closes the loop: periodically each
+// node lists every peer's key set (GET /v1/store?format=keys), computes
+// which locally held keys the peer should hold (rendezvous top-RF
+// membership) but does not, and re-pushes them through the same
+// digest-authenticated PUT /v1/replicate/{key} path the write-behind
+// queue uses. Content addressing makes the repair blindly safe: pushing
+// a key a peer already has rewrites identical bytes.
+//
+// The sweep is jittered (a fleet restarted together must not sweep in
+// lockstep), rate-limited (MaxPerSweep repairs per sweep with a pause
+// between pushes, so repair never competes with serving), degraded-aware
+// (a degraded peer is memory-only — pushing blobs at it would be
+// politeness-theater; it is skipped until its disk heals), and resumable
+// (a per-peer cursor survives budget exhaustion and cancellation, so the
+// next sweep continues where this one stopped instead of re-walking the
+// prefix).
+
+// Anti-entropy defaults for zero Config values.
+const (
+	// DefaultAntiEntropyMaxPerSweep bounds repairs pushed per sweep.
+	DefaultAntiEntropyMaxPerSweep = 128
+	// DefaultAntiEntropyPause is slept between repair pushes.
+	DefaultAntiEntropyPause = 10 * time.Millisecond
+	// maxKeyListBytes bounds a peer's key listing (66 bytes per key —
+	// this covers tens of millions of keys).
+	maxKeyListBytes = 1 << 31
+)
+
+// AntiEntropyStats is a snapshot of the sweeper's lifetime counters.
+type AntiEntropyStats struct {
+	Sweeps        int64 // completed sweeps
+	Repaired      int64 // keys re-pushed to a peer that was missing them
+	Bytes         int64 // payload bytes re-pushed
+	LastSweepUnix int64 // unix seconds of the last completed sweep, 0 if none
+}
+
+// AntiEntropySweep summarizes one sweep for the hook (metrics, spans).
+type AntiEntropySweep struct {
+	Peers     int   // peers whose key sets were exchanged
+	Missing   int   // replica-set keys found missing on a peer
+	Repaired  int   // keys re-pushed successfully
+	Bytes     int64 // payload bytes re-pushed
+	Truncated bool  // the rate-limit budget ran out; the cursor resumes next sweep
+	Duration  time.Duration
+}
+
+// aeSource is what the sweeper reads from the local node: the key set
+// and blob payloads. The server wires these to the durable store; keys
+// returning nil means the store is unavailable (degraded) and the sweep
+// is skipped.
+type aeSource struct {
+	keys func() []string
+	get  func(key string) ([]byte, bool)
+}
+
+type antiEntropy struct {
+	c           *Cluster
+	interval    time.Duration
+	maxPerSweep int
+	pause       time.Duration
+
+	source atomic.Value // aeSource
+	hook   atomic.Value // func(AntiEntropySweep)
+
+	sweeps   atomic.Int64
+	repaired atomic.Int64
+	bytes    atomic.Int64
+	last     atomic.Int64
+
+	mu     sync.Mutex
+	cursor map[string]string // peer ID -> last repaired key (resume point)
+}
+
+func newAntiEntropy(c *Cluster, interval time.Duration, maxPerSweep int, pause time.Duration) *antiEntropy {
+	if maxPerSweep <= 0 {
+		maxPerSweep = DefaultAntiEntropyMaxPerSweep
+	}
+	if pause <= 0 {
+		pause = DefaultAntiEntropyPause
+	}
+	return &antiEntropy{
+		c:           c,
+		interval:    interval,
+		maxPerSweep: maxPerSweep,
+		pause:       pause,
+		cursor:      make(map[string]string),
+	}
+}
+
+// SetAntiEntropySource wires the sweeper to the local store: keys lists
+// every locally held key (nil when the store is unavailable — the sweep
+// is skipped), get returns a key's payload. Set before Start.
+func (c *Cluster) SetAntiEntropySource(keys func() []string, get func(key string) ([]byte, bool)) {
+	c.ae.source.Store(aeSource{keys: keys, get: get})
+}
+
+// SetAntiEntropyHook installs fn, called after every completed sweep.
+// Used to export the antientropy.sweep span timing.
+func (c *Cluster) SetAntiEntropyHook(fn func(AntiEntropySweep)) {
+	c.ae.hook.Store(fn)
+}
+
+// AntiEntropyStats snapshots the sweeper's counters.
+func (c *Cluster) AntiEntropyStats() AntiEntropyStats {
+	a := c.ae
+	return AntiEntropyStats{
+		Sweeps:        a.sweeps.Load(),
+		Repaired:      a.repaired.Load(),
+		Bytes:         a.bytes.Load(),
+		LastSweepUnix: a.last.Load(),
+	}
+}
+
+// AntiEntropySweepNow runs one sweep synchronously — the deterministic
+// entry point for tests and operators (the background loop calls the
+// same function on its jittered timer).
+func (c *Cluster) AntiEntropySweepNow() AntiEntropySweep {
+	return c.ae.sweep()
+}
+
+func (a *antiEntropy) run() {
+	defer a.c.done.Done()
+	for {
+		select {
+		case <-a.c.stop:
+			return
+		case <-time.After(a.jittered()):
+		}
+		a.sweep()
+	}
+}
+
+// jittered spreads the interval ±25% so peers don't sweep in lockstep.
+func (a *antiEntropy) jittered() time.Duration {
+	d := a.interval
+	return d - d/4 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+func (a *antiEntropy) sweep() AntiEntropySweep {
+	start := time.Now()
+	src, ok := a.source.Load().(aeSource)
+	if !ok || src.keys == nil {
+		return AntiEntropySweep{}
+	}
+	local := src.keys()
+	if local == nil {
+		// The local store is unavailable (degraded to memory-only): this
+		// node has nothing durable to offer, and pushing from memory
+		// would repair replicas with bytes the source may yet lose.
+		a.c.logf("cluster: anti-entropy: local store unavailable, skipping sweep")
+		return AntiEntropySweep{}
+	}
+	sort.Strings(local)
+
+	var sw AntiEntropySweep
+	budget := a.maxPerSweep
+	var missing []string
+	canceled := false
+
+peers:
+	for _, p := range a.c.others {
+		// Degraded-aware: a degraded peer is memory-only, a down peer is
+		// unreachable. Both heal first, repair after.
+		if st := a.c.State(p.ID); st != StateUp {
+			if st == StateDegraded {
+				a.c.logf("cluster: anti-entropy: skipping degraded peer %s", p.ID)
+			}
+			continue
+		}
+		remote, err := a.fetchKeys(p)
+		if err != nil {
+			a.c.logf("cluster: anti-entropy: listing %s: %v", p.ID, err)
+			continue
+		}
+		sw.Peers++
+		sort.Strings(remote)
+		missing = MissingKeys(local, remote, missing)
+
+		// Keep only keys the peer is actually in the replica set for,
+		// then rotate the candidate list past the resume cursor so a
+		// truncated or canceled sweep continues instead of re-walking.
+		cand := missing[:0]
+		for _, k := range missing {
+			if a.c.inReplicaSet(p.ID, k) {
+				cand = append(cand, k)
+			}
+		}
+		sw.Missing += len(cand)
+		startIdx := 0
+		if cur := a.cursorFor(p.ID); cur != "" {
+			startIdx = sort.SearchStrings(cand, cur)
+			if startIdx < len(cand) && cand[startIdx] == cur {
+				startIdx++
+			}
+		}
+		for i := 0; i < len(cand); i++ {
+			k := cand[(startIdx+i)%len(cand)]
+			if budget <= 0 {
+				sw.Truncated = true
+				break peers
+			}
+			select {
+			case <-a.c.stop:
+				canceled = true
+				break peers
+			default:
+			}
+			data, ok := src.get(k)
+			if !ok {
+				continue // evicted since the listing; nothing to offer
+			}
+			if err := a.c.repl.pushBlob(k, data, p); err != nil {
+				a.c.logf("cluster: anti-entropy: repairing %s -> %s: %v", k, p.ID, err)
+				a.c.ReportFailure(p.ID)
+				continue peers
+			}
+			budget--
+			sw.Repaired++
+			sw.Bytes += int64(len(data))
+			a.setCursor(p.ID, k)
+			select {
+			case <-a.c.stop:
+				canceled = true
+				break peers
+			case <-time.After(a.pause):
+			}
+		}
+		// Full pass over this peer's candidates: clear the resume point.
+		a.setCursor(p.ID, "")
+	}
+
+	sw.Duration = time.Since(start)
+	a.repaired.Add(int64(sw.Repaired))
+	a.bytes.Add(sw.Bytes)
+	if !canceled {
+		a.sweeps.Add(1)
+		a.last.Store(time.Now().Unix())
+	}
+	if sw.Repaired > 0 || sw.Missing > 0 {
+		a.c.logf("cluster: anti-entropy: sweep repaired %d/%d missing key(s), %d byte(s), %d peer(s) in %s",
+			sw.Repaired, sw.Missing, sw.Bytes, sw.Peers, sw.Duration.Round(time.Millisecond))
+	}
+	if fn, ok := a.hook.Load().(func(AntiEntropySweep)); ok && fn != nil {
+		fn(sw)
+	}
+	return sw
+}
+
+func (a *antiEntropy) cursorFor(peerID string) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cursor[peerID]
+}
+
+func (a *antiEntropy) setCursor(peerID, key string) {
+	a.mu.Lock()
+	if key == "" {
+		delete(a.cursor, peerID)
+	} else {
+		a.cursor[peerID] = key
+	}
+	a.mu.Unlock()
+}
+
+// fetchKeys lists a peer's store keys via the compact text listing. The
+// forward header marks the probe so the peer answers from its local
+// store only (no amplification).
+func (a *antiEntropy) fetchKeys(p Peer) ([]string, error) {
+	req, err := http.NewRequest(http.MethodGet, p.URL+"/v1/store?format=keys", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(ForwardHeader, a.c.self.ID)
+	resp, err := a.c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("listing keys on %s: %s", p.ID, resp.Status)
+	}
+	var keys []string
+	sc := bufio.NewScanner(io.LimitReader(resp.Body, maxKeyListBytes))
+	for sc.Scan() {
+		if line := sc.Text(); line != "" {
+			keys = append(keys, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+// MissingKeys returns the elements of local absent from remote. Both
+// inputs must be sorted ascending; out is overwritten and reused when
+// its capacity allows, so a steady-state caller allocates nothing. This
+// is the digest-set computation on the anti-entropy hot path — it runs
+// against every peer every sweep, over the full key census.
+func MissingKeys(local, remote, out []string) []string {
+	out = out[:0]
+	j := 0
+	for _, k := range local {
+		for j < len(remote) && remote[j] < k {
+			j++
+		}
+		if j < len(remote) && remote[j] == k {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// inReplicaSet reports whether peerID is among the top-ReplicationFactor
+// rendezvous-ranked peers for key. Equivalent to membership in
+// RankedPeers(key)[:rf] but allocation-free: it counts peers that rank
+// strictly ahead, using the same score-then-ID tie-break.
+func (c *Cluster) inReplicaSet(peerID, key string) bool {
+	s := rankScore(peerID, key)
+	ahead := 0
+	for _, p := range c.peers {
+		if p.ID == peerID {
+			continue
+		}
+		ps := rankScore(p.ID, key)
+		if ps > s || (ps == s && p.ID < peerID) {
+			ahead++
+		}
+	}
+	return ahead < c.rf
+}

@@ -1,0 +1,444 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMissingKeys(t *testing.T) {
+	cases := []struct {
+		local, remote, want []string
+	}{
+		{nil, nil, []string{}},
+		{[]string{"a", "b"}, nil, []string{"a", "b"}},
+		{[]string{"a", "b"}, []string{"a", "b"}, []string{}},
+		{[]string{"a", "b", "c"}, []string{"b"}, []string{"a", "c"}},
+		{[]string{"b"}, []string{"a", "c"}, []string{"b"}},
+		{[]string{"a", "c", "e"}, []string{"b", "d", "f"}, []string{"a", "c", "e"}},
+		{nil, []string{"a"}, []string{}},
+	}
+	for _, tc := range cases {
+		got := MissingKeys(tc.local, tc.remote, nil)
+		if len(got) != len(tc.want) {
+			t.Fatalf("MissingKeys(%v, %v) = %v, want %v", tc.local, tc.remote, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("MissingKeys(%v, %v) = %v, want %v", tc.local, tc.remote, got, tc.want)
+			}
+		}
+	}
+	// Reuse: a second call with the returned slice must not allocate a
+	// new backing array when capacity suffices.
+	out := MissingKeys([]string{"a", "b", "c"}, nil, nil)
+	out2 := MissingKeys([]string{"x"}, nil, out)
+	if cap(out2) != cap(out) {
+		t.Fatal("MissingKeys did not reuse the provided buffer")
+	}
+}
+
+// TestInReplicaSet: the allocation-free membership test must agree with
+// the reference computation via RankedPeers on every (peer, key) pair.
+func TestInReplicaSet(t *testing.T) {
+	c := newTestCluster(t, "n1", threePeers(t), 2)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("%064x", i)
+		ranked := c.RankedPeers(key)
+		top := map[string]bool{}
+		for _, p := range ranked[:c.rf] {
+			top[p.ID] = true
+		}
+		for _, p := range c.peers {
+			if got := c.inReplicaSet(p.ID, key); got != top[p.ID] {
+				t.Fatalf("inReplicaSet(%s, %s) = %v, want %v", p.ID, key, got, top[p.ID])
+			}
+		}
+	}
+}
+
+// aePeer is a fake peer for sweeper tests: it serves a key listing and
+// records digest-verified replication PUTs.
+type aePeer struct {
+	t  *testing.T
+	mu sync.Mutex
+	// keys this peer claims to hold (served by the listing endpoint).
+	keys []string
+	// received maps key -> payload for accepted replication pushes.
+	received map[string][]byte
+	srv      *httptest.Server
+}
+
+func newAEPeer(t *testing.T, keys ...string) *aePeer {
+	p := &aePeer{t: t, keys: keys, received: map[string][]byte{}}
+	p.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodGet && r.URL.Path == "/v1/store":
+			if r.URL.Query().Get("format") != "keys" {
+				http.Error(w, "want format=keys", http.StatusBadRequest)
+				return
+			}
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			for _, k := range p.keys {
+				fmt.Fprintln(w, k)
+			}
+		case r.Method == http.MethodPut && strings.HasPrefix(r.URL.Path, "/v1/replicate/"):
+			key := strings.TrimPrefix(r.URL.Path, "/v1/replicate/")
+			body, _ := io.ReadAll(r.Body)
+			sum := sha256.Sum256(body)
+			if got := r.Header.Get(DigestHeader); got != hex.EncodeToString(sum[:]) {
+				p.t.Errorf("replicate %s: digest header %q does not match body", key, got)
+				http.Error(w, "digest mismatch", http.StatusBadRequest)
+				return
+			}
+			p.mu.Lock()
+			p.received[key] = body
+			p.keys = append(p.keys, key)
+			p.mu.Unlock()
+			w.WriteHeader(http.StatusCreated)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+func (p *aePeer) got() map[string][]byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string][]byte, len(p.received))
+	for k, v := range p.received {
+		out[k] = v
+	}
+	return out
+}
+
+// newAETestCluster builds a 3-node cluster where n2 and n3 are fake
+// peers and self (n1) sources blobs from the given map.
+func newAETestCluster(t *testing.T, blobs map[string][]byte, p2, p3 *aePeer, opts Config) *Cluster {
+	t.Helper()
+	cfg := Config{
+		SelfID: "n1",
+		Peers: []Peer{
+			{ID: "n1", URL: "http://127.0.0.1:1"},
+			{ID: "n2", URL: p2.srv.URL},
+			{ID: "n3", URL: p3.srv.URL},
+		},
+		ReplicationFactor:      opts.ReplicationFactor,
+		HealthInterval:         time.Hour,
+		AntiEntropyMaxPerSweep: opts.AntiEntropyMaxPerSweep,
+		AntiEntropyPause:       time.Millisecond,
+		Logf:                   t.Logf,
+	}
+	if cfg.ReplicationFactor == 0 {
+		cfg.ReplicationFactor = 3 // every peer replicates every key
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetAntiEntropySource(
+		func() []string {
+			keys := make([]string, 0, len(blobs))
+			for k := range blobs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			return keys
+		},
+		func(key string) ([]byte, bool) {
+			b, ok := blobs[key]
+			return b, ok
+		},
+	)
+	return c
+}
+
+// TestAntiEntropySweepRepairs: keys held locally but missing on a
+// replica are re-pushed, digest-authenticated; keys the peer already
+// holds are not re-sent; stats and the hook observe the sweep.
+func TestAntiEntropySweepRepairs(t *testing.T) {
+	blobs := map[string][]byte{
+		"aaa": []byte("payload-a"),
+		"bbb": []byte("payload-b"),
+		"ccc": []byte("payload-c"),
+	}
+	p2 := newAEPeer(t, "bbb") // holds bbb already
+	p3 := newAEPeer(t)        // holds nothing
+	c := newAETestCluster(t, blobs, p2, p3, Config{})
+
+	var hooked AntiEntropySweep
+	c.SetAntiEntropyHook(func(sw AntiEntropySweep) { hooked = sw })
+
+	sw := c.AntiEntropySweepNow()
+	if sw.Peers != 2 {
+		t.Fatalf("peers swept = %d, want 2", sw.Peers)
+	}
+	if sw.Repaired != 5 { // 2 to p2 + 3 to p3
+		t.Fatalf("repaired = %d, want 5", sw.Repaired)
+	}
+	if sw.Truncated {
+		t.Fatal("sweep truncated with a generous budget")
+	}
+	for key, want := range blobs {
+		for name, p := range map[string]*aePeer{"n2": p2, "n3": p3} {
+			if name == "n2" && key == "bbb" {
+				continue // already held; must not be re-pushed
+			}
+			got, ok := p.got()[key]
+			if !ok || string(got) != string(want) {
+				t.Fatalf("peer %s: key %s not repaired (got %q)", name, key, got)
+			}
+		}
+	}
+	if _, resent := p2.got()["bbb"]; resent {
+		t.Fatal("key the peer already held was re-pushed")
+	}
+	st := c.AntiEntropyStats()
+	if st.Sweeps != 1 || st.Repaired != 5 || st.Bytes == 0 || st.LastSweepUnix == 0 {
+		t.Fatalf("stats = %+v, want 1 sweep, 5 repaired, bytes and timestamp set", st)
+	}
+	if hooked.Repaired != 5 || hooked.Duration <= 0 {
+		t.Fatalf("hook observed %+v", hooked)
+	}
+
+	// A second sweep finds everything converged: nothing to repair.
+	sw2 := c.AntiEntropySweepNow()
+	if sw2.Repaired != 0 || sw2.Missing != 0 {
+		t.Fatalf("post-convergence sweep repaired %d missing %d, want 0 and 0", sw2.Repaired, sw2.Missing)
+	}
+}
+
+// TestAntiEntropySkipsDegradedAndDownPeers: degraded peers are
+// memory-only and down peers unreachable — neither is swept.
+func TestAntiEntropySkipsDegradedAndDownPeers(t *testing.T) {
+	blobs := map[string][]byte{"aaa": []byte("x")}
+	p2 := newAEPeer(t)
+	p3 := newAEPeer(t)
+	c := newAETestCluster(t, blobs, p2, p3, Config{})
+	c.setState("n2", StateDegraded)
+	c.setState("n3", StateDown)
+	sw := c.AntiEntropySweepNow()
+	if sw.Peers != 0 || sw.Repaired != 0 {
+		t.Fatalf("sweep touched %d peers, repaired %d; want 0 and 0", sw.Peers, sw.Repaired)
+	}
+	if len(p2.got())+len(p3.got()) != 0 {
+		t.Fatal("unhealthy peer received a repair push")
+	}
+}
+
+// TestAntiEntropySkipsWhenSourceUnavailable: a nil key listing (the
+// local store is degraded) skips the sweep entirely.
+func TestAntiEntropySkipsWhenSourceUnavailable(t *testing.T) {
+	p2 := newAEPeer(t)
+	p3 := newAEPeer(t)
+	c := newAETestCluster(t, nil, p2, p3, Config{})
+	c.SetAntiEntropySource(func() []string { return nil }, nil)
+	sw := c.AntiEntropySweepNow()
+	if sw.Peers != 0 {
+		t.Fatalf("unavailable source swept %d peers, want 0", sw.Peers)
+	}
+	if c.AntiEntropyStats().Sweeps != 0 {
+		t.Fatal("skipped sweep counted as completed")
+	}
+}
+
+// TestAntiEntropyBudgetAndCursorResume: a sweep that exhausts its
+// rate-limit budget is truncated, and the next sweep resumes from the
+// cursor instead of re-pushing the same prefix — converging in
+// ceil(missing/budget) sweeps.
+func TestAntiEntropyBudgetAndCursorResume(t *testing.T) {
+	blobs := map[string][]byte{}
+	for i := 0; i < 5; i++ {
+		blobs[fmt.Sprintf("key-%d", i)] = []byte{byte(i)}
+	}
+	p2 := newAEPeer(t)
+	p3 := newAEPeer(t)
+	c := newAETestCluster(t, blobs, p2, p3, Config{AntiEntropyMaxPerSweep: 3})
+
+	sw1 := c.AntiEntropySweepNow()
+	if !sw1.Truncated || sw1.Repaired != 3 {
+		t.Fatalf("first sweep repaired %d truncated %v, want 3 and true", sw1.Repaired, sw1.Truncated)
+	}
+	total := sw1.Repaired
+	for i := 0; i < 4 && total < 10; i++ {
+		total += c.AntiEntropySweepNow().Repaired
+	}
+	if total != 10 { // 5 keys x 2 peers
+		t.Fatalf("repaired %d pushes across sweeps, want 10", total)
+	}
+	for _, p := range []*aePeer{p2, p3} {
+		if len(p.got()) != 5 {
+			t.Fatalf("peer holds %d keys after convergence, want 5", len(p.got()))
+		}
+	}
+	// Fully converged: the cursor map must be empty again.
+	c.ae.mu.Lock()
+	cursors := len(c.ae.cursor)
+	c.ae.mu.Unlock()
+	if cursors != 0 {
+		t.Fatalf("%d stale cursors after convergence", cursors)
+	}
+}
+
+// TestAntiEntropyRespectsReplicaSet: with RF < cluster size, keys are
+// only repaired onto peers in the key's rendezvous replica set.
+func TestAntiEntropyRespectsReplicaSet(t *testing.T) {
+	blobs := map[string][]byte{}
+	for i := 0; i < 40; i++ {
+		blobs[fmt.Sprintf("%064x", i)] = []byte{byte(i)}
+	}
+	p2 := newAEPeer(t)
+	p3 := newAEPeer(t)
+	c := newAETestCluster(t, blobs, p2, p3, Config{ReplicationFactor: 2})
+	c.AntiEntropySweepNow()
+	for name, p := range map[string]*aePeer{"n2": p2, "n3": p3} {
+		for key := range p.got() {
+			if !c.inReplicaSet(name, key) {
+				t.Fatalf("peer %s received %s outside its replica set", name, key)
+			}
+		}
+	}
+	// Every key must have landed on every in-set peer.
+	for key := range blobs {
+		for name, p := range map[string]*aePeer{"n2": p2, "n3": p3} {
+			if c.inReplicaSet(name, key) {
+				if _, ok := p.got()[key]; !ok {
+					t.Fatalf("replica-set peer %s missing %s after sweep", name, key)
+				}
+			}
+		}
+	}
+}
+
+// TestPushSkipsDownPeer (satellite): a queued replication push whose
+// target went down between enqueue and drain is short-circuited — no
+// HTTP attempt, no retry budget burned, counted as skipped for
+// anti-entropy to repair later.
+func TestPushSkipsDownPeer(t *testing.T) {
+	attempts := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		w.WriteHeader(http.StatusCreated)
+	}))
+	defer srv.Close()
+	c := newTestCluster(t, "n1", []Peer{
+		{ID: "n1", URL: "http://127.0.0.1:1"},
+		{ID: "n2", URL: srv.URL},
+	}, 2)
+	c.setState("n2", StateDown)
+	var hookErr error
+	c.SetReplicateHook(func(peer, key string, lag, dur time.Duration, err error) { hookErr = err })
+	c.repl.push(replItem{key: "k", data: []byte("v"), peer: c.peers[1], enqueued: time.Now()})
+	if attempts != 0 {
+		t.Fatalf("push to down peer made %d HTTP attempts, want 0", attempts)
+	}
+	st := c.ReplicationStats()
+	if st.Skipped != 1 || st.Pushed != 0 || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want exactly one skip", st)
+	}
+	if !reflect.DeepEqual(hookErr, ErrPeerDown) {
+		t.Fatalf("hook error = %v, want ErrPeerDown", hookErr)
+	}
+}
+
+// TestRetrierSkip: the Skip check aborts the remaining budget between
+// attempts.
+func TestRetrierSkip(t *testing.T) {
+	attempts := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		w.WriteHeader(http.StatusServiceUnavailable) // always retryable
+	}))
+	defer srv.Close()
+	calls := 0
+	rt := &Retrier{
+		Max:   5,
+		Base:  time.Millisecond,
+		Sleep: func(time.Duration) {},
+		Skip: func() error {
+			calls++
+			if calls > 2 {
+				return ErrPeerDown
+			}
+			return nil
+		},
+	}
+	_, err := rt.Do("test", func() (*http.Response, error) {
+		return http.Get(srv.URL)
+	})
+	if err == nil || !strings.Contains(err.Error(), ErrPeerDown.Error()) {
+		t.Fatalf("err = %v, want ErrPeerDown", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("made %d attempts before skip, want 2", attempts)
+	}
+}
+
+// TestDropHook (satellite): a full queue fires the drop hook with peer
+// and key so the server can export the labeled counter.
+func TestDropHook(t *testing.T) {
+	c, err := New(Config{
+		SelfID: "n1",
+		Peers: []Peer{
+			{ID: "n1", URL: "http://127.0.0.1:1"},
+			{ID: "n2", URL: "http://127.0.0.1:2"},
+		},
+		ReplicationFactor: 2,
+		HealthInterval:    time.Hour,
+		QueueDepth:        1,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type drop struct{ peer, key string }
+	var drops []drop
+	c.SetDropHook(func(peer, key string) { drops = append(drops, drop{peer, key}) })
+	// The worker is not running, so the second enqueue overflows.
+	c.Replicate("key-1", []byte("a"))
+	c.Replicate("key-2", []byte("b"))
+	if len(drops) != 1 || drops[0].key != "key-2" || drops[0].peer != "n2" {
+		t.Fatalf("drops = %+v, want one drop of key-2 -> n2", drops)
+	}
+	if st := c.ReplicationStats(); st.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", st.Dropped)
+	}
+}
+
+// BenchmarkAntiEntropyDiff is the digest-set computation gate: the
+// sorted-set difference over a full key census must stay allocation-free
+// at steady state (the bench_json.sh budget).
+func BenchmarkAntiEntropyDiff(b *testing.B) {
+	const n = 4096
+	local := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		local = append(local, fmt.Sprintf("%064x", i))
+	}
+	remote := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if i%8 != 0 { // the peer is missing every 8th key
+			remote = append(remote, local[i])
+		}
+	}
+	out := make([]string, 0, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = MissingKeys(local, remote, out)
+	}
+	if len(out) != n/8 {
+		b.Fatalf("diff = %d keys, want %d", len(out), n/8)
+	}
+}

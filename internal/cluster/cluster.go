@@ -85,6 +85,15 @@ type Config struct {
 	HealthInterval time.Duration
 	// QueueDepth bounds the write-behind replication queue. 0 means 256.
 	QueueDepth int
+	// AntiEntropyInterval is the period of the anti-entropy repair sweep
+	// (jittered ±25% at runtime). 0 disables the sweeper; sweeps can
+	// still be driven explicitly via AntiEntropySweepNow.
+	AntiEntropyInterval time.Duration
+	// AntiEntropyMaxPerSweep caps repairs pushed in one sweep, so repair
+	// traffic never crowds out serving. 0 means 128.
+	AntiEntropyMaxPerSweep int
+	// AntiEntropyPause is slept between repair pushes. 0 means 10ms.
+	AntiEntropyPause time.Duration
 	// Client is the HTTP client for peer traffic. nil means a client
 	// with a 10s timeout.
 	Client *http.Client
@@ -108,6 +117,7 @@ type Cluster struct {
 	stateHook atomic.Value             // func(id string, st State)
 
 	repl *replicator
+	ae   *antiEntropy
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -193,14 +203,20 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	c.repl = newReplicator(c, depth)
+	c.ae = newAntiEntropy(c, cfg.AntiEntropyInterval, cfg.AntiEntropyMaxPerSweep, cfg.AntiEntropyPause)
 	return c, nil
 }
 
-// Start launches the health poller and the replication worker.
+// Start launches the health poller, the replication worker, and (when
+// configured with an interval) the anti-entropy sweeper.
 func (c *Cluster) Start() {
 	c.done.Add(2)
 	go c.pollLoop()
 	go c.repl.run()
+	if c.ae.interval > 0 {
+		c.done.Add(1)
+		go c.ae.run()
+	}
 }
 
 // Close stops background work and waits for it to exit.

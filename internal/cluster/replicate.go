@@ -17,6 +17,12 @@ import (
 // key.
 var ErrNotFound = errors.New("cluster: blob not found on any peer")
 
+// ErrPeerDown short-circuits a replication push whose target the health
+// poller has already marked down: retrying into a dead peer burns the
+// backoff budget for nothing, and the anti-entropy sweeper repairs the
+// key once the peer returns.
+var ErrPeerDown = errors.New("cluster: peer is down")
+
 // maxBlobBytes bounds a single replicated blob (result documents are a
 // few KB; trace blobs are bounded by the server's MaxTraceBytes, well
 // under this).
@@ -27,6 +33,7 @@ type ReplicationStats struct {
 	Pushed  int64 // blobs acknowledged by a replica
 	Errors  int64 // pushes that failed after retries
 	Dropped int64 // enqueues rejected because the queue was full
+	Skipped int64 // pushes short-circuited because the peer was down
 	Depth   int   // items currently queued
 }
 
@@ -47,8 +54,10 @@ type replicator struct {
 	pushed  atomic.Int64
 	errs    atomic.Int64
 	dropped atomic.Int64
+	skipped atomic.Int64
 
-	hook atomic.Value // func(peer, key string, lag, dur time.Duration, err error)
+	hook     atomic.Value // func(peer, key string, lag, dur time.Duration, err error)
+	dropHook atomic.Value // func(peer, key string)
 }
 
 func newReplicator(c *Cluster, depth int) *replicator {
@@ -71,7 +80,10 @@ func (c *Cluster) Replicate(key string, data []byte) int {
 			n++
 		default:
 			r.dropped.Add(1)
-			c.logf("cluster: replication queue full, dropping %s -> %s", key, p.ID)
+			c.logf("cluster: warning: replication queue full, dropping %s -> %s (anti-entropy will repair)", key, p.ID)
+			if fn, ok := r.dropHook.Load().(func(string, string)); ok && fn != nil {
+				fn(p.ID, key)
+			}
 		}
 	}
 	return n
@@ -84,8 +96,17 @@ func (c *Cluster) ReplicationStats() ReplicationStats {
 		Pushed:  r.pushed.Load(),
 		Errors:  r.errs.Load(),
 		Dropped: r.dropped.Load(),
+		Skipped: r.skipped.Load(),
 		Depth:   len(r.queue),
 	}
+}
+
+// SetDropHook installs fn, called (from the enqueuing goroutine) every
+// time a replication enqueue is dropped because the queue is full.
+// Used to export the per-peer drop counter so anti-entropy's repair of
+// those drops is observable end to end.
+func (c *Cluster) SetDropHook(fn func(peer, key string)) {
+	c.repl.dropHook.Store(fn)
 }
 
 // QueueDepth returns the current replication queue length.
@@ -114,11 +135,47 @@ func (r *replicator) run() {
 func (r *replicator) push(it replItem) {
 	start := time.Now()
 	lag := start.Sub(it.enqueued)
-	sum := sha256.Sum256(it.data)
-	rt := &Retrier{Max: 2, Base: 50 * time.Millisecond, Logf: r.c.logf}
-	resp, err := rt.Do("replicate "+it.key+" -> "+it.peer.ID, func() (*http.Response, error) {
+	var err error
+	if r.c.State(it.peer.ID) == StateDown {
+		// The peer went down between enqueue and drain (ReplicaTargets
+		// never enqueues to a down peer): don't burn the retry budget —
+		// anti-entropy repairs the key when the peer returns.
+		r.skipped.Add(1)
+		r.c.logf("cluster: skipping replication %s -> %s: peer is down (anti-entropy will repair)", it.key, it.peer.ID)
+		err = ErrPeerDown
+	} else if err = r.pushBlob(it.key, it.data, it.peer); err != nil {
+		if errors.Is(err, ErrPeerDown) {
+			r.skipped.Add(1)
+			r.c.logf("cluster: %v", err)
+		} else {
+			r.errs.Add(1)
+			r.c.logf("cluster: %v", err)
+			r.c.ReportFailure(it.peer.ID)
+		}
+	} else {
+		r.pushed.Add(1)
+	}
+	if fn, ok := r.hook.Load().(func(string, string, time.Duration, time.Duration, error)); ok && fn != nil {
+		fn(it.peer.ID, it.key, lag, time.Since(start), err)
+	}
+}
+
+// pushBlob PUTs one blob to one peer through the digest-authenticated
+// replication endpoint, retrying transient failures — but bailing out
+// between attempts if the health poller marks the peer down mid-backoff.
+// Shared by the write-behind queue worker and the anti-entropy sweeper.
+func (r *replicator) pushBlob(key string, data []byte, p Peer) error {
+	sum := sha256.Sum256(data)
+	rt := &Retrier{Max: 2, Base: 50 * time.Millisecond, Logf: r.c.logf,
+		Skip: func() error {
+			if r.c.State(p.ID) == StateDown {
+				return ErrPeerDown
+			}
+			return nil
+		}}
+	resp, err := rt.Do("replicate "+key+" -> "+p.ID, func() (*http.Response, error) {
 		req, err := http.NewRequest(http.MethodPut,
-			it.peer.URL+"/v1/replicate/"+it.key, bytes.NewReader(it.data))
+			p.URL+"/v1/replicate/"+key, bytes.NewReader(data))
 		if err != nil {
 			return nil, err
 		}
@@ -127,24 +184,16 @@ func (r *replicator) push(it replItem) {
 		req.Header.Set(ForwardHeader, r.c.self.ID)
 		return r.c.client.Do(req)
 	})
-	if err == nil {
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated &&
-			resp.StatusCode != http.StatusNoContent {
-			err = fmt.Errorf("replicate %s -> %s: %s", it.key, it.peer.ID, resp.Status)
-		}
-	}
 	if err != nil {
-		r.errs.Add(1)
-		r.c.logf("cluster: %v", err)
-		r.c.ReportFailure(it.peer.ID)
-	} else {
-		r.pushed.Add(1)
+		return err
 	}
-	if fn, ok := r.hook.Load().(func(string, string, time.Duration, time.Duration, error)); ok && fn != nil {
-		fn(it.peer.ID, it.key, lag, time.Since(start), err)
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated &&
+		resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("replicate %s -> %s: %s", key, p.ID, resp.Status)
 	}
+	return nil
 }
 
 // FetchBlob asks peers for a blob this node does not hold, trying every

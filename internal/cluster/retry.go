@@ -24,6 +24,11 @@ type Retrier struct {
 	Base  time.Duration                    // base of the exponential backoff window
 	Sleep func(time.Duration)              // nil = time.Sleep
 	Logf  func(format string, args ...any) // nil = silent
+	// Skip, when set, is consulted before every attempt; a non-nil error
+	// abandons the remaining budget and is returned immediately. The
+	// replication path uses it to stop retrying into a peer the health
+	// poller marked down mid-backoff.
+	Skip func() error
 }
 
 // Retryable reports whether the status code signals "try again later".
@@ -79,6 +84,11 @@ func (r *Retrier) Do(what string, attempt func() (*http.Response, error)) (*http
 	}
 	var lastErr error
 	for i := 0; ; i++ {
+		if r.Skip != nil {
+			if err := r.Skip(); err != nil {
+				return nil, fmt.Errorf("%s: %w", what, err)
+			}
+		}
 		resp, err := attempt()
 		if err == nil && !Retryable(resp.StatusCode) {
 			return resp, nil

@@ -37,18 +37,25 @@ type FS interface {
 	MkdirAll(path string, perm os.FileMode) error
 	Create(name string) (File, error)
 	Open(name string) (File, error)
+	// OpenFile opens with explicit flags — the durable upload layer
+	// reopens recovered spools read-write without truncating them.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
 	Rename(oldpath, newpath string) error
 	Remove(name string) error
 	ReadDir(name string) ([]fs.DirEntry, error)
 	Stat(name string) (fs.FileInfo, error)
 }
 
-// File is the open-file surface: sequential read/write plus fsync.
+// File is the open-file surface: sequential read/write, fsync, and the
+// truncate/seek pair the upload layer's all-or-nothing append rollback
+// needs.
 type File interface {
 	io.Reader
 	io.Writer
 	io.Closer
+	io.Seeker
 	Sync() error
+	Truncate(size int64) error
 }
 
 // osFS is the passthrough FS.
@@ -60,29 +67,33 @@ func OS() FS { return osFS{} }
 func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
 func (osFS) Create(name string) (File, error)             { return os.Create(name) }
 func (osFS) Open(name string) (File, error)               { return os.Open(name) }
-func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
-func (osFS) Remove(name string) error                     { return os.Remove(name) }
-func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
-func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)      { return os.Stat(name) }
 
 // Op names an injectable filesystem operation.
 type Op string
 
 // The injectable operations.
 const (
-	OpMkdir   Op = "mkdir"
-	OpCreate  Op = "create"
-	OpOpen    Op = "open"
-	OpRead    Op = "read"
-	OpWrite   Op = "write"
-	OpSync    Op = "sync"
-	OpRename  Op = "rename"
-	OpRemove  Op = "remove"
-	OpReadDir Op = "readdir"
-	OpStat    Op = "stat"
+	OpMkdir    Op = "mkdir"
+	OpCreate   Op = "create"
+	OpOpen     Op = "open"
+	OpRead     Op = "read"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpReadDir  Op = "readdir"
+	OpStat     Op = "stat"
+	OpTruncate Op = "truncate"
 )
 
-var allOps = []Op{OpMkdir, OpCreate, OpOpen, OpRead, OpWrite, OpSync, OpRename, OpRemove, OpReadDir, OpStat}
+var allOps = []Op{OpMkdir, OpCreate, OpOpen, OpRead, OpWrite, OpSync, OpRename, OpRemove, OpReadDir, OpStat, OpTruncate}
 
 // Rule injects one fault. A rule matches when its Op's call counter
 // satisfies Nth (exactly the Nth call, 1-based) or Every (every K-th
@@ -274,6 +285,17 @@ func (i *Injector) Open(name string) (File, error) {
 	return &injectedFile{inj: i, f: f, name: name}, nil
 }
 
+func (i *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if r := i.check(OpOpen); r != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: r.Err}
+	}
+	f, err := i.fs.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{inj: i, f: f, name: name}, nil
+}
+
 func (i *Injector) Rename(oldpath, newpath string) error {
 	if r := i.check(OpRename); r != nil {
 		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: r.Err}
@@ -337,6 +359,20 @@ func (f *injectedFile) Sync() error {
 		return &os.PathError{Op: "sync", Path: f.name, Err: r.Err}
 	}
 	return f.f.Sync()
+}
+
+func (f *injectedFile) Truncate(size int64) error {
+	if r := f.inj.check(OpTruncate); r != nil {
+		return &os.PathError{Op: "truncate", Path: f.name, Err: r.Err}
+	}
+	return f.f.Truncate(size)
+}
+
+// Seek is passthrough: it only moves the file cursor, so there is no
+// interesting fault to inject (a failed seek would mask the write or
+// truncate fault a test actually cares about).
+func (f *injectedFile) Seek(offset int64, whence int) (int64, error) {
+	return f.f.Seek(offset, whence)
 }
 
 func (f *injectedFile) Close() error { return f.f.Close() }

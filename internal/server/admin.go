@@ -15,6 +15,9 @@ import (
 // node answers for its own disk.
 //
 //	GET    /v1/store           list held blobs (key, kind, size, last access)
+//	                           ?kind= filters; ?format=keys emits the
+//	                           compact one-key-per-line text census the
+//	                           anti-entropy digest-set exchange consumes
 //	GET    /v1/store/{key}     raw blob bytes, digest header attached
 //	DELETE /v1/store/{key}     evict a blob (disk and memory tiers)
 //	PUT    /v1/replicate/{key} accept a replicated blob, digest-checked
@@ -28,19 +31,49 @@ type storeEntryView struct {
 }
 
 // handleStoreList is GET /v1/store: every blob the durable tier holds,
-// most recently used first.
+// most recently used first. ?kind= restricts to one key kind
+// (result/trace/pair/schedule); ?format=keys switches to a plain-text
+// one-key-per-line listing — the compact census the anti-entropy
+// sweeper exchanges every period, cheap enough to serve per-peer
+// per-sweep without JSON encoding the metadata nobody asked for.
 func (s *Server) handleStoreList(w http.ResponseWriter, r *http.Request) {
 	if s.disk == nil {
 		httpError(w, http.StatusNotFound, errors.New("no durable store configured (-store)"))
 		return
 	}
+	kindFilter := r.URL.Query().Get("kind")
+	switch kindFilter {
+	case "", kindResult, kindTrace, kindPair, kindSchedule, "unknown":
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown kind %q", kindFilter))
+		return
+	}
 	ents := s.disk.Entries()
+	if r.URL.Query().Get("format") == "keys" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, e := range ents {
+			if kindFilter != "" {
+				kind, ok := storeKeyKind(e.Key)
+				if !ok {
+					kind = "unknown"
+				}
+				if kind != kindFilter {
+					continue
+				}
+			}
+			fmt.Fprintln(w, e.Key)
+		}
+		return
+	}
 	views := make([]storeEntryView, 0, len(ents))
 	var total int64
 	for _, e := range ents {
 		kind, ok := storeKeyKind(e.Key)
 		if !ok {
 			kind = "unknown"
+		}
+		if kindFilter != "" && kind != kindFilter {
+			continue
 		}
 		views = append(views, storeEntryView{
 			Key:        e.Key,

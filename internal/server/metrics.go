@@ -41,12 +41,13 @@ type serverMetrics struct {
 	uploadResumes *obs.Counter
 
 	// Cluster family; nil when the server runs single-node.
-	peerForwards      *obs.CounterVec
-	forwardErrors     *obs.Counter
-	peerHealth        *obs.GaugeVec
-	clusterFetches    *obs.Counter
-	replLag           *obs.Histogram
-	replicateReceived *obs.Counter // registered with the store family
+	peerForwards       *obs.CounterVec
+	forwardErrors      *obs.Counter
+	peerHealth         *obs.GaugeVec
+	clusterFetches     *obs.Counter
+	replicationDropped *obs.CounterVec
+	replLag            *obs.Histogram
+	replicateReceived  *obs.Counter // registered with the store family
 
 	queueWait *obs.Histogram
 	phase     *obs.HistogramVec
@@ -98,6 +99,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 		up := s.uploads
 		r.GaugeFunc("layoutd_upload_sessions", "Open resumable upload sessions.",
 			func() int64 { return int64(up.Len()) })
+		r.CounterFunc("layoutd_upload_sessions_recovered_total",
+			"Upload sessions recovered from a previous process by the startup scan.",
+			func() int64 { return int64(up.Recovered()) })
 	}
 
 	if s.disk != nil {
@@ -150,10 +154,25 @@ func newServerMetrics(s *Server) *serverMetrics {
 			func() int64 { return cl.ReplicationStats().Pushed })
 		r.CounterFunc("layoutd_replication_errors_total", "Replication pushes failed after retries.",
 			func() int64 { return cl.ReplicationStats().Errors })
-		r.CounterFunc("layoutd_replication_dropped_total", "Replication enqueues dropped (queue full).",
-			func() int64 { return cl.ReplicationStats().Dropped })
+		m.replicationDropped = r.CounterVec("layoutd_replication_dropped_total",
+			"Replication enqueues dropped (queue full), by target peer. Anti-entropy repairs these.", "peer")
+		r.CounterFunc("layoutd_replication_skipped_total",
+			"Replication pushes short-circuited because the target peer was down (anti-entropy repairs these).",
+			func() int64 { return cl.ReplicationStats().Skipped })
 		m.replLag = r.Histogram("layoutd_replication_lag_seconds",
 			"Queue wait between a blob's enqueue and its replication push.", nil)
+		r.CounterFunc("layoutd_antientropy_sweeps_total",
+			"Completed anti-entropy repair sweeps.",
+			func() int64 { return cl.AntiEntropyStats().Sweeps })
+		r.CounterFunc("layoutd_antientropy_repaired_total",
+			"Keys re-pushed to a replica that was missing them.",
+			func() int64 { return cl.AntiEntropyStats().Repaired })
+		r.CounterFunc("layoutd_antientropy_bytes_total",
+			"Payload bytes re-pushed by anti-entropy repair.",
+			func() int64 { return cl.AntiEntropyStats().Bytes })
+		r.GaugeFunc("layoutd_antientropy_last_sweep_seconds",
+			"Unix time of the last completed anti-entropy sweep (0 until the first).",
+			func() int64 { return cl.AntiEntropyStats().LastSweepUnix })
 	}
 
 	m.queueWait = r.Histogram("layoutd_queue_wait_seconds",

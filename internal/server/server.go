@@ -299,6 +299,45 @@ func New(cfg Config) *Server {
 			s.metrics.replLag.Observe(lag.Seconds())
 			s.metrics.phase.With("store.replicate").Observe(dur.Seconds())
 		})
+		// Initialize the per-peer drop series at 0 so dashboards and the
+		// chaos smoke can read them before the first drop.
+		for _, p := range cl.Peers() {
+			if p.ID != cl.SelfID() {
+				s.metrics.replicationDropped.With(p.ID).Add(0)
+			}
+		}
+		cl.SetDropHook(func(peer, key string) {
+			s.metrics.replicationDropped.With(peer).Inc()
+			s.logger.Warn("replication enqueue dropped; anti-entropy will repair",
+				"key", key, "peer", peer)
+		})
+		cl.SetAntiEntropyHook(func(sw cluster.AntiEntropySweep) {
+			s.metrics.phase.With("antientropy.sweep").Observe(sw.Duration.Seconds())
+			if sw.Repaired > 0 {
+				s.logger.Info("anti-entropy sweep repaired keys",
+					"repaired", sw.Repaired, "bytes", sw.Bytes,
+					"peers", sw.Peers, "truncated", sw.Truncated)
+			}
+		})
+		if s.disk != nil {
+			disk := s.disk
+			cl.SetAntiEntropySource(
+				func() []string {
+					if disk.State() != store.StateOK {
+						// Degraded: what memory holds is not durable here,
+						// so this node repairs nobody until its disk heals.
+						return nil
+					}
+					ents := disk.Entries()
+					keys := make([]string, len(ents))
+					for i, e := range ents {
+						keys[i] = e.Key
+					}
+					return keys
+				},
+				func(key string) ([]byte, bool) { return disk.Get(key) },
+			)
+		}
 		cl.Start()
 	}
 	s.pool.SetQueueWaitHook(func(wait time.Duration) {

@@ -31,10 +31,15 @@ import (
 // one node; the finalized job's result is content-addressed and
 // replicates like any other.
 
-// uploadView is the wire representation of an upload session.
+// uploadView is the wire representation of an upload session. SHA256 is
+// the digest of the durable prefix, so a client resuming after a daemon
+// (or client) crash can verify the bytes the server holds are the bytes
+// it sent; Recovered marks sessions adopted from a previous process.
 type uploadView struct {
-	ID     string `json:"id"`
-	Offset int64  `json:"offset"`
+	ID        string `json:"id"`
+	Offset    int64  `json:"offset"`
+	SHA256    string `json:"sha256,omitempty"`
+	Recovered bool   `json:"recovered,omitempty"`
 }
 
 func (s *Server) handleUploadCreate(w http.ResponseWriter, r *http.Request) {
@@ -58,7 +63,12 @@ func (s *Server) handleUploadStatus(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, errors.New("unknown upload"))
 		return
 	}
-	writeJSON(w, http.StatusOK, uploadView{ID: up.ID, Offset: up.Offset()})
+	writeJSON(w, http.StatusOK, uploadView{
+		ID:        up.ID,
+		Offset:    up.Offset(),
+		SHA256:    up.DigestHex(),
+		Recovered: up.Recovered,
+	})
 }
 
 func (s *Server) handleUploadPatch(w http.ResponseWriter, r *http.Request) {

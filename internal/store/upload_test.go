@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"codelayout/internal/fault"
 )
 
 // failAfter yields n bytes of payload then fails — a client that
@@ -200,28 +202,231 @@ func TestUploadSealedRejectsAppend(t *testing.T) {
 	}
 }
 
-// TestUploadsStartupSweep: part files from a dead process are deleted
-// when the manager comes up — sessions do not survive restarts.
-func TestUploadsStartupSweep(t *testing.T) {
+// TestUploadsRecoverAcrossRestart: a session abandoned by a dead
+// process (open spool + metadata, never sealed) is adopted by the next
+// process at the offset the dead one last acknowledged, and the client
+// finishes the upload to the exact logical bytes.
+func TestUploadsRecoverAcrossRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "uploads")
+	u1, err := NewUploads(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up1, err := u1.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := up1.Append(0, strings.NewReader("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	// SIGKILL: u1 is abandoned without Seal/Discard/Close.
+
+	u2, err := NewUploads(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2.Recovered() != 1 || u2.Len() != 1 {
+		t.Fatalf("recovered = %d sessions = %d, want 1 and 1", u2.Recovered(), u2.Len())
+	}
+	up2, ok := u2.Get(up1.ID)
+	if !ok {
+		t.Fatalf("session %s not recovered", up1.ID)
+	}
+	if !up2.Recovered {
+		t.Fatal("recovered session not flagged Recovered")
+	}
+	if up2.Offset() != 6 {
+		t.Fatalf("recovered offset = %d, want 6", up2.Offset())
+	}
+	// The 409 resync path: a client that lost track appends at a stale
+	// offset, learns the durable one, and converges.
+	cur, _, err := up2.Append(0, strings.NewReader("hello "))
+	if !errors.Is(err, ErrOffsetMismatch) {
+		t.Fatalf("stale append err = %v, want ErrOffsetMismatch", err)
+	}
+	if cur != 6 {
+		t.Fatalf("resync offset = %d, want 6", cur)
+	}
+	if _, _, err := up2.Append(6, strings.NewReader("world")); err != nil {
+		t.Fatal(err)
+	}
+	path, size, err := u2.Seal(up1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if size != 11 || string(got) != "hello world" {
+		t.Fatalf("sealed %d bytes %q, want 11 %q", size, got, "hello world")
+	}
+	if _, err := os.Stat(filepath.Join(dir, up1.ID+sessSuffix)); !os.IsNotExist(err) {
+		t.Fatal("session metadata survived seal")
+	}
+}
+
+// TestUploadsRecoverTruncatesUnacknowledgedTail: bytes fsynced to the
+// spool but never recorded in the metadata (a crash between the spool
+// sync and the metadata persist) are dropped at recovery — the offset a
+// client resumes from is exactly what it was last told.
+func TestUploadsRecoverTruncatesUnacknowledgedTail(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "uploads")
+	u1, err := NewUploads(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up1, _ := u1.Create()
+	if _, _, err := up1.Append(0, strings.NewReader("durable")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash window: extra spool bytes beyond the recorded
+	// offset.
+	f, err := os.OpenFile(filepath.Join(dir, up1.ID+partSuffix), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("torn-tail"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	u2, err := NewUploads(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up2, ok := u2.Get(up1.ID)
+	if !ok {
+		t.Fatal("session not recovered")
+	}
+	if up2.Offset() != 7 {
+		t.Fatalf("recovered offset = %d, want 7", up2.Offset())
+	}
+	fi, err := os.Stat(filepath.Join(dir, up1.ID+partSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 7 {
+		t.Fatalf("spool size after recovery = %d, want 7 (tail truncated)", fi.Size())
+	}
+}
+
+// TestUploadsStartupQuarantine: the startup scan quarantines what it
+// cannot prove — spools without metadata, metadata without spools,
+// checksum mismatches — deletes stray temp and dead stream spools, and
+// leaves unrelated files alone.
+func TestUploadsStartupQuarantine(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "uploads")
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	stray := filepath.Join(dir, "deadbeef"+partSuffix)
-	if err := os.WriteFile(stray, []byte("orphaned"), 0o644); err != nil {
+	write := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("orphanpart"+partSuffix, "orphaned")
+	write("orphanmeta"+sessSuffix, `{"id":"orphanmeta","offset":0,"sha256":""}`)
+	write("corrupt"+partSuffix, "xxxx")
+	write("corrupt"+sessSuffix, `{"id":"corrupt","offset":4,"sha256":"not-the-hash"}`)
+	write("junk"+sessSuffix+uploadTmpSuffix, "half-written")
+	write("stream-12345.cltr", "dead stream spool")
+	write("unrelated.txt", "keep")
+
+	u, err := NewUploads(dir, 0, 0)
+	if err != nil {
 		t.Fatal(err)
 	}
-	keep := filepath.Join(dir, "unrelated.txt")
-	if err := os.WriteFile(keep, []byte("keep"), 0o644); err != nil {
-		t.Fatal(err)
+	if u.Len() != 0 || u.Recovered() != 0 {
+		t.Fatalf("sessions = %d recovered = %d, want 0 and 0", u.Len(), u.Recovered())
 	}
-	if _, err := NewUploads(dir, 0, 0); err != nil {
-		t.Fatal(err)
+	for _, gone := range []string{
+		"orphanpart" + partSuffix, "orphanmeta" + sessSuffix,
+		"corrupt" + partSuffix, "corrupt" + sessSuffix,
+		"junk" + sessSuffix + uploadTmpSuffix, "stream-12345.cltr",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, gone)); !os.IsNotExist(err) {
+			t.Fatalf("%s survived the startup scan", gone)
+		}
 	}
-	if _, err := os.Stat(stray); !os.IsNotExist(err) {
-		t.Fatal("stray part file survived startup")
+	for _, q := range []string{
+		"orphanpart" + partSuffix, "orphanmeta" + sessSuffix,
+		"corrupt" + partSuffix, "corrupt" + sessSuffix,
+	} {
+		if _, err := os.Stat(filepath.Join(dir, quarantineDir, q)); err != nil {
+			t.Fatalf("%s not quarantined: %v", q, err)
+		}
 	}
-	if _, err := os.Stat(keep); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, "unrelated.txt")); err != nil {
 		t.Fatal("unrelated file swept")
+	}
+}
+
+// TestUploadAppendFaultRollbackAndRestart is the end-to-end crash
+// story: an ENOSPC partial write mid-append rolls back to the durable
+// prefix even when the rollback truncate itself fails, a simulated
+// restart recovers the offset of the last fsync'd prefix, and the 409
+// resync converges to the exact logical bytes.
+func TestUploadAppendFaultRollbackAndRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "uploads")
+	inj := fault.NewInjector(fault.OS())
+	u1, err := OpenUploads(UploadsConfig{Dir: dir, FS: inj, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up1, err := u1.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := up1.Append(0, strings.NewReader("hello ")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The disk fills: the next spool write delivers half the buffer and
+	// fails with ENOSPC, and the rollback truncate fails too — the torn
+	// bytes stay on disk, only the metadata knows the truth.
+	rules, err := fault.ParseSpec("write:every=1,partial;truncate:every=1,err=EIO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.SetRules(rules...)
+	cur, _, err := up1.Append(6, strings.NewReader("world"))
+	if err == nil {
+		t.Fatal("append under ENOSPC succeeded")
+	}
+	if cur != 6 {
+		t.Fatalf("offset after failed append = %d, want 6 (rolled back)", cur)
+	}
+	inj.SetRules()
+
+	// SIGKILL + restart over the same directory.
+	u2, err := NewUploads(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up2, ok := u2.Get(up1.ID)
+	if !ok {
+		t.Fatal("session not recovered after fault + restart")
+	}
+	if up2.Offset() != 6 {
+		t.Fatalf("recovered offset = %d, want 6 (last fsync'd prefix)", up2.Offset())
+	}
+	// 409 resync: the client retries at its stale idea of the offset,
+	// learns the durable one, and converges.
+	cur, _, err = up2.Append(11, strings.NewReader("world"))
+	if !errors.Is(err, ErrOffsetMismatch) {
+		t.Fatalf("stale append err = %v, want ErrOffsetMismatch", err)
+	}
+	if cur != 6 {
+		t.Fatalf("resync offset = %d, want 6", cur)
+	}
+	if _, _, err := up2.Append(6, strings.NewReader("world")); err != nil {
+		t.Fatal(err)
+	}
+	path, size, err := u2.Seal(up1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if size != 11 || string(got) != "hello world" {
+		t.Fatalf("sealed %d bytes %q, want 11 %q", size, got, "hello world")
 	}
 }

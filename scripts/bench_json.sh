@@ -17,15 +17,17 @@
 # Plain shell + awk on `go test -bench` output: no external dependencies.
 set -eu
 
-OUT_DEFAULT=BENCH_PR8.json
+OUT_DEFAULT=BENCH_PR9.json
 BENCHTIME=${BENCHTIME:-3x}
 
 # The kernel benchmarks the harness tracks, one per analysis subsystem
-# plus the end-to-end worker sweeps in the root package and the
+# plus the end-to-end worker sweeps in the root package, the
 # observability hot paths (span start/end, counter, histogram), which
-# ride on every instrumented kernel and must stay allocation-free.
-BENCH_RE='^(BenchmarkBuildHierarchyWorkers|BenchmarkTRGBuildWorkers|BenchmarkFootprintCurveWorkers|BenchmarkCorunBatchWorkers|BenchmarkShardPairHists|BenchmarkBuildHierarchyArena|BenchmarkBuildShard|BenchmarkBuildArena|BenchmarkWindowFootprintScratch|BenchmarkSpanStartEnd|BenchmarkSpanStartEndDropped|BenchmarkRegistryCounterInc|BenchmarkRegistryHistogramObserve|BenchmarkScheduleSolve|BenchmarkStreamDecode|BenchmarkStreamFeed)$'
-PKGS='. ./internal/affinity ./internal/trg ./internal/footprint ./internal/obs ./internal/schedule ./internal/trace'
+# ride on every instrumented kernel and must stay allocation-free, and
+# the anti-entropy digest-set diff, which runs every sweep on every node
+# and must reuse its caller's buffer.
+BENCH_RE='^(BenchmarkBuildHierarchyWorkers|BenchmarkTRGBuildWorkers|BenchmarkFootprintCurveWorkers|BenchmarkCorunBatchWorkers|BenchmarkShardPairHists|BenchmarkBuildHierarchyArena|BenchmarkBuildShard|BenchmarkBuildArena|BenchmarkWindowFootprintScratch|BenchmarkSpanStartEnd|BenchmarkSpanStartEndDropped|BenchmarkRegistryCounterInc|BenchmarkRegistryHistogramObserve|BenchmarkScheduleSolve|BenchmarkStreamDecode|BenchmarkStreamFeed|BenchmarkAntiEntropyDiff)$'
+PKGS='. ./internal/affinity ./internal/trg ./internal/footprint ./internal/obs ./internal/schedule ./internal/trace ./internal/cluster'
 
 run() {
     out=${1:-$OUT_DEFAULT}
