@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-json-ci smoke-serve smoke-durable smoke-schedule smoke-cluster smoke-stream smoke-chaos ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-json-ci smoke-serve smoke-durable smoke-schedule smoke-cluster smoke-stream smoke-chaos smoke-obs ci
 
 # Allocation budget for the CI regression gate: the per-window affinity
 # analysis (serial path) must stay under this allocs/op. The committed
@@ -26,6 +26,12 @@ STREAM_FEED_ALLOC_BUDGET ?= 24000
 # The anti-entropy digest-set diff runs every sweep on every node and
 # reuses its caller's buffer: zero allocations, no headroom needed.
 ANTIENTROPY_DIFF_ALLOC_BUDGET ?= 0
+
+# The runtime-telemetry sampler ticks for the process lifetime; its
+# sample buffer is reused so the steady state is zero allocations, but
+# runtime/metrics may grow a histogram bucket slice on a fresh
+# Go release — small headroom for that, none for real regressions.
+RUNTIME_TICK_ALLOC_BUDGET ?= 8
 
 all: build
 
@@ -57,20 +63,24 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Bench-regression harness: run the kernel benchmarks with -benchmem,
-# write BENCH_PR9.json (ns/op, B/op, allocs/op per benchmark), and gate
-# on the allocation budgets. BENCH_PR3.json is the pre-streaming
-# baseline, kept for comparison.
+# write BENCH_PR10.json (ns/op, B/op, allocs/op per benchmark), and gate
+# on the allocation budgets. BENCH_PR3.json (pre-streaming) and
+# BENCH_PR9.json (pre-observability-plane) are earlier baselines, kept
+# for comparison.
 bench-json:
-	sh scripts/bench_json.sh run BENCH_PR9.json
-	sh scripts/bench_json.sh check BENCH_PR9.json 'BuildHierarchyWorkers/workers=1' $(BENCH_ALLOC_BUDGET)
-	sh scripts/bench_json.sh check BENCH_PR9.json 'SpanStartEnd' 0
-	sh scripts/bench_json.sh check BENCH_PR9.json 'RegistryCounterInc' 0
-	sh scripts/bench_json.sh check BENCH_PR9.json 'RegistryHistogramObserve' 0
-	sh scripts/bench_json.sh check BENCH_PR9.json 'CorunBatchWorkers/workers=1' $(CORUN_ALLOC_BUDGET)
-	sh scripts/bench_json.sh check BENCH_PR9.json 'ScheduleSolve' $(SCHEDULE_ALLOC_BUDGET)
-	sh scripts/bench_json.sh check BENCH_PR9.json 'StreamDecode' $(STREAM_DECODE_ALLOC_BUDGET)
-	sh scripts/bench_json.sh check BENCH_PR9.json 'StreamFeed' $(STREAM_FEED_ALLOC_BUDGET)
-	sh scripts/bench_json.sh check BENCH_PR9.json 'AntiEntropyDiff' $(ANTIENTROPY_DIFF_ALLOC_BUDGET)
+	sh scripts/bench_json.sh run BENCH_PR10.json
+	sh scripts/bench_json.sh check BENCH_PR10.json 'BuildHierarchyWorkers/workers=1' $(BENCH_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check BENCH_PR10.json 'SpanStartEnd' 0
+	sh scripts/bench_json.sh check BENCH_PR10.json 'RegistryCounterInc' 0
+	sh scripts/bench_json.sh check BENCH_PR10.json 'RegistryHistogramObserve' 0
+	sh scripts/bench_json.sh check BENCH_PR10.json 'TraceparentParse' 0
+	sh scripts/bench_json.sh check BENCH_PR10.json 'TraceparentFormat' 0
+	sh scripts/bench_json.sh check BENCH_PR10.json 'RuntimeSamplerTick' $(RUNTIME_TICK_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check BENCH_PR10.json 'CorunBatchWorkers/workers=1' $(CORUN_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check BENCH_PR10.json 'ScheduleSolve' $(SCHEDULE_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check BENCH_PR10.json 'StreamDecode' $(STREAM_DECODE_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check BENCH_PR10.json 'StreamFeed' $(STREAM_FEED_ALLOC_BUDGET)
+	sh scripts/bench_json.sh check BENCH_PR10.json 'AntiEntropyDiff' $(ANTIENTROPY_DIFF_ALLOC_BUDGET)
 
 # End-to-end service smoke: start layoutd, submit a recorded trace via
 # layoutctl, assert a completed result and a cache hit on resubmission,
@@ -95,6 +105,9 @@ bench-json-ci:
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'SpanStartEnd' 0
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'RegistryCounterInc' 0
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'RegistryHistogramObserve' 0
+	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'TraceparentParse' 0
+	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'TraceparentFormat' 0
+	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'RuntimeSamplerTick' $(RUNTIME_TICK_ALLOC_BUDGET)
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'CorunBatchWorkers/workers=1' $(CORUN_ALLOC_BUDGET)
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'ScheduleSolve' $(SCHEDULE_ALLOC_BUDGET)
 	sh scripts/bench_json.sh check $(or $(TMPDIR),/tmp)/bench-ci.json 'StreamDecode' $(STREAM_DECODE_ALLOC_BUDGET)
@@ -130,4 +143,13 @@ smoke-stream:
 smoke-chaos:
 	sh scripts/smoke_chaos.sh
 
-ci: build vet fmt-check test race bench-smoke bench-json-ci smoke-serve smoke-durable smoke-schedule smoke-cluster smoke-stream smoke-chaos
+# Observability smoke: submit through a non-owner with an injected W3C
+# traceparent header and require one merged cross-node waterfall under
+# the caller's trace ID; federate /v1/cluster/metrics through
+# `layoutctl -top` (lint-gated), tabulate every endpoint with
+# `layoutctl -health -cluster`, and require the /v1/debug/events ring to
+# record a SIGKILL'd peer going down and coming back.
+smoke-obs:
+	sh scripts/smoke_obs.sh
+
+ci: build vet fmt-check test race bench-smoke bench-json-ci smoke-serve smoke-durable smoke-schedule smoke-cluster smoke-stream smoke-chaos smoke-obs

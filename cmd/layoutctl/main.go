@@ -45,11 +45,14 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"codelayout/internal/cluster"
+	"codelayout/internal/obs"
 	"codelayout/internal/textplot"
 )
 
@@ -77,7 +80,8 @@ func main() {
 	domains := flag.Int("domains", 0, "shared-cache domains in the topology (with -schedule)")
 	slots := flag.Int("slots", 0, "cores per shared-cache domain (with -schedule)")
 	cacheGeom := flag.String("cache", "", "cache geometry sizeBytes/assoc/lineBytes, e.g. 32768/4/64 (with -corun/-schedule)")
-	health := flag.Bool("health", false, "print the server's /healthz document (node identity, build, degraded reason)")
+	health := flag.Bool("health", false, "print the server's /healthz document (node identity, build, degraded reason); with -cluster, probe and tabulate every endpoint")
+	top := flag.Bool("top", false, "fleet summary from /v1/cluster/metrics: per-node health, queue, inflight, replication lag, repairs")
 	storeList := flag.Bool("store-list", false, "list the node's durable store contents (key, kind, size, last access)")
 	storeKind := flag.String("store-kind", "", "restrict -store-list to one kind: result, trace, pair, or schedule")
 	clusterList := flag.String("cluster", "", "comma-separated layoutd base URLs; the first live one overrides -addr")
@@ -97,6 +101,13 @@ Exit codes:
 
 	r := &retrier{Max: *retries, Base: *retryBase, Logf: log.Printf}
 	base := strings.TrimRight(*addr, "/")
+	if *health && *clusterList != "" {
+		// Probe every configured endpoint, not just the first live one.
+		if err := doClusterHealth(strings.Split(*clusterList, ","), *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *clusterList != "" {
 		picked, err := pickEndpoint(strings.Split(*clusterList, ","))
 		if err != nil {
@@ -108,6 +119,8 @@ Exit codes:
 	switch {
 	case *health:
 		err = doHealth(r, base, *jsonOut)
+	case *top:
+		err = doTop(r, base, *jsonOut)
 	case *storeList:
 		err = doStoreList(r, base, *storeKind, *jsonOut)
 	case *submit != "":
@@ -391,12 +404,16 @@ func doUpload(r *retrier, base, path, prog, opt string, prune int, chunkSize int
 }
 
 // traceView mirrors the server's span-timeline wire format, loosely.
+// Nodes and per-span node attribution appear on cluster-assembled
+// documents (a job traced through a forwarding node).
 type traceView struct {
-	JobID   string `json:"job_id"`
-	TraceID string `json:"trace_id"`
-	Status  string `json:"status"`
+	JobID   string   `json:"job_id"`
+	TraceID string   `json:"trace_id"`
+	Status  string   `json:"status"`
+	Nodes   []string `json:"nodes"`
 	Spans   []struct {
 		Name    string  `json:"name"`
+		Node    string  `json:"node"`
 		StartMS float64 `json:"start_ms"`
 		DurMS   float64 `json:"dur_ms"`
 	} `json:"spans"`
@@ -424,12 +441,20 @@ func doTrace(r *retrier, base, id string, jsonOut bool) error {
 	if err := json.Unmarshal(raw, &tv); err != nil {
 		return fmt.Errorf("trace: bad response %q: %w", raw, err)
 	}
-	w := textplot.Waterfall{
-		Title:  fmt.Sprintf("job %s (%s) trace %s — %d spans", tv.JobID, tv.Status, tv.TraceID, len(tv.Spans)),
-		Format: "%.1fms",
+	title := fmt.Sprintf("job %s (%s) trace %s — %d spans", tv.JobID, tv.Status, tv.TraceID, len(tv.Spans))
+	if len(tv.Nodes) > 1 {
+		title += fmt.Sprintf(" across %s", strings.Join(tv.Nodes, ", "))
 	}
+	w := textplot.Waterfall{Title: title, Format: "%.1fms"}
+	// Multi-node documents get per-node lanes: each span's label is
+	// prefixed with the node that recorded it.
+	multiNode := len(tv.Nodes) > 1
 	for _, sp := range tv.Spans {
-		w.Add(sp.Name, sp.StartMS, sp.DurMS)
+		label := sp.Name
+		if multiNode && sp.Node != "" {
+			label = "[" + sp.Node + "] " + sp.Name
+		}
+		w.Add(label, sp.StartMS, sp.DurMS)
 	}
 	os.Stdout.WriteString(w.String())
 	if tv.Dropped > 0 {
@@ -558,6 +583,176 @@ func doHealth(r *retrier, base string, jsonOut bool) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("GET %s: %s", u, resp.Status)
 	}
+	return nil
+}
+
+// clusterHealthRow is one endpoint's probe result for -health -cluster.
+type clusterHealthRow struct {
+	Endpoint  string `json:"endpoint"`
+	NodeID    string `json:"node_id,omitempty"`
+	Status    string `json:"status"`
+	Degraded  string `json:"degraded,omitempty"`
+	LatencyMS int64  `json:"latency_ms"`
+}
+
+// doClusterHealth probes every configured endpoint concurrently —
+// unreachable ones included in the table, not skipped — so one command
+// shows the whole fleet's health. Exit is nonzero only when no
+// endpoint answered at all.
+func doClusterHealth(endpoints []string, jsonOut bool) error {
+	client := &http.Client{Timeout: 2 * time.Second}
+	var eps []string
+	for _, ep := range endpoints {
+		if ep = strings.TrimRight(strings.TrimSpace(ep), "/"); ep != "" {
+			eps = append(eps, ep)
+		}
+	}
+	rows := make([]clusterHealthRow, len(eps))
+	var wg sync.WaitGroup
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(i int, ep string) {
+			defer wg.Done()
+			row := clusterHealthRow{Endpoint: ep}
+			start := time.Now()
+			resp, err := client.Get(ep + "/healthz")
+			row.LatencyMS = time.Since(start).Milliseconds()
+			if err != nil {
+				row.Status = "unreachable"
+				row.Degraded = err.Error()
+				rows[i] = row
+				return
+			}
+			var v healthView
+			derr := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&v)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || derr != nil {
+				row.Status = "unhealthy"
+				row.Degraded = resp.Status
+				rows[i] = row
+				return
+			}
+			row.NodeID = v.NodeID
+			row.Status = v.Status
+			row.Degraded = v.Degraded
+			rows[i] = row
+		}(i, ep)
+	}
+	wg.Wait()
+	live := 0
+	for _, row := range rows {
+		if row.Status == "ok" || row.Status == "degraded" {
+			live++
+		}
+	}
+	if jsonOut {
+		raw, _ := json.MarshalIndent(map[string][]clusterHealthRow{"endpoints": rows}, "", "  ")
+		os.Stdout.Write(append(raw, '\n'))
+	} else {
+		fmt.Printf("%-28s  %-8s  %-11s  %9s  %s\n", "ENDPOINT", "NODE", "STATUS", "LATENCY", "DEGRADED")
+		for _, row := range rows {
+			node := row.NodeID
+			if node == "" {
+				node = "-"
+			}
+			reason := row.Degraded
+			if reason == "" {
+				reason = "-"
+			}
+			fmt.Printf("%-28s  %-8s  %-11s  %7dms  %s\n", row.Endpoint, node, row.Status, row.LatencyMS, reason)
+		}
+		fmt.Printf("%d/%d endpoints live\n", live, len(rows))
+	}
+	if live == 0 {
+		return fmt.Errorf("no live endpoint among %s", strings.Join(eps, ", "))
+	}
+	return nil
+}
+
+// doTop fetches the federated exposition at /v1/cluster/metrics, lints
+// it (a lint failure is a hard error — the endpoint's contract is a
+// clean exposition), and renders a per-node fleet summary.
+func doTop(r *retrier, base string, jsonOut bool) error {
+	u := base + "/v1/cluster/metrics"
+	resp, err := r.Do("GET "+u, func() (*http.Response, error) {
+		return http.Get(u)
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s", u, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	exp, err := obs.LintPrometheusText(bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("federated exposition failed lint: %w", err)
+	}
+	if jsonOut {
+		os.Stdout.Write(raw)
+		return nil
+	}
+
+	// value[node][metric] for plain per-node series; histogram sums and
+	// counts are folded for the average-lag column.
+	value := map[string]map[string]float64{}
+	nodeSet := map[string]bool{}
+	for _, sr := range exp.Series {
+		node := sr.Labels["node"]
+		if node == "" {
+			continue
+		}
+		nodeSet[node] = true
+		if value[node] == nil {
+			value[node] = map[string]float64{}
+		}
+		value[node][sr.Name] += sr.Value
+	}
+	var nodes []string
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	get := func(node, metric string) (float64, bool) {
+		v, ok := value[node][metric]
+		return v, ok
+	}
+	fmt.Printf("%-8s  %-8s  %5s  %7s  %12s  %9s  %9s  %8s  %6s  %10s\n",
+		"NODE", "STORE", "QUEUE", "RUNNING", "INFLIGHT", "COMPLETED", "REPL-Q", "LAG-AVG", "REPAIR", "GOROUTINES")
+	for _, n := range nodes {
+		storeState := "-"
+		if v, ok := get(n, "layoutd_store_state"); ok {
+			if v >= 1 {
+				storeState = "ok"
+			} else {
+				storeState = "degraded"
+			}
+		}
+		lag := "-"
+		if cnt, ok := get(n, "layoutd_replication_lag_seconds_count"); ok && cnt > 0 {
+			sum, _ := get(n, "layoutd_replication_lag_seconds_sum")
+			lag = fmt.Sprintf("%.1fms", sum/cnt*1000)
+		}
+		num := func(metric string) string {
+			if v, ok := get(n, metric); ok {
+				return strconv.FormatFloat(v, 'f', -1, 64)
+			}
+			return "-"
+		}
+		fmt.Printf("%-8s  %-8s  %5s  %7s  %12s  %9s  %9s  %8s  %6s  %10s\n",
+			n, storeState,
+			num("layoutd_queue_depth"),
+			num("layoutd_jobs_running"),
+			num("layoutd_inflight_bytes"),
+			num("layoutd_jobs_completed_total"),
+			num("layoutd_replication_queue_depth"),
+			lag,
+			num("layoutd_antientropy_repaired_total"),
+			num("layoutd_runtime_goroutines"))
+	}
+	fmt.Printf("%d nodes, %d series, exposition lint-clean\n", len(nodes), len(exp.Series))
 	return nil
 }
 

@@ -85,6 +85,9 @@ func main() {
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "peer /healthz poll period (with -peers)")
 	antiEntropy := flag.Duration("antientropy", 30*time.Second, "anti-entropy repair sweep period, jittered ±25%; 0 disables (with -peers and -store-dir)")
 	antiEntropyMax := flag.Int("antientropy-max", cluster.DefaultAntiEntropyMaxPerSweep, "repair pushes per anti-entropy sweep (rate limit)")
+	eventRing := flag.Int("event-ring", server.DefaultEventRing, "state-transition events retained at /v1/debug/events")
+	runtimeSample := flag.Duration("runtime-sample", obs.DefaultRuntimeSampleInterval, "runtime-telemetry sampler tick period (feeds layoutd_runtime_* and /v1/debug/runtime)")
+	runtimeRing := flag.Int("runtime-ring", obs.DefaultRuntimeRing, "runtime-telemetry samples retained at /v1/debug/runtime")
 	flag.Parse()
 
 	level, err := parseLevel(*logLevel)
@@ -214,6 +217,10 @@ func main() {
 
 		Cluster: cl,
 		NodeID:  *nodeID,
+
+		EventRing:             *eventRing,
+		RuntimeSampleInterval: *runtimeSample,
+		RuntimeRing:           *runtimeRing,
 	}); err != nil {
 		fatal("layoutd exited", err)
 	}

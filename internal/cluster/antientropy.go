@@ -289,6 +289,7 @@ func (a *antiEntropy) fetchKeys(p Peer) ([]string, error) {
 		return nil, err
 	}
 	req.Header.Set(ForwardHeader, a.c.self.ID)
+	injectTraceparent(req, "")
 	resp, err := a.c.client.Do(req)
 	if err != nil {
 		return nil, err

@@ -25,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"codelayout/internal/obs"
 )
 
 // Wire headers used between peers.
@@ -41,6 +43,18 @@ const (
 	// store reads; the receiver recomputes and rejects mismatches.
 	DigestHeader = "X-Layoutd-Digest"
 )
+
+// injectTraceparent stamps req with a W3C traceparent header so every
+// peer hop — replication pushes, anti-entropy censuses, blob fetches —
+// is attributable end to end. The caller's trace ID is kept when valid
+// (a blob fetch on a request path); background work gets a fresh one.
+// The span ID is always fresh: it names this hop.
+func injectTraceparent(req *http.Request, traceID string) {
+	if !obs.ValidTraceID(traceID) {
+		traceID = obs.NewTraceID()
+	}
+	req.Header.Set(obs.TraceparentHeader, obs.FormatTraceparent(traceID, obs.NewSpanID(), true))
+}
 
 // Peer is one statically configured cluster member.
 type Peer struct {

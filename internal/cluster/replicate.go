@@ -11,6 +11,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"codelayout/internal/obs"
 )
 
 // ErrNotFound is returned by FetchBlob when no reachable peer holds the
@@ -182,6 +184,7 @@ func (r *replicator) pushBlob(key string, data []byte, p Peer) error {
 		req.Header.Set("Content-Type", "application/octet-stream")
 		req.Header.Set(DigestHeader, hex.EncodeToString(sum[:]))
 		req.Header.Set(ForwardHeader, r.c.self.ID)
+		injectTraceparent(req, "")
 		return r.c.client.Do(req)
 	})
 	if err != nil {
@@ -228,6 +231,7 @@ func (c *Cluster) fetchFrom(ctx context.Context, p Peer, key string) ([]byte, er
 	// Mark the probe so the peer serves only its local store and never
 	// fans back out to the cluster (no probe amplification loops).
 	req.Header.Set(ForwardHeader, c.self.ID)
+	injectTraceparent(req, obs.TraceID(ctx))
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.ReportFailure(p.ID)

@@ -46,13 +46,29 @@ const (
 	traceIDKey
 )
 
-// NewTraceID returns a fresh 16-hex-character request/job trace ID.
+// NewTraceID returns a fresh 32-hex-character trace ID — the W3C trace
+// context width, so layoutd trace IDs drop straight into a traceparent
+// header. Legacy 16-hex IDs (pre-widening nodes, old clients) are still
+// accepted everywhere an ID is read; see ValidTraceID.
 func NewTraceID() string {
-	var b [8]byte
+	var b [16]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		// crypto/rand failing is effectively impossible on supported
 		// platforms; fall back to a process-local sequence rather than
 		// panicking in a request path.
+		n := fallbackID.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * (i % 8)))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewSpanID returns a fresh 16-hex-character span ID for outbound
+// traceparent headers.
+func NewSpanID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
 		n := fallbackID.Add(1)
 		for i := range b {
 			b[i] = byte(n >> (8 * i))

@@ -10,12 +10,12 @@ import (
 )
 
 func TestNewTraceID(t *testing.T) {
-	re := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	re := regexp.MustCompile(`^[0-9a-f]{32}$`)
 	seen := make(map[string]bool)
 	for i := 0; i < 100; i++ {
 		id := NewTraceID()
 		if !re.MatchString(id) {
-			t.Fatalf("trace id %q not 16 hex chars", id)
+			t.Fatalf("trace id %q not 32 hex chars", id)
 		}
 		if seen[id] {
 			t.Fatalf("duplicate trace id %q", id)

@@ -241,6 +241,12 @@ func parseValue(s string) (float64, error) {
 	return strconv.ParseFloat(s, 64)
 }
 
+// FamilyOf strips histogram sample suffixes (_bucket, _sum, _count) to
+// recover the family name a TYPE/HELP comment would use. Exported for
+// consumers that regroup parsed samples by family — e.g. the cluster
+// metrics federation endpoint.
+func FamilyOf(name string) string { return familyOf(name) }
+
 // familyOf strips histogram sample suffixes to recover the family name
 // a TYPE/HELP comment would use.
 func familyOf(name string) string {

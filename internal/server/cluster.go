@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"codelayout/internal/cluster"
+	"codelayout/internal/obs"
 	"codelayout/internal/store"
 )
 
@@ -103,9 +104,19 @@ func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, key stri
 // then relays status, headers, and body back, tagging the response with
 // the serving node so cluster-aware clients can re-base onto the owner.
 // The peer.forward phase is observed whether or not the attempt lands.
+//
+// The hop carries W3C trace context: the caller's trace ID is adopted
+// when the inbound request has a valid traceparent (else one is
+// minted), and the outbound header gets a fresh span ID — so the job
+// the owner creates joins the caller's trace. Successful forwarded
+// POSTs additionally record a local "peer.forward" span keyed by the
+// job ID the owner returned, which cross-node trace assembly
+// (fwdtrace.go) later merges into the owner's timeline.
 func (s *Server) proxy(w http.ResponseWriter, r *http.Request, peer cluster.Peer, body []byte) bool {
 	start := time.Now()
 	target := peer.URL + r.URL.RequestURI()
+	traceID := requestTraceID(r)
+	tpHeader := obs.FormatTraceparent(traceID, obs.NewSpanID(), true)
 	rt := &cluster.Retrier{Max: 1, Base: 100 * time.Millisecond,
 		Logf: func(format string, args ...any) {
 			s.logger.Debug("peer retry", "msg", fmt.Sprintf(format, args...))
@@ -117,6 +128,7 @@ func (s *Server) proxy(w http.ResponseWriter, r *http.Request, peer cluster.Peer
 		}
 		req.Header = r.Header.Clone()
 		req.Header.Set(headerForward, s.cluster.SelfID())
+		req.Header.Set(obs.TraceparentHeader, tpHeader)
 		return s.peerClient.Do(req)
 	})
 	s.metrics.phase.With("peer.forward").Observe(time.Since(start).Seconds())
@@ -145,6 +157,12 @@ func (s *Server) proxy(w http.ResponseWriter, r *http.Request, peer cluster.Peer
 	}
 	h.Set(headerForwardedTo, peer.ID)
 	w.WriteHeader(resp.StatusCode)
+	if r.Method == http.MethodPost && resp.StatusCode < 300 {
+		// A forwarded submission: relay the body while capturing the
+		// owner's job ID, then log this hop as a forward span.
+		s.relayForwardedSubmit(w, resp.Body, peer.ID, traceID, start)
+		return true
+	}
 	io.Copy(w, resp.Body)
 	return true
 }

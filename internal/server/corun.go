@@ -310,7 +310,7 @@ func corunConfig(c *cachesim.Config) (cachesim.Config, error) {
 // otherwise the analysis runs as an async job with the same
 // backpressure, deadline, and cancellation rules as optimizations.
 func (s *Server) handleCorun(w http.ResponseWriter, r *http.Request) {
-	traceID := obs.NewTraceID()
+	traceID := requestTraceID(r)
 	logger := s.logger.With("trace_id", traceID)
 	rec := obs.NewRecorder(s.cfg.SpanBufferSize)
 	rec.SetDropHook(s.metrics.spansDropped.Inc)

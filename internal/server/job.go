@@ -163,9 +163,12 @@ func (j *Job) view() jobView {
 	}
 }
 
-// spanView is one span in the wire timeline.
+// spanView is one span in the wire timeline. Node names the cluster
+// member that recorded the span; it is empty on a single node and
+// filled in by the cross-node trace assembly (see fwdtrace.go).
 type spanView struct {
 	Name    string           `json:"name"`
+	Node    string           `json:"node,omitempty"`
 	StartMS float64          `json:"start_ms"`
 	DurMS   float64          `json:"dur_ms"` // -1 while still in progress
 	Attrs   map[string]int64 `json:"attrs,omitempty"`
@@ -173,12 +176,17 @@ type spanView struct {
 
 // traceView is the wire representation of GET /v1/jobs/{id}/trace:
 // the job's recorded span timeline, offsets relative to submission.
+// BeginUnixNS anchors the timeline to wall time so a non-owner can
+// merge its forward spans onto the owner's offsets; Nodes lists every
+// cluster member contributing spans (empty single-node).
 type traceView struct {
-	JobID   string     `json:"job_id"`
-	TraceID string     `json:"trace_id"`
-	Status  string     `json:"status"`
-	Spans   []spanView `json:"spans"`
-	Dropped int64      `json:"dropped,omitempty"`
+	JobID       string     `json:"job_id"`
+	TraceID     string     `json:"trace_id"`
+	Status      string     `json:"status"`
+	BeginUnixNS int64      `json:"begin_unix_ns,omitempty"`
+	Nodes       []string   `json:"nodes,omitempty"`
+	Spans       []spanView `json:"spans"`
+	Dropped     int64      `json:"dropped,omitempty"`
 }
 
 func (j *Job) traceTimeline() traceView {
@@ -190,6 +198,7 @@ func (j *Job) traceTimeline() traceView {
 	if j.rec == nil {
 		return tv
 	}
+	tv.BeginUnixNS = j.rec.Begin().UnixNano()
 	spans, dropped := j.rec.Snapshot()
 	tv.Dropped = dropped
 	tv.Spans = make([]spanView, len(spans))

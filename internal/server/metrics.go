@@ -49,6 +49,10 @@ type serverMetrics struct {
 	replLag            *obs.Histogram
 	replicateReceived  *obs.Counter // registered with the store family
 
+	// Observability-plane family.
+	events                 *obs.CounterVec // layoutd_events_total{kind}
+	federationScrapeErrors *obs.Counter
+
 	queueWait *obs.Histogram
 	phase     *obs.HistogramVec
 	latency   *obs.HistogramVec
@@ -174,6 +178,27 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Unix time of the last completed anti-entropy sweep (0 until the first).",
 			func() int64 { return cl.AntiEntropyStats().LastSweepUnix })
 	}
+
+	m.events = r.CounterVec("layoutd_events_total",
+		"Structured state-transition events recorded in the /v1/debug/events ring, by kind.", "kind")
+	m.federationScrapeErrors = r.Counter("layoutd_federation_scrape_errors_total",
+		"Peer scrapes that failed during GET /v1/cluster/metrics federation.")
+	rt := s.runtime
+	r.GaugeFunc("layoutd_runtime_heap_bytes",
+		"Live heap object bytes, from the runtime-telemetry sampler.",
+		func() int64 { return rt.Last().HeapBytes })
+	r.GaugeFunc("layoutd_runtime_goroutines",
+		"Goroutine count, from the runtime-telemetry sampler.",
+		func() int64 { return rt.Last().Goroutines })
+	r.CounterFunc("layoutd_runtime_gc_cycles_total",
+		"Completed GC cycles, from the runtime-telemetry sampler.",
+		func() int64 { return rt.Last().GCCycles })
+	r.GaugeFunc("layoutd_runtime_gc_pause_p99_ns",
+		"Lifetime p99 GC stop-the-world pause, nanoseconds.",
+		func() int64 { return rt.Last().GCPauseP99NS })
+	r.GaugeFunc("layoutd_runtime_sched_latency_p99_ns",
+		"Lifetime p99 goroutine scheduling latency, nanoseconds.",
+		func() int64 { return rt.Last().SchedLatencyP99NS })
 
 	m.queueWait = r.Histogram("layoutd_queue_wait_seconds",
 		"Time jobs spend in the pool queue before a worker picks them up.", nil)

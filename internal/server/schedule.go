@@ -91,7 +91,7 @@ func scheduleDigest(digests []string, topo schedule.Topology, cfg cachesim.Confi
 // predicted misses. Runs as an async job; the matrix reuses pair
 // documents across jobs via the content-addressed pair cache.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
-	traceID := obs.NewTraceID()
+	traceID := requestTraceID(r)
 	logger := s.logger.With("trace_id", traceID)
 	rec := obs.NewRecorder(s.cfg.SpanBufferSize)
 	rec.SetDropHook(s.metrics.spansDropped.Inc)

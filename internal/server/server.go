@@ -149,6 +149,17 @@ type Config struct {
 	// NodeID names this node in /healthz; empty means the cluster self ID
 	// (or omitted when single-node).
 	NodeID string
+	// EventRing bounds the structured event log at /v1/debug/events;
+	// 0 means DefaultEventRing.
+	EventRing int
+	// RuntimeSampleInterval is the runtime-telemetry sampler's tick
+	// period; 0 means obs.DefaultRuntimeSampleInterval. The sampler is
+	// always on: it feeds the layoutd_runtime_* gauges and the bounded
+	// ring at /v1/debug/runtime.
+	RuntimeSampleInterval time.Duration
+	// RuntimeRing bounds the retained runtime samples; 0 means
+	// obs.DefaultRuntimeRing.
+	RuntimeRing int
 }
 
 // Defaults for zero Config fields.
@@ -179,6 +190,9 @@ type Server struct {
 	metrics   *serverMetrics
 	logger    *slog.Logger
 	ring      *debugRing
+	events    *eventRing
+	runtime   *obs.RuntimeSampler
+	fwdlog    *forwardLog
 	mux       *http.ServeMux
 
 	// cluster is the peer group this node belongs to; nil single-node.
@@ -275,6 +289,9 @@ func New(cfg Config) *Server {
 		cluster:   cfg.Cluster,
 		logger:    cfg.Logger,
 		ring:      newDebugRing(cfg.DebugJobRing),
+		events:    newEventRing(cfg.EventRing),
+		runtime:   obs.NewRuntimeSampler(cfg.RuntimeSampleInterval, cfg.RuntimeRing),
+		fwdlog:    newForwardLog(0),
 		jobs:      make(map[string]*Job),
 		progs:     make(map[string]*progEntry),
 	}
@@ -282,6 +299,15 @@ func New(cfg Config) *Server {
 		cb.srv = s
 	}
 	s.metrics = newServerMetrics(s)
+	s.events.counter = s.metrics.events
+	if s.disk != nil {
+		// Durability transitions (breaker trips/recoveries, quarantines)
+		// land in the event ring alongside the cluster's.
+		s.disk.SetEventHook(func(kind, detail string) {
+			s.events.record(kind, s.nodeID(), detail)
+		})
+	}
+	s.runtime.Start()
 	if cl := s.cluster; cl != nil {
 		s.peerClient = &http.Client{Timeout: 30 * time.Second}
 		// Per-peer health gauges: 2 = up, 1 = degraded, 0 = down.
@@ -294,6 +320,14 @@ func New(cfg Config) *Server {
 		}
 		cl.SetStateHook(func(id string, st cluster.State) {
 			s.metrics.peerHealth.With(id).Set(int64(2 - st))
+			kind := eventPeerUp
+			switch st {
+			case cluster.StateDegraded:
+				kind = eventPeerDegraded
+			case cluster.StateDown:
+				kind = eventPeerDown
+			}
+			s.events.record(kind, id, "")
 		})
 		cl.SetReplicateHook(func(peer, key string, lag, dur time.Duration, err error) {
 			s.metrics.replLag.Observe(lag.Seconds())
@@ -308,12 +342,15 @@ func New(cfg Config) *Server {
 		}
 		cl.SetDropHook(func(peer, key string) {
 			s.metrics.replicationDropped.With(peer).Inc()
+			s.events.record(eventReplicationDrop, peer, key)
 			s.logger.Warn("replication enqueue dropped; anti-entropy will repair",
 				"key", key, "peer", peer)
 		})
 		cl.SetAntiEntropyHook(func(sw cluster.AntiEntropySweep) {
 			s.metrics.phase.With("antientropy.sweep").Observe(sw.Duration.Seconds())
 			if sw.Repaired > 0 {
+				s.events.record(eventSweepRepair, s.nodeID(),
+					fmt.Sprintf("repaired %d keys (%d bytes) from %d peers", sw.Repaired, sw.Bytes, sw.Peers))
 				s.logger.Info("anti-entropy sweep repaired keys",
 					"repaired", sw.Repaired, "bytes", sw.Bytes,
 					"peers", sw.Peers, "truncated", sw.Truncated)
@@ -353,7 +390,10 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.forwardSubmit(s.handleSubmit))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.forwardJobID(s.handleJob))
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.forwardJobID(s.handleJobTrace))
+	// The trace route is NOT wrapped in forwardJobID: cross-node trace
+	// assembly (fwdtrace.go) fetches the owner's timeline itself and
+	// merges the local forward spans into one document.
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.forwardJobID(s.handleCancel))
 	mux.HandleFunc("GET /v1/layouts/{digest}", s.forwardDigest(s.handleLayout))
 	mux.HandleFunc("POST /v1/corun", s.forwardJSON(corunRouteKey, s.handleCorun))
@@ -372,6 +412,9 @@ func New(cfg Config) *Server {
 	}
 	mux.HandleFunc("GET /v1/optimizers", s.handleOptimizers)
 	mux.HandleFunc("GET /v1/debug/jobs", s.handleDebugJobs)
+	mux.HandleFunc("GET /v1/debug/events", s.handleDebugEvents)
+	mux.HandleFunc("GET /v1/debug/runtime", s.handleDebugRuntime)
+	mux.HandleFunc("GET /v1/cluster/metrics", s.handleClusterMetrics)
 	mux.HandleFunc("GET /v1/store", s.handleStoreList)
 	mux.HandleFunc("GET /v1/store/{key}", s.handleStoreGet)
 	mux.HandleFunc("DELETE /v1/store/{key}", s.handleStoreDelete)
@@ -392,6 +435,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // the drain abandoned wedged work and the process should exit nonzero.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.pool.Shutdown(ctx)
+	s.runtime.Stop()
 	if s.cluster != nil {
 		// Stop health polling and drain the replication worker before the
 		// disk closes underneath it.
@@ -432,11 +476,22 @@ type submission struct {
 	pruneTopN int
 }
 
+// requestTraceID adopts the caller's trace ID when the request carries
+// a valid W3C traceparent header (standard 32-hex or legacy 16-hex
+// trace ID), else mints a fresh one — so a job submitted through a
+// non-owner keeps one trace ID end to end across the forward hop.
+func requestTraceID(r *http.Request) string {
+	if tp, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+		return tp.TraceID
+	}
+	return obs.NewTraceID()
+}
+
 // newSubmissionCtx mints the trace ID, logger, and bounded span
 // recorder every submission carries from its first byte, so even the
 // decode of a rejected upload is attributed.
 func (s *Server) newSubmissionCtx(r *http.Request) (context.Context, *submission) {
-	traceID := obs.NewTraceID()
+	traceID := requestTraceID(r)
 	logger := s.logger.With("trace_id", traceID)
 	rec := obs.NewRecorder(s.cfg.SpanBufferSize)
 	rec.SetDropHook(s.metrics.spansDropped.Inc)
@@ -900,21 +955,6 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	httpError(w, http.StatusConflict,
 		fmt.Errorf("job %s is %s; only queued jobs (or running corun/schedule jobs) can be canceled", id, j.statusNow()))
 	return
-}
-
-// handleJobTrace is GET /v1/jobs/{id}/trace: the job's recorded span
-// timeline. Available at any point in the job's life — an in-progress
-// job shows its open spans with dur_ms = -1.
-func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	s.mu.Lock()
-	j, ok := s.jobs[id]
-	s.mu.Unlock()
-	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
-		return
-	}
-	writeJSON(w, http.StatusOK, j.traceTimeline())
 }
 
 // handleDebugJobs is GET /v1/debug/jobs: the bounded ring of recent

@@ -565,8 +565,8 @@ func TestJobTraceTimeline(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("submit status %d", code)
 	}
-	if len(v.TraceID) != 16 {
-		t.Fatalf("submit response traceId = %q, want 16 hex chars", v.TraceID)
+	if len(v.TraceID) != 32 {
+		t.Fatalf("submit response traceId = %q, want 32 hex chars", v.TraceID)
 	}
 	done := waitJob(t, ts, v.ID)
 	if done.Status != StatusDone {

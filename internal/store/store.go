@@ -45,6 +45,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"codelayout/internal/fault"
@@ -187,6 +188,30 @@ type Store struct {
 
 	queue chan writeReq
 	wg    sync.WaitGroup
+
+	// eventHook observes durability state transitions; see SetEventHook.
+	eventHook atomic.Value // func(kind, detail string)
+}
+
+// Event kinds passed to the SetEventHook callback.
+const (
+	EventBreakerTrip    = "breaker_trip"
+	EventBreakerRecover = "breaker_recover"
+	EventQuarantine     = "quarantine"
+)
+
+// SetEventHook installs fn, called on durability state transitions:
+// the circuit breaker opening (EventBreakerTrip, once per ok->degraded
+// transition, not per failed probe), the breaker closing
+// (EventBreakerRecover), and a blob being quarantined (EventQuarantine)
+// — with a short human-readable detail. fn runs with internal locks
+// held: it must be fast and must not call back into the store.
+func (s *Store) SetEventHook(fn func(kind, detail string)) { s.eventHook.Store(fn) }
+
+func (s *Store) fireEvent(kind, detail string) {
+	if fn, ok := s.eventHook.Load().(func(string, string)); ok && fn != nil {
+		fn(kind, detail)
+	}
 }
 
 // Open scans dir, recovers the index from the surviving blobs, and
@@ -290,6 +315,7 @@ func (s *Store) scan() error {
 // Get holds mu.
 func (s *Store) quarantine(path, name string, cause error) {
 	s.stats.Quarantined++
+	s.fireEvent(EventQuarantine, fmt.Sprintf("%s: %v", name, cause))
 	dst := filepath.Join(s.cfg.Dir, quarantineDir, name)
 	if err := s.fs.Rename(path, dst); err != nil {
 		_ = s.fs.Remove(path)
@@ -532,6 +558,7 @@ func (s *Store) writer() {
 			s.backoff = s.cfg.ProbeBackoff
 			s.readFails = 0
 			s.stats.Recoveries++
+			s.fireEvent(EventBreakerRecover, "disk recovered; leaving degraded mode")
 			s.logf("store: disk recovered; leaving degraded mode")
 		}
 		e := &entry{key: req.key, size: int64(len(req.data)), atime: s.clock.Now()}
@@ -561,6 +588,7 @@ func (s *Store) openBreakerLocked(cause error, op string) {
 	wasOK := s.state == StateOK
 	s.state = StateDegraded
 	if wasOK {
+		s.fireEvent(EventBreakerTrip, s.stats.LastError)
 		s.logf("store: %s failed (%v); degrading to memory-only, next probe in %s", op, cause, s.backoff)
 	} else {
 		s.logf("store: %s probe failed (%v); next probe in %s", op, cause, s.backoff)

@@ -17,7 +17,7 @@
 # Plain shell + awk on `go test -bench` output: no external dependencies.
 set -eu
 
-OUT_DEFAULT=BENCH_PR9.json
+OUT_DEFAULT=BENCH_PR10.json
 BENCHTIME=${BENCHTIME:-3x}
 
 # The kernel benchmarks the harness tracks, one per analysis subsystem
@@ -25,8 +25,10 @@ BENCHTIME=${BENCHTIME:-3x}
 # observability hot paths (span start/end, counter, histogram), which
 # ride on every instrumented kernel and must stay allocation-free, and
 # the anti-entropy digest-set diff, which runs every sweep on every node
-# and must reuse its caller's buffer.
-BENCH_RE='^(BenchmarkBuildHierarchyWorkers|BenchmarkTRGBuildWorkers|BenchmarkFootprintCurveWorkers|BenchmarkCorunBatchWorkers|BenchmarkShardPairHists|BenchmarkBuildHierarchyArena|BenchmarkBuildShard|BenchmarkBuildArena|BenchmarkWindowFootprintScratch|BenchmarkSpanStartEnd|BenchmarkSpanStartEndDropped|BenchmarkRegistryCounterInc|BenchmarkRegistryHistogramObserve|BenchmarkScheduleSolve|BenchmarkStreamDecode|BenchmarkStreamFeed|BenchmarkAntiEntropyDiff)$'
+# and must reuse its caller's buffer, the traceparent parse/format pair,
+# which runs on every inbound request and every peer hop, and the
+# runtime-telemetry sampler tick, which fires for the process lifetime.
+BENCH_RE='^(BenchmarkBuildHierarchyWorkers|BenchmarkTRGBuildWorkers|BenchmarkFootprintCurveWorkers|BenchmarkCorunBatchWorkers|BenchmarkShardPairHists|BenchmarkBuildHierarchyArena|BenchmarkBuildShard|BenchmarkBuildArena|BenchmarkWindowFootprintScratch|BenchmarkSpanStartEnd|BenchmarkSpanStartEndDropped|BenchmarkRegistryCounterInc|BenchmarkRegistryHistogramObserve|BenchmarkScheduleSolve|BenchmarkStreamDecode|BenchmarkStreamFeed|BenchmarkAntiEntropyDiff|BenchmarkTraceparentParse|BenchmarkTraceparentFormat|BenchmarkRuntimeSamplerTick)$'
 PKGS='. ./internal/affinity ./internal/trg ./internal/footprint ./internal/obs ./internal/schedule ./internal/trace ./internal/cluster'
 
 run() {
